@@ -1,0 +1,102 @@
+// Command calibrate tunes the synthetic workload profiles so the simulated
+// 180nm base machine reproduces the paper's Table 3 IPC operating points.
+// It performs a small multiplicative local search per benchmark over the
+// ILP, memory-locality, and branch-predictability knobs and prints the
+// tuned parameters for transcription into internal/workload/profiles.go.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+const (
+	_instructions = 1_000_000
+	_iterations   = 8
+)
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func ipcOf(p workload.Profile) (float64, microarch.Result, error) {
+	g, err := workload.New(p, _instructions)
+	if err != nil {
+		return 0, microarch.Result{}, err
+	}
+	sim, err := microarch.NewSimulator(microarch.DefaultConfig())
+	if err != nil {
+		return 0, microarch.Result{}, err
+	}
+	res, err := sim.Run(g)
+	if err != nil {
+		return 0, microarch.Result{}, err
+	}
+	return res.IPC(), res, nil
+}
+
+func main() {
+	if done, err := maybePrintConstants(); done || err != nil {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, p := range workload.Profiles() {
+		best := p
+		bestErr := math.Inf(1)
+		cur := p
+		for it := 0; it < _iterations; it++ {
+			ipc, _, err := ipcOf(cur)
+			if err != nil {
+				return err
+			}
+			relErr := math.Abs(ipc/p.TargetIPC - 1)
+			if relErr < bestErr {
+				bestErr = relErr
+				best = cur
+			}
+			if relErr < 0.02 {
+				break
+			}
+			ratio := p.TargetIPC / ipc
+			f := clamp(ratio, 0.72, 1.38)
+			cur.DepDist = clamp(cur.DepDist*f, 1.2, 14)
+			cur.WarmProb = clamp(cur.WarmProb/(f*f), 0.002, 0.4)
+			cur.ColdProb = clamp(cur.ColdProb/(f*f), 0.0002, 0.08)
+			if ratio > 1 {
+				cur.BranchPredictability = clamp(cur.BranchPredictability+(0.995-cur.BranchPredictability)*0.35, 0.5, 0.995)
+			} else {
+				cur.BranchPredictability = clamp(cur.BranchPredictability-(cur.BranchPredictability-0.85)*0.25, 0.85, 0.995)
+			}
+			cur.NearDepProb = clamp(cur.NearDepProb/clamp(ratio, 0.9, 1.12), 0.4, 0.92)
+		}
+		ipc, res, err := ipcOf(best)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("// %s: IPC %.3f (target %.2f) bpred=%.3f L1D=%.3f L2=%.3f\n",
+			best.Name, ipc, best.TargetIPC, 1-res.MispredictRate(), res.L1DMissRate(), res.L2MissRate())
+		fmt.Printf("%s: DepDist: %.2f, NearDepProb: %.2f, WarmProb: %.4f, ColdProb: %.4f, BranchPredictability: %.3f\n\n",
+			best.Name, best.DepDist, best.NearDepProb, best.WarmProb, best.ColdProb, best.BranchPredictability)
+	}
+	return nil
+}

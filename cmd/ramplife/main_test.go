@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunModeMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run is slow; skipped with -short")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "mc", "-app", "gzip", "-n", "100000", "-samples", "2000"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"lifetime distribution", "exponential (SOFR)", "wear-out"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mc output missing %q", want)
+		}
+	}
+}
+
+func TestRunModeDRM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run is slow; skipped with -short")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "drm", "-app", "gzip", "-n", "150000"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sustained frequency") {
+		t.Errorf("drm output missing summary: %s", sb.String())
+	}
+}
+
+func TestRunModeCMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run is slow; skipped with -short")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "cmp", "-apps", "ammp,gzip", "-n", "150000", "-migrate", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2-core CMP") || !strings.Contains(out, "migrations") {
+		t.Errorf("cmp output incomplete: %s", out)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{}); err == nil {
+		t.Error("missing mode accepted")
+	}
+	if err := run(&sb, []string{"-mode", "warp"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(&sb, []string{"-mode", "mc", "-tech", "42nm"}); err == nil {
+		t.Error("unknown technology accepted")
+	}
+	if err := run(&sb, []string{"-mode", "cmp", "-apps", "gzip"}); err == nil {
+		t.Error("single-app cmp accepted")
+	}
+}
+
+func TestRunModeSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run is slow; skipped with -short")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "schedule", "-app", "gzip", "-n", "100000"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"daily duty cycle", "projected lifetime", "best mitigation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedule output missing %q", want)
+		}
+	}
+}
+
+func TestRunModeCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run is slow; skipped with -short")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "cycles", "-app", "gzip", "-n", "300000"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"rainflow", "steady", "phased", "damage index"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cycles output missing %q", want)
+		}
+	}
+}
+
+func TestRunModeRemap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run is slow; skipped with -short")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-mode", "remap", "-app", "gzip", "-n", "100000", "-budget", "6000"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Remap derating schedule", "180nm", "65nm (1.0V)", "derate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("remap output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Command rampsim runs the scaling study of the paper — the SPEC2K-like
+// workload suite across the Table 4 technology points — and regenerates
+// its figures and headline numbers.
+//
+// Usage:
+//
+//	rampsim [-n instructions] [-apps ammp,gcc] [-csv] [-figure 2|3|4|5] [-headline] [-all]
+//
+// Without -figure/-headline/-all it prints the per-run summary lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rampsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rampsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	instructions := fs.Int64("n", 2_000_000, "instructions to simulate per application")
+	apps := fs.String("apps", "", "comma-separated benchmark subset (default: all 16)")
+	figure := fs.Int("figure", 0, "print one figure's data series (2, 3, 4, or 5)")
+	headline := fs.Bool("headline", false, "print the headline paper-vs-measured comparison")
+	all := fs.Bool("all", false, "print every figure and the headline comparison")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	plot := fs.Bool("plot", false, "render figures as ASCII charts instead of tables")
+	jsonOut := fs.Bool("json", false, "emit the full study as a JSON document")
+	scenarioPath := fs.String("scenario", "", "JSON experiment specification (overrides -n/-apps)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := ramp.DefaultConfig()
+	cfg.Instructions = *instructions
+	profiles, err := selectProfiles(*apps)
+	if err != nil {
+		return err
+	}
+	techs := ramp.Technologies()
+	if *scenarioPath != "" {
+		spec, err := ramp.LoadScenarioFile(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		cfg, profiles, techs, err = spec.Resolve(ramp.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scenario: %s\n", spec.Name)
+		if spec.Description != "" {
+			fmt.Fprintf(out, "  %s\n", spec.Description)
+		}
+	}
+	res, err := ramp.RunStudy(cfg, profiles, techs)
+	if err != nil {
+		return err
+	}
+
+	render := func(t *ramp.Table) error {
+		if *csv {
+			return t.RenderCSV(out)
+		}
+		if *plot {
+			if c, err := ramp.ChartFromTable(t); err == nil {
+				if err := c.Render(out); err != nil {
+					return err
+				}
+				_, err := fmt.Fprintln(out)
+				return err
+			}
+			// Tables that cannot chart (e.g. the headline) fall through.
+		}
+		if err := t.Render(out); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(out)
+		return err
+	}
+
+	printFigure := func(n int) error {
+		switch n {
+		case 2, 3:
+			for _, suite := range []ramp.Suite{ramp.SuiteFP, ramp.SuiteInt} {
+				var t *ramp.Table
+				var err error
+				if n == 2 {
+					t, err = ramp.Figure2(res, suite)
+				} else {
+					t, err = ramp.Figure3(res, suite)
+				}
+				if err != nil {
+					return err
+				}
+				if err := render(t); err != nil {
+					return err
+				}
+			}
+		case 4:
+			for _, suite := range []ramp.Suite{ramp.SuiteFP, ramp.SuiteInt} {
+				t, err := ramp.Figure4(res, suite)
+				if err != nil {
+					return err
+				}
+				if err := render(t); err != nil {
+					return err
+				}
+			}
+		case 5:
+			for _, m := range []ramp.Mechanism{ramp.EM, ramp.SM, ramp.TDDB, ramp.TC} {
+				for _, suite := range []ramp.Suite{ramp.SuiteFP, ramp.SuiteInt} {
+					t, err := ramp.Figure5(res, suite, m)
+					if err != nil {
+						return err
+					}
+					if err := render(t); err != nil {
+						return err
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("unknown figure %d (want 2, 3, 4, or 5)", n)
+		}
+		return nil
+	}
+
+	switch {
+	case *jsonOut:
+		return ramp.WriteJSON(out, res)
+	case *all:
+		for _, n := range []int{2, 3, 4, 5} {
+			if err := printFigure(n); err != nil {
+				return err
+			}
+		}
+		fallthrough
+	case *headline:
+		h, err := ramp.ComputeHeadline(res)
+		if err != nil {
+			return err
+		}
+		return render(h.Render())
+	case *figure != 0:
+		return printFigure(*figure)
+	default:
+		return printSummary(out, res)
+	}
+}
+
+func selectProfiles(apps string) ([]ramp.Profile, error) {
+	if apps == "" {
+		return ramp.Profiles(), nil
+	}
+	var out []ramp.Profile
+	for _, name := range strings.Split(apps, ",") {
+		p, err := ramp.ProfileByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func printSummary(out io.Writer, res *ramp.StudyResult) error {
+	for ti, tech := range res.Techs {
+		fmt.Fprintf(out, "== %s ==\n", tech.Name)
+		for _, a := range res.AppsAt(ti) {
+			fit := res.FIT(a)
+			mech := fit.ByMechanism()
+			fmt.Fprintf(out,
+				"  %-9s %-7v IPC=%.2f P=%5.1fW Tmax=%.1fK sink=%.1fK FIT=%6.0f [EM %5.0f SM %5.0f TDDB %5.0f TC %5.0f] MTTF=%.1fy\n",
+				a.App, a.Suite, a.IPC, a.AvgTotalW, a.MaxStructTempK, a.SinkTempK,
+				fit.Total(), mech[ramp.EM], mech[ramp.SM], mech[ramp.TDDB], mech[ramp.TC],
+				fit.MTTFYears())
+		}
+		wfit := res.WorstFIT(ti)
+		fmt.Fprintf(out, "  %-17s FIT=%6.0f\n", "max (worst-case)", wfit.Total())
+		avgMech := res.SuiteAverageMech(ti, 0)
+		fmt.Fprintf(out, "  suite-avg FIT: all=%.0f FP=%.0f INT=%.0f  [EM %.0f SM %.0f TDDB %.0f TC %.0f]\n",
+			res.SuiteAverageFIT(ti, 0),
+			res.SuiteAverageFIT(ti, ramp.SuiteFP),
+			res.SuiteAverageFIT(ti, ramp.SuiteInt),
+			avgMech[ramp.EM], avgMech[ramp.SM], avgMech[ramp.TDDB], avgMech[ramp.TC])
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticTables(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-table", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TDDB") {
+		t.Error("table 1 missing TDDB")
+	}
+	sb.Reset()
+	if err := run(&sb, []string{"-table", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Reorder buffer size") {
+		t.Error("table 2 missing ROB row")
+	}
+}
+
+func TestStaticTableCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-table", "1", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(sb.String(), "\n", 2)[0]
+	if !strings.Contains(first, ",") {
+		t.Fatalf("CSV header missing commas: %q", first)
+	}
+}
+
+func TestStudyTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study tables are slow; skipped with -short")
+	}
+	var sb strings.Builder
+	if err := run(&sb, []string{"-table", "3", "-n", "60000"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "crafty") {
+		t.Error("table 3 missing benchmarks")
+	}
+	sb.Reset()
+	if err := run(&sb, []string{"-table", "4", "-n", "60000"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "65nm (1.0V)") {
+		t.Error("table 4 missing technology rows")
+	}
+}
+
+func TestRejectsBadTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{}); err == nil {
+		t.Error("missing table accepted")
+	}
+	if err := run(&sb, []string{"-table", "9"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

@@ -1,0 +1,158 @@
+// Command tracegen generates synthetic SPEC2K-like instruction traces in
+// the binary RAMP trace format, and inspects existing trace files.
+//
+// Usage:
+//
+//	tracegen -app gzip -n 1000000 -o gzip.trc    # generate
+//	tracegen -app gzip -n 1000000 -o s.trc -sample-window 10000 -sample-period 100000
+//	tracegen -inspect gzip.trc                   # summarise a trace file
+//	tracegen -list                               # list available benchmarks
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ramp-sim/ramp/internal/trace"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	app := fs.String("app", "", "benchmark to generate (see -list)")
+	n := fs.Int64("n", 1_000_000, "number of instructions")
+	out := fs.String("o", "", "output trace file")
+	inspect := fs.String("inspect", "", "trace file to summarise")
+	list := fs.Bool("list", false, "list available benchmarks")
+	sampleWindow := fs.Int64("sample-window", 0, "systematic sampling: instructions kept per period (paper §4.5)")
+	samplePeriod := fs.Int64("sample-period", 0, "systematic sampling: period length in instructions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		for _, p := range workload.Profiles() {
+			fmt.Fprintf(w, "%-10s %-8v IPC(paper)=%.2f power(paper)=%.2fW\n",
+				p.Name, p.Suite, p.TargetIPC, p.TargetPowerW)
+		}
+		return nil
+	case *inspect != "":
+		return inspectTrace(w, *inspect)
+	case *app != "":
+		if *out == "" {
+			return errors.New("generation needs -o <file>")
+		}
+		return generate(w, *app, *n, *out, *sampleWindow, *samplePeriod)
+	default:
+		return errors.New("pick one of -list, -app, or -inspect")
+	}
+}
+
+func generate(out io.Writer, app string, n int64, path string, sampleWindow, samplePeriod int64) error {
+	prof, err := workload.ByName(app)
+	if err != nil {
+		return err
+	}
+	var stream trace.Stream
+	gen, err := workload.New(prof, n)
+	if err != nil {
+		return err
+	}
+	stream = gen
+	if sampleWindow > 0 || samplePeriod > 0 {
+		stream, err = trace.NewSystematicSampler(gen, trace.SamplerConfig{
+			WindowInstrs: sampleWindow,
+			PeriodInstrs: samplePeriod,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for {
+		in, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.Write(in); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d instructions to %s\n", w.Count(), path)
+	return nil
+}
+
+func inspectTrace(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	counts := make(map[trace.Class]int64)
+	var total, branches, taken, mem int64
+	for {
+		in, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		total++
+		counts[in.Class]++
+		if in.Class == trace.ClassBranch {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+		if in.Class.IsMem() {
+			mem++
+		}
+	}
+	fmt.Fprintf(out, "%s: %d instructions\n", path, total)
+	for c := trace.ClassIntALU; c.Valid(); c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-8v %9d (%.1f%%)\n", c, counts[c], 100*float64(counts[c])/float64(total))
+	}
+	if branches > 0 {
+		fmt.Fprintf(out, "  taken-branch rate: %.1f%%\n", 100*float64(taken)/float64(branches))
+	}
+	fmt.Fprintf(out, "  memory operations: %.1f%%\n", 100*float64(mem)/float64(total))
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, app := range []string{"ammp", "crafty", "gzip", "wupwise"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("list missing %s", app)
+		}
+	}
+	if n := strings.Count(out, "\n"); n != 16 {
+		t.Errorf("list has %d lines, want 16", n)
+	}
+}
+
+func TestGenerateAndInspectRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gzip.trc")
+	var sb strings.Builder
+	if err := run(&sb, []string{"-app", "gzip", "-n", "50000", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote 50000 instructions") {
+		t.Fatalf("generation output: %s", sb.String())
+	}
+	sb.Reset()
+	if err := run(&sb, []string{"-inspect", path}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"50000 instructions", "int-alu", "load", "branch",
+		"taken-branch rate", "memory operations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRejectsBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{}); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run(&sb, []string{"-app", "gzip"}); err == nil {
+		t.Error("generation without -o accepted")
+	}
+	if err := run(&sb, []string{"-app", "nonexistent", "-o", "x.trc"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run(&sb, []string{"-inspect", "/nonexistent/path.trc"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGenerateSampled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sampled.trc")
+	var sb strings.Builder
+	err := run(&sb, []string{"-app", "gzip", "-n", "100000", "-o", path,
+		"-sample-window", "1000", "-sample-period", "10000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote 10000 instructions") {
+		t.Fatalf("sampled generation output: %s", sb.String())
+	}
+	if err := run(&sb, []string{"-app", "gzip", "-n", "100", "-o", path,
+		"-sample-window", "10", "-sample-period", "5"}); err == nil {
+		t.Error("invalid sampling geometry accepted")
+	}
+}

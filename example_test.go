@@ -1,0 +1,85 @@
+package ramp_test
+
+import (
+	"fmt"
+	"os"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+// The five Table 4 technology points, in scaling order.
+func ExampleTechnologies() {
+	for _, tech := range ramp.Technologies() {
+		fmt.Printf("%s: %.1fV %.2fGHz\n", tech.Name, tech.VddV, tech.FreqGHz)
+	}
+	// Output:
+	// 180nm: 1.3V 1.10GHz
+	// 130nm: 1.1V 1.35GHz
+	// 90nm: 1.0V 1.65GHz
+	// 65nm (0.9V): 0.9V 2.00GHz
+	// 65nm (1.0V): 1.0V 2.00GHz
+}
+
+// The 16 SPEC2K benchmark profiles of Table 3.
+func ExampleProfiles() {
+	profs := ramp.Profiles()
+	fmt.Println(len(profs), "benchmarks")
+	fmt.Println(profs[0].Name, profs[0].Suite, profs[0].TargetIPC)
+	fmt.Println(profs[15].Name, profs[15].Suite, profs[15].TargetIPC)
+	// Output:
+	// 16 benchmarks
+	// ammp SpecFP 1.06
+	// crafty SpecInt 2.25
+}
+
+// Table 1: the qualitative scaling-impact summary.
+func ExampleTable1() {
+	if err := ramp.Table1().Render(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// Table 1: impact of scaling on MTTF
+	// mech  temperature dependence  voltage dependence  feature size dependence
+	// -------------------------------------------------------------------------
+	// EM                 e^{Ea/kT}                   -                 w·h (κ²)
+	// SM     |T-T0|^-m · e^{Ea/kT}                   -                        -
+	// TDDB       e^{(X+Y/T+ZT)/kT}        (1/V)^{a-bT}           10^{Δtox/0.22}
+	// TC                    1/ΔT^q                   -                        -
+}
+
+// Converting a failure rate to a lifetime.
+func ExampleBreakdown() {
+	var b ramp.Breakdown
+	b.ByStructMech[0][ramp.EM] = 4000 // a 4000-FIT processor
+	fmt.Printf("%.1f years\n", b.MTTFYears())
+	// Output:
+	// 28.5 years
+}
+
+// A daily duty cycle projected with Miner's rule.
+func ExampleProjectAging() {
+	s := ramp.AgingSchedule{Phases: []ramp.AgingPhase{
+		{Name: "busy", HoursPerDay: 8, FIT: 9000},
+		{Name: "idle", HoursPerDay: 16, FIT: 1500},
+	}}
+	proj, err := ramp.ProjectAging(s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("effective FIT %.0f, lifetime %.1f years\n",
+		proj.EffectiveFIT, proj.LifetimeYears)
+	// Output:
+	// effective FIT 4000, lifetime 28.5 years
+}
+
+// Rainflow cycle counting over a temperature trace.
+func ExampleRainflow() {
+	cycles := ramp.Rainflow([]float64{350, 360, 350, 360, 350})
+	var total float64
+	for _, c := range cycles {
+		total += c.Count
+	}
+	fmt.Printf("%.1f cycles of %.0fK\n", total, cycles[0].RangeK)
+	// Output:
+	// 2.0 cycles of 10K
+}

@@ -1,0 +1,90 @@
+// Lifetime: quantifies the error of the SOFR constant-failure-rate
+// assumption the paper flags in §2 ("This assumption is clearly
+// inaccurate — a typical wear-out failure mechanism will have a low
+// failure rate at the beginning of the component's lifetime"). The same
+// calibrated FIT breakdown is pushed through a Monte Carlo series-system
+// lifetime simulation twice: once with exponential (SOFR) marginals and
+// once with wear-out distributions (lognormal EM, Weibull SM/TDDB/TC),
+// at 180nm and at 65nm (1.0V).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lifetime:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := ramp.DefaultConfig()
+	cfg.Instructions = 400_000
+
+	prof, err := ramp.ProfileByName("crafty") // the hottest benchmark
+	if err != nil {
+		return err
+	}
+	tr, err := ramp.RunTiming(cfg, prof)
+	if err != nil {
+		return err
+	}
+	consts := ramp.ReferenceConstants()
+
+	base, err := ramp.EvaluateTech(cfg, tr, ramp.BaseTechnology(), 0, 1)
+	if err != nil {
+		return err
+	}
+	tech65, err := ramp.TechnologyByName("65nm (1.0V)")
+	if err != nil {
+		return err
+	}
+	run65, err := ramp.EvaluateTech(cfg, tr, tech65, base.SinkTempK, 1)
+	if err != nil {
+		return err
+	}
+
+	const samples = 50_000
+	t := &ramp.Table{
+		Title: fmt.Sprintf("Processor lifetime for %s (%d Monte Carlo trials)", prof.Name, samples),
+		Header: []string{"tech", "model", "SOFR MTTF (y)", "MC MTTF (y)",
+			"median (y)", "5th pct (y)", "95th pct (y)"},
+	}
+	for _, point := range []ramp.AppRun{base, run65} {
+		fit := point.RawFIT.Calibrated(consts)
+		for _, m := range []struct {
+			name  string
+			model ramp.LifetimeModel
+		}{
+			{"exponential (SOFR)", ramp.SOFRLifetimes()},
+			{"wear-out", ramp.WearOutLifetimes()},
+		} {
+			est, err := ramp.MonteCarloLifetime(fit, m.model, samples, 2004)
+			if err != nil {
+				return err
+			}
+			if err := t.AddRow(point.Tech.Name, m.name,
+				fmt.Sprintf("%.1f", est.SOFRYears),
+				fmt.Sprintf("%.1f", est.MTTFYears),
+				fmt.Sprintf("%.1f", est.MedianYears),
+				fmt.Sprintf("%.1f", est.P5Years),
+				fmt.Sprintf("%.1f", est.P95Years)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nWith exponential marginals the Monte Carlo mean reproduces the SOFR")
+	fmt.Println("analytic MTTF. Under wear-out distributions the expected lifetime is")
+	fmt.Println("longer and far more concentrated: SOFR's 5th percentile is ~5% of the")
+	fmt.Println("mean, while wear-out parts rarely fail early — the early-life optimism")
+	fmt.Println("and late-life pessimism the paper attributes to the SOFR assumption.")
+	return nil
+}

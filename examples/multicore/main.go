@@ -1,0 +1,79 @@
+// Multicore: extends the paper's single-core analysis to a dual-core die
+// at 65nm and demonstrates activity migration — periodically swapping a
+// hot and a cool workload between cores (Heo et al., cited by the paper
+// for its leakage model) — as a lifetime lever: migration evens the
+// per-core temperatures and lowers the whole-chip failure rate at zero
+// performance cost.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multicore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := ramp.DefaultConfig()
+	cfg.Instructions = 2_000_000
+
+	var traces []*ramp.ActivityTrace
+	for _, name := range []string{"ammp", "crafty"} { // coolest + hottest
+		prof, err := ramp.ProfileByName(name)
+		if err != nil {
+			return err
+		}
+		tr, err := ramp.RunTiming(cfg, prof)
+		if err != nil {
+			return err
+		}
+		traces = append(traces, tr)
+	}
+	tech, err := ramp.TechnologyByName("65nm (1.0V)")
+	if err != nil {
+		return err
+	}
+	consts := ramp.ReferenceConstants()
+	const sinkK = 341 // CMP-class cooling: hold the sink at the usual point
+
+	static := ramp.CMPConfig{Base: cfg, Cores: 2}
+	migrating := ramp.CMPConfig{Base: cfg, Cores: 2, MigrateIntervals: 100}
+
+	sres, err := ramp.EvaluateCMP(static, traces, tech, sinkK, nil)
+	if err != nil {
+		return err
+	}
+	mres, err := ramp.EvaluateCMP(migrating, traces, tech, sinkK, nil)
+	if err != nil {
+		return err
+	}
+
+	show := func(label string, r ramp.CMPResult) {
+		fmt.Printf("%s\n", label)
+		for c := range r.PerCore {
+			fmt.Printf("  core %d: apps %v power %5.1f W  avg-hot %.1f K  Tmax %.1f K\n",
+				c, r.PerCore[c].Apps, r.PerCore[c].AvgPowerW,
+				r.PerCore[c].AvgHotTempK, r.PerCore[c].MaxTempK)
+		}
+		fmt.Printf("  chip: power %.1f W  Tmax %.1f K  FIT %.0f  migrations %d\n\n",
+			r.AvgPowerW, r.MaxTempK, r.ChipFIT(consts), r.Migrations)
+	}
+	show("Static placement (ammp on core 0, crafty on core 1):", sres)
+	show("Activity migration (swap every 100 µs):", mres)
+
+	sfit, mfit := sres.ChipFIT(consts), mres.ChipFIT(consts)
+	sSpread := math.Abs(sres.PerCore[1].AvgHotTempK - sres.PerCore[0].AvgHotTempK)
+	mSpread := math.Abs(mres.PerCore[1].AvgHotTempK - mres.PerCore[0].AvgHotTempK)
+	fmt.Printf("Activity migration narrows the core temperature spread from %.1f K to\n", sSpread)
+	fmt.Printf("%.1f K and lowers whole-chip FIT by %.1f%%, with no loss of throughput.\n",
+		mSpread, (1-mfit/sfit)*100)
+	return nil
+}

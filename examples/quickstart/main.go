@@ -1,0 +1,70 @@
+// Quickstart: evaluate one benchmark on the base 180nm machine and print
+// its failure-rate breakdown, then remap it to 65nm and show the scaling
+// penalty. Demonstrates the two-step API (RunTiming + EvaluateTech) on a
+// single application without running the full study.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := ramp.DefaultConfig()
+	cfg.Instructions = 500_000
+
+	prof, err := ramp.ProfileByName("gzip")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Timing-simulating %s (%v), %d instructions...\n",
+		prof.Name, prof.Suite, cfg.Instructions)
+	tr, err := ramp.RunTiming(cfg, prof)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  IPC = %.2f (paper Table 3: %.2f)\n\n", tr.Timing.IPC(), prof.TargetIPC)
+
+	base, err := ramp.EvaluateTech(cfg, tr, ramp.BaseTechnology(), 0, 1)
+	if err != nil {
+		return err
+	}
+	tech65, err := ramp.TechnologyByName("65nm (1.0V)")
+	if err != nil {
+		return err
+	}
+	// Hold the heat-sink temperature at its 180nm value (paper §4.3).
+	run65, err := ramp.EvaluateTech(cfg, tr, tech65, base.SinkTempK, 1)
+	if err != nil {
+		return err
+	}
+
+	// The reference qualification (suite-average 1000 FIT per mechanism at
+	// 180nm) converts raw model output into absolute FIT values.
+	consts := ramp.ReferenceConstants()
+	for _, r := range []ramp.AppRun{base, run65} {
+		fit := r.RawFIT.Calibrated(consts)
+		mech := fit.ByMechanism()
+		fmt.Printf("%s @ %s\n", r.App, r.Tech.Name)
+		fmt.Printf("  total power    %.1f W (dynamic %.1f, leakage %.1f)\n",
+			r.AvgTotalW, r.AvgDynamicW, r.AvgLeakageW)
+		fmt.Printf("  hottest block  %.1f K   heat sink %.1f K\n",
+			r.MaxStructTempK, r.SinkTempK)
+		fmt.Printf("  FIT            %.0f  [EM %.0f  SM %.0f  TDDB %.0f  TC %.0f]\n",
+			fit.Total(), mech[ramp.EM], mech[ramp.SM], mech[ramp.TDDB], mech[ramp.TC])
+		fmt.Printf("  MTTF           %.1f years\n\n", fit.MTTFYears())
+	}
+	r65 := run65.RawFIT.Calibrated(consts).Total()
+	r180 := base.RawFIT.Calibrated(consts).Total()
+	fmt.Printf("total-FIT ratio 65nm/180nm = %.2fx\n", r65/r180)
+	return nil
+}

@@ -1,0 +1,54 @@
+// Scalingstudy: the paper's central experiment end-to-end. Runs the full
+// 16-benchmark suite across all five Table 4 technology points, prints the
+// Figure 3/4 data series and the headline paper-vs-measured comparison.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scalingstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := ramp.DefaultConfig()
+	cfg.Instructions = 1_000_000
+
+	fmt.Println("Running the scaling study (16 benchmarks x 5 technology points)...")
+	res, err := ramp.RunStudy(cfg, ramp.Profiles(), ramp.Technologies())
+	if err != nil {
+		return err
+	}
+
+	for _, suite := range []ramp.Suite{ramp.SuiteFP, ramp.SuiteInt} {
+		fig3, err := ramp.Figure3(res, suite)
+		if err != nil {
+			return err
+		}
+		if err := fig3.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		fig4, err := ramp.Figure4(res, suite)
+		if err != nil {
+			return err
+		}
+		if err := fig4.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	h, err := ramp.ComputeHeadline(res)
+	if err != nil {
+		return err
+	}
+	return h.Render().Render(os.Stdout)
+}

@@ -1,0 +1,67 @@
+// Worstcase: quantifies the over-design cost of worst-case reliability
+// qualification (paper §5.2). For each technology point it compares the
+// worst-case ("max") FIT against the hottest individual application and
+// the suite average, showing how the qualification gap widens with
+// scaling — the paper's argument for application-aware (dynamic)
+// reliability management.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "worstcase:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := ramp.DefaultConfig()
+	cfg.Instructions = 500_000
+
+	// A representative subset keeps the example fast while preserving the
+	// hot/cool spread that drives the worst-case analysis.
+	var profiles []ramp.Profile
+	for _, name := range []string{"ammp", "applu", "mesa", "apsi", "vpr", "gzip", "gcc", "crafty"} {
+		p, err := ramp.ProfileByName(name)
+		if err != nil {
+			return err
+		}
+		profiles = append(profiles, p)
+	}
+	res, err := ramp.RunStudy(cfg, profiles, ramp.Technologies())
+	if err != nil {
+		return err
+	}
+
+	t := &ramp.Table{
+		Title: "Worst-case qualification gap by technology (§5.2)",
+		Header: []string{"tech", "worst-case FIT", "highest app FIT", "avg app FIT",
+			"vs highest", "vs average"},
+	}
+	for ti, tech := range res.Techs {
+		worst := res.WorstFIT(ti).Total()
+		_, hi := res.FITRange(ti)
+		avg := res.SuiteAverageFIT(ti, 0)
+		if err := t.AddRow(tech.Name,
+			fmt.Sprintf("%.0f", worst),
+			fmt.Sprintf("%.0f", hi),
+			fmt.Sprintf("%.0f", avg),
+			fmt.Sprintf("+%.0f%%", (worst/hi-1)*100),
+			fmt.Sprintf("+%.0f%%", (worst/avg-1)*100)); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nA processor qualified for worst-case conditions is over-designed by the")
+	fmt.Println("'vs average' margin for the average application — and the margin grows")
+	fmt.Println("with scaling, motivating application-aware reliability qualification.")
+	return nil
+}

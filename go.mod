@@ -1,0 +1,3 @@
+module github.com/ramp-sim/ramp
+
+go 1.22

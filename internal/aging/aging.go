@@ -1,0 +1,168 @@
+// Package aging projects long-horizon lifetime consumption under a
+// realistic duty schedule. Where internal/core's evaluator answers "what
+// is the failure rate while this workload runs", this package answers the
+// deployment question: given a schedule (day/night phases, idle periods,
+// different workloads), how fast is the processor consuming its life, and
+// when does it reach end of life?
+//
+// Damage is accumulated with Miner's linear rule, the standard engineering
+// treatment for combining wear under varying stress: a phase of duration
+// Δt at failure rate λ (MTTF = 1/λ) consumes Δt·λ of life; end of life is
+// total damage 1. With constant rates this reduces exactly to the SOFR
+// MTTF, so calibration carries over; with varying schedules it exposes
+// the reliability cost of each phase.
+package aging
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/phys"
+)
+
+// Phase is one recurring segment of the duty schedule.
+type Phase struct {
+	// Name labels the phase in reports.
+	Name string
+	// HoursPerDay is the phase's share of a 24-hour day.
+	HoursPerDay float64
+	// FIT is the calibrated processor failure rate while the phase runs
+	// (e.g. a sim.AppRun's calibrated total, or a fraction of it for
+	// idle/sleep states).
+	FIT float64
+}
+
+// Schedule is a repeating daily duty cycle.
+type Schedule struct {
+	Phases []Phase
+}
+
+// Validate checks that the schedule covers exactly 24 hours with
+// non-negative rates.
+func (s Schedule) Validate() error {
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("aging: empty schedule")
+	}
+	var hours float64
+	for _, p := range s.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("aging: phase needs a name")
+		}
+		if p.HoursPerDay < 0 {
+			return fmt.Errorf("aging: phase %q has negative duration", p.Name)
+		}
+		if p.FIT < 0 {
+			return fmt.Errorf("aging: phase %q has negative FIT", p.Name)
+		}
+		hours += p.HoursPerDay
+	}
+	if hours < 23.999 || hours > 24.001 {
+		return fmt.Errorf("aging: schedule covers %.3f hours/day, want 24", hours)
+	}
+	return nil
+}
+
+// Projection is the lifetime forecast for a schedule.
+type Projection struct {
+	// LifetimeYears is the time to accumulate unit damage.
+	LifetimeYears float64
+	// EffectiveFIT is the duty-weighted average failure rate.
+	EffectiveFIT float64
+	// DamageShare maps phase name → fraction of total damage it causes.
+	DamageShare map[string]float64
+	// DamagePerYear is the fraction of life consumed per year.
+	DamagePerYear float64
+}
+
+// Project computes the lifetime forecast for a schedule.
+func Project(s Schedule) (Projection, error) {
+	if err := s.Validate(); err != nil {
+		return Projection{}, err
+	}
+	// Damage per day: Σ hours · λ, with λ in failures/hour = FIT/1e9.
+	var perDay float64
+	contrib := make(map[string]float64, len(s.Phases))
+	for _, p := range s.Phases {
+		d := p.HoursPerDay * p.FIT / 1e9
+		contrib[p.Name] += d
+		perDay += d
+	}
+	if perDay <= 0 {
+		return Projection{}, fmt.Errorf("aging: schedule accumulates no damage (all-zero FIT)")
+	}
+	proj := Projection{
+		DamageShare:   make(map[string]float64, len(contrib)),
+		DamagePerYear: perDay * 365.25,
+	}
+	for name, d := range contrib {
+		proj.DamageShare[name] = d / perDay
+	}
+	proj.LifetimeYears = 1 / proj.DamagePerYear
+	// Effective FIT: damage per hour × 1e9.
+	proj.EffectiveFIT = perDay / 24 * 1e9
+	return proj, nil
+}
+
+// MTTFYears converts a constant FIT rate to years, for cross-checking
+// single-phase schedules against the SOFR MTTF.
+func MTTFYears(fit float64) float64 { return phys.MTTFYearsFromFIT(fit) }
+
+// WhatIf evaluates how the lifetime responds to trimming the most damaging
+// phase: it returns projections for the original schedule and for variants
+// where each phase's FIT is scaled by factor (e.g. 0.5 for a mitigation
+// that halves the failure rate during that phase), sorted by lifetime
+// gained.
+type WhatIfResult struct {
+	// Phase is the phase whose rate was scaled.
+	Phase string
+	// LifetimeYears is the projected lifetime with the mitigation.
+	LifetimeYears float64
+	// GainYears is the improvement over the baseline.
+	GainYears float64
+}
+
+// WhatIf runs the per-phase mitigation analysis.
+func WhatIf(s Schedule, factor float64) ([]WhatIfResult, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("aging: negative mitigation factor")
+	}
+	base, err := Project(s)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]WhatIfResult, 0, len(s.Phases))
+	seen := make(map[string]bool, len(s.Phases))
+	for i := range s.Phases {
+		name := s.Phases[i].Name
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		variant := Schedule{Phases: make([]Phase, len(s.Phases))}
+		copy(variant.Phases, s.Phases)
+		for j := range variant.Phases {
+			if variant.Phases[j].Name == name {
+				variant.Phases[j].FIT *= factor
+			}
+		}
+		proj, err := Project(variant)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, WhatIfResult{
+			Phase:         name,
+			LifetimeYears: proj.LifetimeYears,
+			GainYears:     proj.LifetimeYears - base.LifetimeYears,
+		})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		return results[i].GainYears > results[j].GainYears
+	})
+	return results, nil
+}
+
+// FromBreakdowns builds a schedule phase from a calibrated breakdown.
+func FromBreakdowns(name string, hoursPerDay float64, b core.Breakdown) Phase {
+	return Phase{Name: name, HoursPerDay: hoursPerDay, FIT: b.Total()}
+}

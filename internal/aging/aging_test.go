@@ -1,0 +1,175 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func singlePhase(fit float64) Schedule {
+	return Schedule{Phases: []Phase{{Name: "steady", HoursPerDay: 24, FIT: fit}}}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := singlePhase(4000).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schedule{
+		{},
+		{Phases: []Phase{{Name: "", HoursPerDay: 24, FIT: 1}}},
+		{Phases: []Phase{{Name: "x", HoursPerDay: -1, FIT: 1}, {Name: "y", HoursPerDay: 25, FIT: 1}}},
+		{Phases: []Phase{{Name: "x", HoursPerDay: 24, FIT: -5}}},
+		{Phases: []Phase{{Name: "x", HoursPerDay: 12, FIT: 1}}},                                       // 12h day
+		{Phases: []Phase{{Name: "x", HoursPerDay: 20, FIT: 1}, {Name: "y", HoursPerDay: 20, FIT: 1}}}, // 40h day
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestSinglePhaseMatchesSOFRMTTF(t *testing.T) {
+	// A constant 24h/day schedule must reproduce the SOFR MTTF exactly.
+	f := func(fitRaw float64) bool {
+		fit := 100 + math.Mod(math.Abs(fitRaw), 1e6)
+		proj, err := Project(singlePhase(fit))
+		if err != nil {
+			return false
+		}
+		return math.Abs(proj.LifetimeYears/MTTFYears(fit)-1) < 1e-9 &&
+			math.Abs(proj.EffectiveFIT/fit-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDutyWeightedAverage(t *testing.T) {
+	// 8 hours at 9000 FIT + 16 hours at 1500 FIT → 4000 FIT effective.
+	s := Schedule{Phases: []Phase{
+		{Name: "busy", HoursPerDay: 8, FIT: 9000},
+		{Name: "idle", HoursPerDay: 16, FIT: 1500},
+	}}
+	proj, err := Project(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (8*9000 + 16*1500) / 24.0
+	if math.Abs(proj.EffectiveFIT-want) > 1e-9 {
+		t.Fatalf("effective FIT = %v, want %v", proj.EffectiveFIT, want)
+	}
+	if math.Abs(proj.LifetimeYears-MTTFYears(want)) > 1e-9 {
+		t.Fatalf("lifetime = %v years, want %v", proj.LifetimeYears, MTTFYears(want))
+	}
+	// Damage shares: busy contributes 72000/96000 = 75%.
+	if math.Abs(proj.DamageShare["busy"]-0.75) > 1e-12 {
+		t.Fatalf("busy damage share = %v, want 0.75", proj.DamageShare["busy"])
+	}
+	if math.Abs(proj.DamageShare["idle"]-0.25) > 1e-12 {
+		t.Fatalf("idle damage share = %v, want 0.25", proj.DamageShare["idle"])
+	}
+}
+
+func TestDamageSharesSumToOne(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		fits := []float64{math.Abs(a), math.Abs(b), math.Abs(c)}
+		var nonZero bool
+		for i := range fits {
+			fits[i] = math.Mod(fits[i], 1e5)
+			if fits[i] > 0 {
+				nonZero = true
+			}
+		}
+		if !nonZero {
+			return true
+		}
+		s := Schedule{Phases: []Phase{
+			{Name: "a", HoursPerDay: 6, FIT: fits[0]},
+			{Name: "b", HoursPerDay: 10, FIT: fits[1]},
+			{Name: "c", HoursPerDay: 8, FIT: fits[2]},
+		}}
+		proj, err := Project(s)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range proj.DamageShare {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllZeroFITRejected(t *testing.T) {
+	if _, err := Project(singlePhase(0)); err == nil {
+		t.Fatal("all-zero schedule accepted")
+	}
+}
+
+func TestRepeatedPhaseNamesAggregate(t *testing.T) {
+	s := Schedule{Phases: []Phase{
+		{Name: "work", HoursPerDay: 4, FIT: 6000},
+		{Name: "rest", HoursPerDay: 16, FIT: 0},
+		{Name: "work", HoursPerDay: 4, FIT: 6000},
+	}}
+	proj, err := Project(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(proj.DamageShare["work"]-1.0) > 1e-12 {
+		t.Fatalf("aggregated work share = %v, want 1", proj.DamageShare["work"])
+	}
+}
+
+func TestWhatIfRanksHottestPhaseFirst(t *testing.T) {
+	s := Schedule{Phases: []Phase{
+		{Name: "render", HoursPerDay: 6, FIT: 20000},
+		{Name: "office", HoursPerDay: 10, FIT: 4000},
+		{Name: "sleep", HoursPerDay: 8, FIT: 500},
+	}}
+	results, err := WhatIf(s, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Phase != "render" {
+		t.Fatalf("top mitigation target = %s, want render", results[0].Phase)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].GainYears > results[i-1].GainYears {
+			t.Fatal("what-if results not sorted by gain")
+		}
+	}
+	base, err := Project(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.GainYears < 0 || r.LifetimeYears < base.LifetimeYears {
+			t.Fatalf("halving a phase's rate cannot shorten life: %+v", r)
+		}
+	}
+}
+
+func TestWhatIfRejectsNegativeFactor(t *testing.T) {
+	if _, err := WhatIf(singlePhase(4000), -1); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+}
+
+func TestWhatIfFactorOneIsNeutral(t *testing.T) {
+	s := singlePhase(4000)
+	results, err := WhatIf(s, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(results[0].GainYears) > 1e-9 {
+		t.Fatalf("factor 1 changed lifetime by %v years", results[0].GainYears)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/floorplan"
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+func budgetEvaluator(t *testing.T, techName string) *Evaluator {
+	t.Helper()
+	tech, err := scaling.ByName(techName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := floorplan.POWER4().Scaled(tech.RelArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(DefaultParams(), ReferenceConstants(), tech, fp.Areas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTempForBudgetRoundTrips(t *testing.T) {
+	e := budgetEvaluator(t, "180nm")
+	af := [7]float64{0.15, 0.24, 0.15, 0.23, 0.13, 0.19, 0.06}
+	tK, err := e.TempForBudget(af, 1.3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tK < 330 || tK > 380 {
+		t.Fatalf("4000-FIT envelope at %v K, implausible for 180nm", tK)
+	}
+	// Round trip: evaluating at the solved temperature reproduces the
+	// budget.
+	var temps [7]float64
+	for i := range temps {
+		temps[i] = tK
+	}
+	fit := e.Instant(af, temps, 1.3, tK).Total()
+	if math.Abs(fit/4000-1) > 1e-6 {
+		t.Fatalf("FIT at envelope = %v, want 4000", fit)
+	}
+}
+
+func TestTempForBudgetMonotoneInBudget(t *testing.T) {
+	e := budgetEvaluator(t, "65nm (1.0V)")
+	af := [7]float64{0.15, 0.24, 0.15, 0.23, 0.13, 0.19, 0.06}
+	tight, err := e.TempForBudget(af, 1.0, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := e.TempForBudget(af, 1.0, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose <= tight {
+		t.Fatalf("larger budget must allow a hotter envelope: %v vs %v", loose, tight)
+	}
+}
+
+func TestScaledNodeHasTighterEnvelope(t *testing.T) {
+	// The same FIT budget buys less temperature headroom at 65nm than at
+	// 180nm — the scaling penalty expressed as a thermal envelope.
+	af := [7]float64{0.15, 0.24, 0.15, 0.23, 0.13, 0.19, 0.06}
+	t180, err := budgetEvaluator(t, "180nm").TempForBudget(af, 1.3, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t65, err := budgetEvaluator(t, "65nm (1.0V)").TempForBudget(af, 1.0, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t65 >= t180 {
+		t.Fatalf("65nm envelope %v K not tighter than 180nm %v K", t65, t180)
+	}
+}
+
+func TestTempForBudgetErrors(t *testing.T) {
+	e := budgetEvaluator(t, "180nm")
+	af := [7]float64{0.15, 0.24, 0.15, 0.23, 0.13, 0.19, 0.06}
+	if _, err := e.TempForBudget(af, 1.3, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := e.TempForBudget(af, 1.3, 1); err == nil {
+		t.Error("unreachably tight budget accepted")
+	}
+	if _, err := e.TempForBudget(af, 1.3, 1e12); err == nil {
+		t.Error("non-binding budget accepted")
+	}
+}

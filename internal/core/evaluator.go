@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/phys"
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+// Constants holds the per-mechanism proportionality constants that anchor
+// the relative rates of the mechanism models to absolute FIT values. They
+// come out of the reliability-qualification calibration (§4.4) and are
+// reused unchanged at every technology point.
+type Constants struct {
+	K [NumMechanisms]float64
+}
+
+// UnitConstants returns all-ones constants, used during calibration.
+func UnitConstants() Constants {
+	var c Constants
+	for i := range c.K {
+		c.K[i] = 1
+	}
+	return c
+}
+
+// ReferenceConstants returns the qualification constants solved by the
+// §4.4 calibration with the default configuration (Table 2 machine, all 16
+// benchmarks, 2M instructions each): suite-average 1000 FIT per mechanism
+// at 180nm. Use these for absolute FIT values when evaluating single
+// applications without re-running the full study; any change to the
+// machine, power, thermal, or mechanism parameters requires re-calibration
+// through RunStudy.
+func ReferenceConstants() Constants {
+	return Constants{K: [NumMechanisms]float64{
+		EM:   4.055501e+15,
+		SM:   3.621072e+10,
+		TDDB: 9.648252e+06,
+		TC:   3.268192e-01,
+	}}
+}
+
+// Validate checks that all constants are positive.
+func (c Constants) Validate() error {
+	for i, k := range c.K {
+		if k <= 0 {
+			return fmt.Errorf("core: constant for %v must be positive, got %v", Mechanism(i), k)
+		}
+	}
+	return nil
+}
+
+// Calibrate solves the proportionality constants from the suite-average
+// raw (unit-constant) FIT of each mechanism at the 180nm base point, such
+// that each mechanism contributes perMechanismFIT on average — the paper
+// uses 1000 FIT per mechanism for a 4000-FIT, ≈30-year processor (§4.4).
+func Calibrate(rawSuiteAvg [NumMechanisms]float64, perMechanismFIT float64) (Constants, error) {
+	if perMechanismFIT <= 0 {
+		return Constants{}, fmt.Errorf("core: target FIT must be positive, got %v", perMechanismFIT)
+	}
+	var c Constants
+	for i, raw := range rawSuiteAvg {
+		if raw <= 0 {
+			return Constants{}, fmt.Errorf("core: raw suite-average FIT for %v is %v; cannot calibrate",
+				Mechanism(i), raw)
+		}
+		c.K[i] = perMechanismFIT / raw
+	}
+	return c, nil
+}
+
+// Breakdown is a full FIT decomposition: one rate per structure per
+// mechanism. The package-level thermal-cycling FIT is distributed across
+// structures by die-area fraction so that both views sum to the same
+// processor total (SOFR).
+type Breakdown struct {
+	ByStructMech [microarch.NumStructures][NumMechanisms]float64
+}
+
+// Total returns the processor FIT: the SOFR sum over all structures and
+// mechanisms.
+func (b Breakdown) Total() float64 {
+	var sum float64
+	for s := range b.ByStructMech {
+		for m := range b.ByStructMech[s] {
+			sum += b.ByStructMech[s][m]
+		}
+	}
+	return sum
+}
+
+// ByMechanism returns per-mechanism FIT summed over structures.
+func (b Breakdown) ByMechanism() [NumMechanisms]float64 {
+	var out [NumMechanisms]float64
+	for s := range b.ByStructMech {
+		for m := range b.ByStructMech[s] {
+			out[m] += b.ByStructMech[s][m]
+		}
+	}
+	return out
+}
+
+// ByStructure returns per-structure FIT summed over mechanisms.
+func (b Breakdown) ByStructure() [microarch.NumStructures]float64 {
+	var out [microarch.NumStructures]float64
+	for s := range b.ByStructMech {
+		for m := range b.ByStructMech[s] {
+			out[s] += b.ByStructMech[s][m]
+		}
+	}
+	return out
+}
+
+// MTTFYears returns the processor mean time to failure implied by the
+// SOFR total.
+func (b Breakdown) MTTFYears() float64 {
+	return phys.MTTFYearsFromFIT(b.Total())
+}
+
+// Calibrated returns the breakdown with each mechanism's rates multiplied
+// by its proportionality constant — converting raw model output into
+// absolute FIT values.
+func (b Breakdown) Calibrated(c Constants) Breakdown {
+	var out Breakdown
+	for s := range b.ByStructMech {
+		for m := range b.ByStructMech[s] {
+			out.ByStructMech[s][m] = b.ByStructMech[s][m] * c.K[m]
+		}
+	}
+	return out
+}
+
+// scale returns the breakdown multiplied by a scalar.
+func (b Breakdown) scale(f float64) Breakdown {
+	var out Breakdown
+	for s := range b.ByStructMech {
+		for m := range b.ByStructMech[s] {
+			out.ByStructMech[s][m] = b.ByStructMech[s][m] * f
+		}
+	}
+	return out
+}
+
+// add accumulates o (weighted by w) into b.
+func (b *Breakdown) add(o Breakdown, w float64) {
+	for s := range b.ByStructMech {
+		for m := range b.ByStructMech[s] {
+			b.ByStructMech[s][m] += o.ByStructMech[s][m] * w
+		}
+	}
+}
+
+// Evaluator computes instantaneous failure rates for one technology point
+// and accumulates their time average over an application run, implementing
+// the paper's 1µs-interval running-average methodology (§2, §4.4).
+type Evaluator struct {
+	params   Params
+	consts   Constants
+	tech     scaling.Technology
+	areaFrac [microarch.NumStructures]float64
+
+	accTime float64
+	accSum  Breakdown
+}
+
+// NewEvaluator builds an evaluator. areasMm2 are the per-structure areas
+// (any consistent scale; only the fractions matter).
+func NewEvaluator(params Params, consts Constants, tech scaling.Technology, areasMm2 []float64) (*Evaluator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := consts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if len(areasMm2) != microarch.NumStructures {
+		return nil, fmt.Errorf("core: got %d areas, want %d", len(areasMm2), microarch.NumStructures)
+	}
+	var total float64
+	for _, a := range areasMm2 {
+		if a <= 0 {
+			return nil, fmt.Errorf("core: structure areas must be positive")
+		}
+		total += a
+	}
+	e := &Evaluator{params: params, consts: consts, tech: tech}
+	for i, a := range areasMm2 {
+		e.areaFrac[i] = a / total
+	}
+	return e, nil
+}
+
+// Instant evaluates the failure-rate breakdown at one operating point:
+// per-structure activity factors and temperatures, the instantaneous
+// supply voltage, and the area-weighted average die temperature (for the
+// package thermal-cycling model).
+func (e *Evaluator) Instant(af, tempK [microarch.NumStructures]float64, vddV, dieAvgK float64) Breakdown {
+	var b Breakdown
+	tcTotal := e.consts.K[TC] * e.params.TCRate(dieAvgK)
+	for s := 0; s < microarch.NumStructures; s++ {
+		frac := e.areaFrac[s]
+		b.ByStructMech[s][EM] = e.consts.K[EM] * frac * e.params.EMRate(af[s], tempK[s], e.tech)
+		b.ByStructMech[s][SM] = e.consts.K[SM] * frac * e.params.SMRate(tempK[s])
+		b.ByStructMech[s][TDDB] = e.consts.K[TDDB] * frac * e.params.TDDBRate(vddV, tempK[s], e.tech)
+		// The TC FIT is a single package-level rate; distribute it by die
+		// area so per-structure and per-mechanism views stay consistent.
+		b.ByStructMech[s][TC] = tcTotal * frac
+	}
+	return b
+}
+
+// Accumulate folds an instantaneous breakdown held for the given duration
+// into the running average. Duration units are arbitrary but must be
+// consistent across calls.
+func (e *Evaluator) Accumulate(b Breakdown, duration float64) {
+	if duration <= 0 {
+		return
+	}
+	e.accSum.add(b, duration)
+	e.accTime += duration
+}
+
+// Average returns the time-weighted average breakdown accumulated so far —
+// the application's effective failure-rate decomposition.
+func (e *Evaluator) Average() Breakdown {
+	if e.accTime == 0 {
+		return Breakdown{}
+	}
+	return e.accSum.scale(1 / e.accTime)
+}
+
+// AccumulatedTime returns the total duration accumulated.
+func (e *Evaluator) AccumulatedTime() float64 { return e.accTime }
+
+// Reset clears the running average.
+func (e *Evaluator) Reset() {
+	e.accSum = Breakdown{}
+	e.accTime = 0
+}
+
+// TempForBudget solves the inverse qualification question: the uniform
+// structure temperature at which this evaluator's total FIT (for the given
+// activity factors and supply voltage) reaches budgetFIT. Because every
+// mechanism's rate grows with temperature in the operating range, the
+// answer is found by bisection; it is the thermal envelope a runtime
+// manager must keep the chip under to honour the budget. Returns an error
+// if the budget is unreachable within [min, max] Kelvin.
+func (e *Evaluator) TempForBudget(af [microarch.NumStructures]float64, vddV, budgetFIT float64) (float64, error) {
+	if budgetFIT <= 0 {
+		return 0, fmt.Errorf("core: budget must be positive, got %v", budgetFIT)
+	}
+	const minK, maxK = 320.0, 480.0
+	fitAt := func(tK float64) float64 {
+		var temps [microarch.NumStructures]float64
+		for i := range temps {
+			temps[i] = tK
+		}
+		return e.Instant(af, temps, vddV, tK).Total()
+	}
+	lo, hi := minK, maxK
+	if fitAt(lo) > budgetFIT {
+		return 0, fmt.Errorf("core: budget %v FIT unreachable: already %v FIT at %vK",
+			budgetFIT, fitAt(lo), lo)
+	}
+	if fitAt(hi) < budgetFIT {
+		return 0, fmt.Errorf("core: budget %v FIT not binding below %vK", budgetFIT, hi)
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if fitAt(mid) < budgetFIT {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Tech returns the evaluator's technology point.
+func (e *Evaluator) Tech() scaling.Technology { return e.tech }
+
+// Params returns the evaluator's mechanism constants.
+func (e *Evaluator) Params() Params { return e.params }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/phys"
+)
+
+// This file relaxes the SOFR model's second assumption. SOFR (§2) treats
+// every mechanism as having a constant failure rate — an exponential
+// lifetime distribution — which the paper itself calls "clearly
+// inaccurate: a typical wear-out failure mechanism will have a low failure
+// rate at the beginning of the component's lifetime and the value will
+// grow as the component ages". The Monte Carlo machinery here keeps
+// RAMP's per-structure, per-mechanism average rates but lets each
+// (structure, mechanism) lifetime follow a wear-out distribution with the
+// same mean, and estimates the processor lifetime as the minimum across
+// the series-failure system. With exponential marginals it converges to
+// the SOFR analytic MTTF, quantifying exactly how much the constant-rate
+// assumption distorts lifetime estimates.
+
+// Distribution models a lifetime distribution parameterised by its mean.
+type Distribution interface {
+	// Sample draws one lifetime with the given mean from rng.
+	Sample(rng *rand.Rand, mean float64) float64
+	// Name identifies the distribution for reports.
+	Name() string
+}
+
+// Exponential is the SOFR assumption: constant failure rate.
+type Exponential struct{}
+
+var _ Distribution = Exponential{}
+
+// Sample draws an exponential lifetime with the given mean.
+func (Exponential) Sample(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// Name returns "exponential".
+func (Exponential) Name() string { return "exponential" }
+
+// Weibull models wear-out: with Shape > 1 the hazard rate grows with age,
+// the qualitative behaviour the paper says real mechanisms have. Shape = 1
+// degenerates to the exponential.
+type Weibull struct {
+	// Shape is the Weibull slope β (>1 for wear-out; JEDEC-style analyses
+	// of EM and TDDB typically fit slopes between 1.5 and 3).
+	Shape float64
+}
+
+var _ Distribution = Weibull{}
+
+// Sample draws a Weibull lifetime with the given mean via inverse-CDF.
+func (w Weibull) Sample(rng *rand.Rand, mean float64) float64 {
+	if w.Shape <= 0 {
+		return math.NaN()
+	}
+	// Scale so the mean equals the requested mean: mean = λ·Γ(1+1/β).
+	scale := mean / math.Gamma(1+1/w.Shape)
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/w.Shape)
+}
+
+// Name returns a slope-qualified label.
+func (w Weibull) Name() string { return fmt.Sprintf("weibull(β=%.2g)", w.Shape) }
+
+// Lognormal is the classical electromigration lifetime distribution
+// (JEDEC JEP122): log-lifetimes are normal with shape parameter Sigma.
+type Lognormal struct {
+	// Sigma is the log-standard deviation (typically 0.3–0.7 for EM).
+	Sigma float64
+}
+
+var _ Distribution = Lognormal{}
+
+// Sample draws a lognormal lifetime with the given mean.
+func (l Lognormal) Sample(rng *rand.Rand, mean float64) float64 {
+	if l.Sigma < 0 {
+		return math.NaN()
+	}
+	// mean = exp(µ + σ²/2) → µ = ln(mean) − σ²/2.
+	mu := math.Log(mean) - l.Sigma*l.Sigma/2
+	return math.Exp(mu + l.Sigma*rng.NormFloat64())
+}
+
+// Name returns a sigma-qualified label.
+func (l Lognormal) Name() string { return fmt.Sprintf("lognormal(σ=%.2g)", l.Sigma) }
+
+// LifetimeModel assigns a lifetime distribution to each failure mechanism.
+type LifetimeModel struct {
+	Dist [NumMechanisms]Distribution
+}
+
+// SOFRLifetimes returns the SOFR assumption: exponential everywhere.
+func SOFRLifetimes() LifetimeModel {
+	var m LifetimeModel
+	for i := range m.Dist {
+		m.Dist[i] = Exponential{}
+	}
+	return m
+}
+
+// WearOutLifetimes returns a JEDEC-flavoured wear-out assignment:
+// lognormal EM, Weibull SM and TC (fatigue), and a steep Weibull for TDDB
+// (thin oxides have slopes well above 1 at end of life).
+func WearOutLifetimes() LifetimeModel {
+	var m LifetimeModel
+	m.Dist[EM] = Lognormal{Sigma: 0.5}
+	m.Dist[SM] = Weibull{Shape: 2.0}
+	m.Dist[TDDB] = Weibull{Shape: 1.8}
+	m.Dist[TC] = Weibull{Shape: 2.35}
+	return m
+}
+
+// Validate checks that every mechanism has a distribution.
+func (m LifetimeModel) Validate() error {
+	for i, d := range m.Dist {
+		if d == nil {
+			return fmt.Errorf("core: no lifetime distribution for %v", Mechanism(i))
+		}
+	}
+	return nil
+}
+
+// LifetimeEstimate summarises a Monte Carlo lifetime experiment.
+type LifetimeEstimate struct {
+	// MTTFYears is the Monte Carlo mean processor lifetime.
+	MTTFYears float64
+	// MedianYears and P5Years, P95Years describe the lifetime spread —
+	// quantities SOFR cannot produce.
+	MedianYears, P5Years, P95Years float64
+	// SOFRYears is the analytic SOFR MTTF of the same breakdown, for
+	// comparison.
+	SOFRYears float64
+	// Samples is the number of Monte Carlo trials.
+	Samples int
+}
+
+// MonteCarloLifetime estimates the processor lifetime distribution for a
+// calibrated FIT breakdown under the given per-mechanism lifetime
+// distributions. Each trial draws one lifetime per (structure, mechanism)
+// with mean 10⁹/FIT hours and takes the minimum (series failure system).
+func MonteCarloLifetime(b Breakdown, model LifetimeModel, samples int, seed int64) (LifetimeEstimate, error) {
+	if err := model.Validate(); err != nil {
+		return LifetimeEstimate{}, err
+	}
+	if samples < 1 {
+		return LifetimeEstimate{}, fmt.Errorf("core: need at least 1 sample, got %d", samples)
+	}
+	// Collect the positive-rate cells once.
+	type cell struct {
+		mech      Mechanism
+		meanHours float64
+	}
+	var cells []cell
+	for s := 0; s < microarch.NumStructures; s++ {
+		for m := 0; m < NumMechanisms; m++ {
+			fit := b.ByStructMech[s][m]
+			if fit <= 0 {
+				continue
+			}
+			cells = append(cells, cell{Mechanism(m), phys.MTTFHoursFromFIT(fit)})
+		}
+	}
+	if len(cells) == 0 {
+		return LifetimeEstimate{}, fmt.Errorf("core: breakdown has no positive failure rates")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lifetimes := make([]float64, samples)
+	var sum float64
+	for i := range lifetimes {
+		minLife := math.Inf(1)
+		for _, c := range cells {
+			l := model.Dist[c.mech].Sample(rng, c.meanHours)
+			if l < minLife {
+				minLife = l
+			}
+		}
+		years := minLife / phys.HoursPerYear
+		lifetimes[i] = years
+		sum += years
+	}
+	sort.Float64s(lifetimes)
+	q := func(p float64) float64 {
+		idx := int(p * float64(samples-1))
+		return lifetimes[idx]
+	}
+	return LifetimeEstimate{
+		MTTFYears:   sum / float64(samples),
+		MedianYears: q(0.5),
+		P5Years:     q(0.05),
+		P95Years:    q(0.95),
+		SOFRYears:   b.MTTFYears(),
+		Samples:     samples,
+	}, nil
+}

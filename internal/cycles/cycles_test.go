@@ -1,0 +1,169 @@
+package cycles
+
+import (
+	"math"
+	"testing"
+)
+
+func totalCount(cs []Cycle) float64 {
+	var sum float64
+	for _, c := range cs {
+		sum += c.Count
+	}
+	return sum
+}
+
+func TestTurningPoints(t *testing.T) {
+	tp := turningPoints([]float64{1, 2, 3, 2, 1, 2, 2, 2, 1})
+	want := []float64{1, 3, 1, 2, 1}
+	if len(tp) != len(want) {
+		t.Fatalf("turning points = %v, want %v", tp, want)
+	}
+	for i := range want {
+		if tp[i] != want[i] {
+			t.Fatalf("turning points = %v, want %v", tp, want)
+		}
+	}
+}
+
+func TestTurningPointsDegenerate(t *testing.T) {
+	if tp := turningPoints(nil); tp != nil {
+		t.Fatal("nil series must return nil")
+	}
+	if tp := turningPoints([]float64{5}); len(tp) != 1 {
+		t.Fatalf("single point: %v", tp)
+	}
+	if tp := turningPoints([]float64{5, 5, 5}); len(tp) != 1 {
+		t.Fatalf("flat series: %v", tp)
+	}
+}
+
+func TestRainflowASTMExample(t *testing.T) {
+	// The classic ASTM E1049 example series (scaled as temperatures):
+	// peaks/valleys -2, 1, -3, 5, -1, 3, -4, 4, -2 produce ranges
+	// 3(½), 4(½), 4(1), 8(½), 6(½), 8(½), 9(½), 6(½)... the canonical
+	// counts: range 3×0.5, 4×1.5, 6×0.5, 8×1.0, 9×0.5.
+	series := []float64{-2, 1, -3, 5, -1, 3, -4, 4, -2}
+	cycles := Rainflow(series)
+	counts := map[float64]float64{}
+	for _, c := range cycles {
+		counts[c.RangeK] += c.Count
+	}
+	want := map[float64]float64{3: 0.5, 4: 1.5, 6: 0.5, 8: 1.0, 9: 0.5}
+	for r, n := range want {
+		if math.Abs(counts[r]-n) > 1e-12 {
+			t.Errorf("range %v: count %v, want %v (all: %v)", r, counts[r], n, counts)
+		}
+	}
+	if got, wantTotal := totalCount(cycles), 4.0; math.Abs(got-wantTotal) > 1e-12 {
+		t.Errorf("total count %v, want %v", got, wantTotal)
+	}
+}
+
+func TestRainflowSingleSwing(t *testing.T) {
+	cycles := Rainflow([]float64{300, 320})
+	if len(cycles) != 1 || cycles[0].RangeK != 20 || cycles[0].Count != 0.5 {
+		t.Fatalf("single swing: %+v", cycles)
+	}
+	if cycles[0].MeanK != 310 {
+		t.Fatalf("mean = %v, want 310", cycles[0].MeanK)
+	}
+}
+
+func TestRainflowRepeatedTriangleWave(t *testing.T) {
+	// N identical triangles → ~N full cycles of the same range.
+	var series []float64
+	for i := 0; i < 50; i++ {
+		series = append(series, 350, 360)
+	}
+	series = append(series, 350)
+	cycles := Rainflow(series)
+	var full float64
+	for _, c := range cycles {
+		if c.RangeK != 10 {
+			t.Fatalf("unexpected range %v", c.RangeK)
+		}
+		full += c.Count
+	}
+	if full < 49 || full > 51 {
+		t.Fatalf("triangle wave counted %v cycles, want ≈ 50", full)
+	}
+}
+
+func TestRainflowFlatSeriesNoCycles(t *testing.T) {
+	if cycles := Rainflow([]float64{350, 350, 350}); len(cycles) != 0 {
+		t.Fatalf("flat series produced cycles: %+v", cycles)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	var series []float64
+	for i := 0; i < 100; i++ {
+		series = append(series, 350, 358)
+	}
+	s, err := Analyze(series, 10, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles < 99 || s.Cycles > 101 {
+		t.Fatalf("cycles = %v", s.Cycles)
+	}
+	if s.MaxRangeK != 8 || math.Abs(s.MeanRangeK-8) > 1e-9 {
+		t.Fatalf("ranges: max %v mean %v", s.MaxRangeK, s.MeanRangeK)
+	}
+	// Damage index: ~100 × 8^2.35 / 10s.
+	want := s.Cycles * math.Pow(8, 2.35) / 10
+	if math.Abs(s.DamageIndex-want) > 1e-9 {
+		t.Fatalf("damage index %v, want %v", s.DamageIndex, want)
+	}
+}
+
+func TestAnalyzeNoiseFloor(t *testing.T) {
+	series := []float64{350, 350.05, 350, 350.05, 350} // below the 0.1K floor
+	s, err := Analyze(series, 1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles != 0 || s.DamageIndex != 0 {
+		t.Fatalf("sub-floor swings counted: %+v", s)
+	}
+}
+
+func TestAnalyzeDamageGrowsSuperlinearlyWithRange(t *testing.T) {
+	mk := func(amplitude float64) []float64 {
+		var series []float64
+		for i := 0; i < 100; i++ {
+			series = append(series, 350, 350+amplitude)
+		}
+		return series
+	}
+	small, err := Analyze(mk(4), 1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Analyze(mk(8), 1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := large.DamageIndex / small.DamageIndex
+	want := math.Pow(2, 2.35)
+	if math.Abs(ratio/want-1) > 0.01 {
+		t.Fatalf("doubling amplitude scaled damage by %v, want %v", ratio, want)
+	}
+}
+
+func TestAnalyzeRejections(t *testing.T) {
+	if _, err := Analyze([]float64{1, 2}, 0, DefaultParams()); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad := DefaultParams()
+	bad.Q = 0
+	if _, err := Analyze([]float64{1, 2}, 1, bad); err == nil {
+		t.Error("zero exponent accepted")
+	}
+	bad = DefaultParams()
+	bad.MinRangeK = -1
+	if _, err := Analyze([]float64{1, 2}, 1, bad); err == nil {
+		t.Error("negative floor accepted")
+	}
+}

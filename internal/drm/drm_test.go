@@ -1,0 +1,226 @@
+package drm
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+func tech65(t *testing.T) scaling.Technology {
+	t.Helper()
+	tech, err := scaling.ByName("65nm (1.0V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tech
+}
+
+func traceFor(t *testing.T, app string, n int64) (*sim.ActivityTrace, sim.Config) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Instructions = n
+	prof, err := workload.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.RunTiming(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, cfg
+}
+
+func basePolicy(t *testing.T, budget float64) Policy {
+	t.Helper()
+	return Policy{
+		Ladder:         DefaultLadder(tech65(t)),
+		BudgetFIT:      budget,
+		EpochIntervals: 50,
+		Headroom:       0.9,
+		StartLevel:     2, // nominal
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := basePolicy(t, 16000)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Policy)
+	}{
+		{"empty ladder", func(p *Policy) { p.Ladder = nil }},
+		{"bad op", func(p *Policy) { p.Ladder[0].VddV = 0 }},
+		{"zero budget", func(p *Policy) { p.BudgetFIT = 0 }},
+		{"zero epoch", func(p *Policy) { p.EpochIntervals = 0 }},
+		{"headroom above 1", func(p *Policy) { p.Headroom = 1.5 }},
+		{"start level out of range", func(p *Policy) { p.StartLevel = 99 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := basePolicy(t, 16000)
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("invalid policy accepted")
+			}
+		})
+	}
+}
+
+func TestDefaultLadderSpansNominal(t *testing.T) {
+	tech := tech65(t)
+	ladder := DefaultLadder(tech)
+	if len(ladder) != 5 {
+		t.Fatalf("ladder has %d rungs, want 5", len(ladder))
+	}
+	var hasNominal bool
+	for _, op := range ladder {
+		if math.Abs(op.VddV-tech.VddV) < 1e-9 && math.Abs(op.FreqGHz-tech.FreqGHz) < 1e-9 {
+			hasNominal = true
+		}
+	}
+	if !hasNominal {
+		t.Fatal("ladder must include the nominal point")
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	tr, cfg := traceFor(t, "gzip", 50_000)
+	pol := basePolicy(t, 16000)
+	consts := core.ReferenceConstants()
+	if _, err := Run(cfg, nil, tech65(t), consts, pol, 0, 1); err == nil {
+		t.Error("nil trace accepted")
+	}
+	bad := pol
+	bad.BudgetFIT = -1
+	if _, err := Run(cfg, tr, tech65(t), consts, bad, 0, 1); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	var zeroConsts core.Constants
+	if _, err := Run(cfg, tr, tech65(t), zeroConsts, pol, 0, 1); err == nil {
+		t.Error("zero constants accepted")
+	}
+}
+
+func TestGenerousBudgetRunsAtTopOfLadder(t *testing.T) {
+	tr, cfg := traceFor(t, "ammp", 300_000)
+	pol := basePolicy(t, 1e9) // effectively unlimited
+	res, err := Run(cfg, tr, tech65(t), core.ReferenceConstants(), pol, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := pol.Ladder[len(pol.Ladder)-1].FreqGHz
+	if res.FinalLevel != len(pol.Ladder)-1 {
+		t.Fatalf("final level %d, want top rung", res.FinalLevel)
+	}
+	if res.AvgFreqGHz < 0.9*top {
+		t.Fatalf("avg frequency %.2f, want near top %.2f", res.AvgFreqGHz, top)
+	}
+	if !res.MetBudget {
+		t.Fatal("unlimited budget must be met")
+	}
+}
+
+func TestTightBudgetThrottlesToBottom(t *testing.T) {
+	tr, cfg := traceFor(t, "crafty", 300_000)
+	pol := basePolicy(t, 1) // impossible budget
+	res, err := Run(cfg, tr, tech65(t), core.ReferenceConstants(), pol, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLevel != 0 {
+		t.Fatalf("final level %d, want bottom rung", res.FinalLevel)
+	}
+	if res.MetBudget {
+		t.Fatal("impossible budget cannot be met")
+	}
+	bottom := pol.Ladder[0].FreqGHz
+	if res.AvgFreqGHz > 1.1*bottom {
+		t.Fatalf("avg frequency %.2f, want near bottom %.2f", res.AvgFreqGHz, bottom)
+	}
+}
+
+func TestControllerTradesFrequencyForReliability(t *testing.T) {
+	// Under the same realistic budget, the cool application must sustain a
+	// higher average frequency than the hot one — the DRM value
+	// proposition (§5.2).
+	const budget = 16000
+	coolTr, cfg := traceFor(t, "ammp", 300_000)
+	hotTr, _ := traceFor(t, "crafty", 300_000)
+	pol := basePolicy(t, budget)
+	consts := core.ReferenceConstants()
+	cool, err := Run(cfg, coolTr, tech65(t), consts, pol, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Run(cfg, hotTr, tech65(t), consts, pol, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cool.AvgFreqGHz <= hot.AvgFreqGHz {
+		t.Fatalf("cool app frequency %.3f not above hot app %.3f",
+			cool.AvgFreqGHz, hot.AvgFreqGHz)
+	}
+}
+
+func TestTimeShareSumsToOne(t *testing.T) {
+	tr, cfg := traceFor(t, "gzip", 200_000)
+	pol := basePolicy(t, 16000)
+	res, err := Run(cfg, tr, tech65(t), core.ReferenceConstants(), pol, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range res.TimeShare {
+		if s < 0 {
+			t.Fatalf("negative time share %v", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("time shares sum to %v, want 1", sum)
+	}
+	if res.MaxStructTempK < 330 || res.MaxStructTempK > 400 {
+		t.Fatalf("implausible max temperature %v", res.MaxStructTempK)
+	}
+}
+
+func TestControllerIsDeterministic(t *testing.T) {
+	tr, cfg := traceFor(t, "mesa", 150_000)
+	pol := basePolicy(t, 16000)
+	a, err := Run(cfg, tr, tech65(t), core.ReferenceConstants(), pol, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tr, tech65(t), core.ReferenceConstants(), pol, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgFIT != b.AvgFIT || a.AvgFreqGHz != b.AvgFreqGHz || a.Switches != b.Switches {
+		t.Fatal("identical managed runs must match exactly")
+	}
+}
+
+func TestUnsortedLadderIsSorted(t *testing.T) {
+	tr, cfg := traceFor(t, "gzip", 300_000)
+	tech := tech65(t)
+	pol := basePolicy(t, 1e9)
+	pol.EpochIntervals = 20
+	// Reverse the ladder; Run must sort it and still end at the fastest.
+	for i, j := 0, len(pol.Ladder)-1; i < j; i, j = i+1, j-1 {
+		pol.Ladder[i], pol.Ladder[j] = pol.Ladder[j], pol.Ladder[i]
+	}
+	pol.StartLevel = 2
+	res, err := Run(cfg, tr, tech, core.ReferenceConstants(), pol, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLevel != len(pol.Ladder)-1 {
+		t.Fatalf("final level %d, want top after sorting", res.FinalLevel)
+	}
+}

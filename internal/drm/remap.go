@@ -1,0 +1,87 @@
+package drm
+
+import (
+	"fmt"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sim"
+)
+
+// RemapAdvice is the static qualification answer for one technology point:
+// the highest DVS operating point at which the workload stays within the
+// FIT budget. It operationalises the paper's headline implication —
+// "leveraging a single design for multiple remaps across a few technology
+// generations will become increasingly difficult" — as a derating
+// schedule.
+type RemapAdvice struct {
+	// Tech is the technology point examined.
+	Tech scaling.Technology
+	// NominalFIT is the calibrated FIT at the nominal operating point.
+	NominalFIT float64
+	// FeasibleAtNominal reports whether the nominal point meets budget.
+	FeasibleAtNominal bool
+	// BestFreqGHz and BestVddV give the fastest in-budget rung; both zero
+	// when even the lowest rung busts the budget.
+	BestFreqGHz, BestVddV float64
+	// BestFIT is the calibrated FIT at the chosen rung.
+	BestFIT float64
+	// DeratePct is the frequency loss versus nominal, in percent (0 when
+	// the nominal point is feasible, 100 when nothing fits).
+	DeratePct float64
+}
+
+// AdviseRemap evaluates each technology's derating requirement: for every
+// point it walks a below-nominal DVS ladder (95%, 90%, …, 60% of nominal
+// voltage and frequency) from fastest to slowest and reports the first
+// rung whose steady-state calibrated FIT meets the budget. sinkTempTargetK
+// and appPowerScale follow sim.EvaluateTech conventions.
+func AdviseRemap(cfg sim.Config, tr *sim.ActivityTrace, techs []scaling.Technology,
+	consts core.Constants, budgetFIT, sinkTempTargetK, appPowerScale float64) ([]RemapAdvice, error) {
+	if budgetFIT <= 0 {
+		return nil, fmt.Errorf("drm: budget must be positive, got %v", budgetFIT)
+	}
+	if err := consts.Validate(); err != nil {
+		return nil, err
+	}
+	// The paper's §4.3 methodology holds each application's heat-sink
+	// temperature constant across technologies; without it, lower-power
+	// scaled nodes look artificially cool. Derive the target from the
+	// 180nm nominal point when the caller does not supply one.
+	if sinkTempTargetK <= 0 {
+		baseRun, err := sim.EvaluateTech(cfg, tr, scaling.Base(), 0, appPowerScale)
+		if err != nil {
+			return nil, fmt.Errorf("drm: advise base point: %w", err)
+		}
+		sinkTempTargetK = baseRun.SinkTempK
+	}
+	steps := []float64{1.00, 0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.65, 0.60}
+	out := make([]RemapAdvice, 0, len(techs))
+	for _, tech := range techs {
+		advice := RemapAdvice{Tech: tech, DeratePct: 100}
+		for i, s := range steps {
+			variant := tech
+			variant.Name = fmt.Sprintf("%s @ %.0f%%", tech.Name, s*100)
+			variant.VddV = tech.VddV * s
+			variant.FreqGHz = tech.FreqGHz * s
+			run, err := sim.EvaluateTech(cfg, tr, variant, sinkTempTargetK, appPowerScale)
+			if err != nil {
+				return nil, fmt.Errorf("drm: advise %s: %w", variant.Name, err)
+			}
+			fit := run.RawFIT.Calibrated(consts).Total()
+			if i == 0 {
+				advice.NominalFIT = fit
+				advice.FeasibleAtNominal = fit <= budgetFIT
+			}
+			if fit <= budgetFIT {
+				advice.BestFreqGHz = variant.FreqGHz
+				advice.BestVddV = variant.VddV
+				advice.BestFIT = fit
+				advice.DeratePct = (1 - s) * 100
+				break
+			}
+		}
+		out = append(out, advice)
+	}
+	return out, nil
+}

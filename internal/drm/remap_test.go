@@ -1,0 +1,59 @@
+package drm
+
+import (
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+func TestAdviseRemapDeratingGrowsWithScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remap sweep is slow; skipped with -short")
+	}
+	tr, cfg := traceFor(t, "gzip", 200_000)
+	consts := core.ReferenceConstants()
+	techs := scaling.Generations()
+	// Budget: the 180nm qualification total with modest slack.
+	const budget = 6000
+	advice, err := AdviseRemap(cfg, tr, techs, consts, budget, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) != len(techs) {
+		t.Fatalf("advice for %d techs, want %d", len(advice), len(techs))
+	}
+	// 180nm must be feasible at nominal; the 65nm (1.0V) point must not be.
+	if !advice[0].FeasibleAtNominal || advice[0].DeratePct != 0 {
+		t.Errorf("180nm should need no derating: %+v", advice[0])
+	}
+	last := advice[len(advice)-1]
+	if last.FeasibleAtNominal {
+		t.Errorf("65nm (1.0V) nominal unexpectedly within a %v-FIT budget: %+v", budget, last)
+	}
+	// Derating requirements grow (weakly) with scaling.
+	for i := 1; i < len(advice); i++ {
+		if advice[i].DeratePct < advice[i-1].DeratePct {
+			t.Errorf("derating shrank from %s (%v%%) to %s (%v%%)",
+				advice[i-1].Tech.Name, advice[i-1].DeratePct,
+				advice[i].Tech.Name, advice[i].DeratePct)
+		}
+	}
+	// Every feasible rung actually meets budget.
+	for _, a := range advice {
+		if a.BestFreqGHz > 0 && a.BestFIT > budget {
+			t.Errorf("%s: chosen rung busts budget: %+v", a.Tech.Name, a)
+		}
+	}
+}
+
+func TestAdviseRemapRejections(t *testing.T) {
+	tr, cfg := traceFor(t, "gzip", 50_000)
+	if _, err := AdviseRemap(cfg, tr, scaling.Generations()[:1], core.ReferenceConstants(), 0, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+	var zero core.Constants
+	if _, err := AdviseRemap(cfg, tr, scaling.Generations()[:1], zero, 4000, 0, 1); err == nil {
+		t.Error("zero constants accepted")
+	}
+}

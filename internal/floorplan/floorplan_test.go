@@ -1,0 +1,157 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+)
+
+func TestPOWER4Validates(t *testing.T) {
+	fp := POWER4()
+	if err := fp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPOWER4DieIs81mm2(t *testing.T) {
+	fp := POWER4()
+	if got := fp.DieArea(); math.Abs(got-81) > 1e-9 {
+		t.Fatalf("die area = %v mm², want 81 (Table 2)", got)
+	}
+	if fp.DieW != 9 || fp.DieH != 9 {
+		t.Fatalf("die = %vx%v, want 9x9", fp.DieW, fp.DieH)
+	}
+}
+
+func TestAreasSumToDie(t *testing.T) {
+	fp := POWER4()
+	var sum float64
+	for _, a := range fp.Areas() {
+		if a <= 0 {
+			t.Fatal("non-positive block area")
+		}
+		sum += a
+	}
+	if math.Abs(sum-81) > 1e-9 {
+		t.Fatalf("areas sum to %v, want 81", sum)
+	}
+}
+
+func TestLSUIsLargestBlock(t *testing.T) {
+	areas := POWER4().Areas()
+	lsu := areas[microarch.StructLSU]
+	for id, a := range areas {
+		if microarch.StructureID(id) != microarch.StructLSU && a >= lsu {
+			t.Fatalf("block %v area %v ≥ LSU area %v", microarch.StructureID(id), a, lsu)
+		}
+	}
+}
+
+func TestScaledPreservesProportions(t *testing.T) {
+	fp := POWER4()
+	for _, rel := range []float64{0.5, 0.25, 0.16} {
+		scaled, err := fp.Scaled(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := scaled.Validate(); err != nil {
+			t.Fatalf("relArea %v: %v", rel, err)
+		}
+		if math.Abs(scaled.DieArea()-81*rel) > 1e-9 {
+			t.Fatalf("relArea %v: die area %v, want %v", rel, scaled.DieArea(), 81*rel)
+		}
+		origAreas, newAreas := fp.Areas(), scaled.Areas()
+		for i := range origAreas {
+			ratio := newAreas[i] / origAreas[i]
+			if math.Abs(ratio-rel) > 1e-9 {
+				t.Fatalf("block %d area ratio %v, want %v", i, ratio, rel)
+			}
+		}
+	}
+}
+
+func TestScaledRejectsNonPositive(t *testing.T) {
+	if _, err := POWER4().Scaled(0); err == nil {
+		t.Fatal("Scaled(0) must fail")
+	}
+	if _, err := POWER4().Scaled(-1); err == nil {
+		t.Fatal("Scaled(-1) must fail")
+	}
+}
+
+func TestSharedEdgeSymmetricAndSane(t *testing.T) {
+	fp := POWER4()
+	n := len(fp.Blocks)
+	var anyAdjacent bool
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a, b := i, j
+			eij, eji := fp.SharedEdge(a, b), fp.SharedEdge(b, a)
+			if math.Abs(eij-eji) > 1e-12 {
+				t.Fatalf("SharedEdge not symmetric for %v,%v: %v vs %v", a, b, eij, eji)
+			}
+			if eij < 0 {
+				t.Fatalf("negative shared edge for %v,%v", a, b)
+			}
+			if i != j && eij > 0 {
+				anyAdjacent = true
+			}
+		}
+	}
+	if !anyAdjacent {
+		t.Fatal("no adjacent blocks found")
+	}
+}
+
+func TestKnownAdjacencies(t *testing.T) {
+	fp := POWER4()
+	// IFU and IDU share the full row height.
+	if got := fp.SharedEdge(int(microarch.StructIFU), int(microarch.StructIDU)); math.Abs(got-4.5) > 1e-9 {
+		t.Errorf("IFU-IDU shared edge = %v, want 4.5", got)
+	}
+	// IFU (top row) and BXU (top-right) are not adjacent.
+	if got := fp.SharedEdge(int(microarch.StructIFU), int(microarch.StructBXU)); got != 0 {
+		t.Errorf("IFU-BXU shared edge = %v, want 0", got)
+	}
+	// IFU sits above FXU: horizontal contact of width min(3.0, 2.2).
+	if got := fp.SharedEdge(int(microarch.StructIFU), int(microarch.StructFXU)); math.Abs(got-2.2) > 1e-9 {
+		t.Errorf("IFU-FXU shared edge = %v, want 2.2", got)
+	}
+}
+
+func TestCenterDistance(t *testing.T) {
+	fp := POWER4()
+	if d := fp.CenterDistance(int(microarch.StructIFU), int(microarch.StructIFU)); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	d1 := fp.CenterDistance(int(microarch.StructIFU), int(microarch.StructIDU))
+	d2 := fp.CenterDistance(int(microarch.StructIFU), int(microarch.StructBXU))
+	if d1 <= 0 || d2 <= d1 {
+		t.Fatalf("distances not increasing: near %v, far %v", d1, d2)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	fp := POWER4()
+	fp.Blocks[0].W += 1 // now overlaps its right neighbour
+	if err := fp.Validate(); err == nil {
+		t.Fatal("overlap must fail validation")
+	}
+}
+
+func TestValidateCatchesOverhang(t *testing.T) {
+	fp := POWER4()
+	fp.Blocks[0].X = 8.5 // pushes block past the die edge
+	if err := fp.Validate(); err == nil {
+		t.Fatal("overhang must fail validation")
+	}
+}
+
+func TestValidateCatchesGaps(t *testing.T) {
+	fp := POWER4()
+	fp.Blocks[0].W -= 1 // leaves uncovered die area
+	if err := fp.Validate(); err == nil {
+		t.Fatal("coverage gap must fail validation")
+	}
+}

@@ -1,0 +1,153 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+)
+
+func TestTiledValidatesAndScalesArea(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		fp, err := POWER4().Tiled(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fp.Validate(); err != nil {
+			t.Fatalf("%d cores: %v", n, err)
+		}
+		if got := fp.DieArea(); math.Abs(got-81*float64(n)) > 1e-9 {
+			t.Fatalf("%d cores: die area %v, want %v", n, got, 81*float64(n))
+		}
+		if len(fp.Blocks) != n*microarch.NumStructures {
+			t.Fatalf("%d cores: %d blocks", n, len(fp.Blocks))
+		}
+	}
+}
+
+func TestTiledRejectsNonPositive(t *testing.T) {
+	if _, err := POWER4().Tiled(0); err == nil {
+		t.Fatal("Tiled(0) must fail")
+	}
+	if _, err := POWER4().Tiled(-2); err == nil {
+		t.Fatal("Tiled(-2) must fail")
+	}
+}
+
+func TestTiledCoreIndices(t *testing.T) {
+	fp, err := POWER4().Tiled(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for _, b := range fp.Blocks {
+		counts[b.Core]++
+	}
+	for c := 0; c < 3; c++ {
+		if counts[c] != microarch.NumStructures {
+			t.Fatalf("core %d has %d blocks", c, counts[c])
+		}
+	}
+}
+
+func TestTiledPreservesPerCoreGeometry(t *testing.T) {
+	single := POWER4()
+	fp, err := single.Tiled(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range fp.Blocks {
+		orig := single.Blocks[i%microarch.NumStructures]
+		if b.ID != orig.ID || b.W != orig.W || b.H != orig.H {
+			t.Fatalf("block %d geometry changed: %+v vs %+v", i, b, orig)
+		}
+		wantX := orig.X + float64(b.Core)*single.DieW
+		if math.Abs(b.X-wantX) > 1e-12 || b.Y != orig.Y {
+			t.Fatalf("block %d position wrong: %+v", i, b)
+		}
+	}
+}
+
+func TestTiledCoresAreThermallyAdjacent(t *testing.T) {
+	// The right edge of core 0 must touch the left edge of core 1 so heat
+	// couples between neighbouring cores: at least one cross-core pair
+	// shares an edge.
+	fp, err := POWER4().Tiled(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crossEdge float64
+	for i := range fp.Blocks {
+		for j := range fp.Blocks {
+			if fp.Blocks[i].Core != fp.Blocks[j].Core {
+				crossEdge += fp.SharedEdge(i, j)
+			}
+		}
+	}
+	if crossEdge <= 0 {
+		t.Fatal("tiled cores share no thermal boundary")
+	}
+}
+
+func TestTiledGrid2x2(t *testing.T) {
+	fp, err := POWER4().TiledGrid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fp.DieW != 18 || fp.DieH != 18 {
+		t.Fatalf("2x2 die = %vx%v, want 18x18", fp.DieW, fp.DieH)
+	}
+	if len(fp.Blocks) != 4*microarch.NumStructures {
+		t.Fatalf("2x2 grid has %d blocks", len(fp.Blocks))
+	}
+	// Cores must be adjacent both horizontally (0-1) and vertically (0-2).
+	coreEdge := func(a, b int) float64 {
+		var sum float64
+		for i := range fp.Blocks {
+			for j := range fp.Blocks {
+				if fp.Blocks[i].Core == a && fp.Blocks[j].Core == b {
+					sum += fp.SharedEdge(i, j)
+				}
+			}
+		}
+		return sum
+	}
+	if coreEdge(0, 1) <= 0 {
+		t.Error("cores 0 and 1 not horizontally adjacent")
+	}
+	if coreEdge(0, 2) <= 0 {
+		t.Error("cores 0 and 2 not vertically adjacent")
+	}
+	if coreEdge(0, 3) != 0 {
+		t.Error("diagonal cores 0 and 3 should share no edge")
+	}
+}
+
+func TestTiledGridRejectsBadDims(t *testing.T) {
+	if _, err := POWER4().TiledGrid(0, 2); err == nil {
+		t.Fatal("0 columns accepted")
+	}
+	if _, err := POWER4().TiledGrid(2, -1); err == nil {
+		t.Fatal("negative rows accepted")
+	}
+}
+
+func TestTiledThenScaled(t *testing.T) {
+	fp, err := POWER4().Tiled(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := fp.Scaled(0.16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.DieArea()-2*81*0.16) > 1e-9 {
+		t.Fatalf("scaled tiled area = %v", scaled.DieArea())
+	}
+}

@@ -1,0 +1,72 @@
+package microarch
+
+import (
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/trace"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c, err := NewCache(CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Assoc: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Access(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkCacheAccessStream(b *testing.B) {
+	c, err := NewCache(CacheConfig{SizeBytes: 2 << 20, LineBytes: 128, Assoc: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 128)
+	}
+}
+
+func BenchmarkPredictor(b *testing.B) {
+	p := NewPredictor(14, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x1000 + (i%64)*12)
+		p.PredictAndUpdate(pc, i%3 != 0, pc+0x40)
+	}
+}
+
+// BenchmarkPipeline measures end-to-end simulated instructions per second
+// on a realistic workload mix.
+func BenchmarkPipeline(b *testing.B) {
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	instrs := make([]trace.Instruction, 0, 200_000)
+	gen, err := workload.New(prof, int64(cap(instrs)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	instrs, err = trace.Collect(gen, cap(instrs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSimulator(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(trace.NewSliceStream(instrs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Instructions
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "instr/s")
+}

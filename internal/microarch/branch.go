@@ -1,0 +1,158 @@
+package microarch
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PredictorKind selects the direction-prediction scheme.
+type PredictorKind uint8
+
+// Available predictor schemes.
+const (
+	// PredictorGshare XORs global history into the counter index — the
+	// default, standing in for the POWER4 front-end predictor.
+	PredictorGshare PredictorKind = iota + 1
+	// PredictorBimodal indexes counters by PC only (no history); provided
+	// for predictor-sensitivity studies.
+	PredictorBimodal
+)
+
+// String names the scheme.
+func (k PredictorKind) String() string {
+	switch k {
+	case PredictorGshare:
+		return "gshare"
+	case PredictorBimodal:
+		return "bimodal"
+	default:
+		return fmt.Sprintf("predictor(%d)", uint8(k))
+	}
+}
+
+// Predictor is a branch direction predictor (gshare or bimodal) with a
+// direct-mapped branch target buffer. It is updated in trace order with
+// resolved outcomes, so prediction accuracy reflects the learnability of
+// each workload's branch behaviour.
+type Predictor struct {
+	kind      PredictorKind
+	table     []uint8 // 2-bit saturating counters
+	mask      uint64
+	history   uint64
+	histBits  uint
+	btbTags   []uint64
+	btbTgts   []uint64
+	btbMask   uint64
+	predicts  int64
+	misses    int64
+	btbMisses int64
+}
+
+// NewPredictorKind builds a predictor of the given scheme with
+// 2^tableBits counters and a direct-mapped BTB with btbEntries slots
+// (rounded up to a power of two).
+func NewPredictorKind(kind PredictorKind, tableBits, btbEntries int) *Predictor {
+	p := NewPredictor(tableBits, btbEntries)
+	if kind == PredictorBimodal {
+		p.kind = PredictorBimodal
+	}
+	return p
+}
+
+// NewPredictor builds a gshare predictor with 2^tableBits counters and a
+// direct-mapped BTB with btbEntries slots (rounded up to a power of two).
+func NewPredictor(tableBits int, btbEntries int) *Predictor {
+	if tableBits < 1 {
+		tableBits = 1
+	}
+	if btbEntries < 1 {
+		btbEntries = 1
+	}
+	btbSize := 1 << uint(bits.Len(uint(btbEntries-1)))
+	size := 1 << uint(tableBits)
+	p := &Predictor{
+		kind:     PredictorGshare,
+		table:    make([]uint8, size),
+		mask:     uint64(size - 1),
+		histBits: uint(tableBits),
+		btbTags:  make([]uint64, btbSize),
+		btbTgts:  make([]uint64, btbSize),
+		btbMask:  uint64(btbSize - 1),
+	}
+	// Weakly-taken initial state.
+	for i := range p.table {
+		p.table[i] = 2
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 {
+	if p.kind == PredictorBimodal {
+		return (pc >> 2) & p.mask
+	}
+	return ((pc >> 2) ^ p.history) & p.mask
+}
+
+// PredictAndUpdate predicts the branch at pc, then trains the predictor
+// with the resolved outcome. It returns whether the overall prediction
+// (direction and, for taken branches, target) was correct.
+func (p *Predictor) PredictAndUpdate(pc uint64, taken bool, target uint64) bool {
+	p.predicts++
+	idx := p.index(pc)
+	predTaken := p.table[idx] >= 2
+
+	correct := predTaken == taken
+	if taken {
+		// A taken branch also needs the target: a BTB miss forces a
+		// redirect even when the direction was right.
+		bidx := (pc >> 2) & p.btbMask
+		if p.btbTags[bidx] != pc+1 || p.btbTgts[bidx] != target {
+			if correct {
+				p.btbMisses++
+				correct = false
+			}
+			p.btbTags[bidx] = pc + 1
+			p.btbTgts[bidx] = target
+		}
+	}
+	if !correct {
+		p.misses++
+	}
+
+	// Train the 2-bit counter.
+	if taken {
+		if p.table[idx] < 3 {
+			p.table[idx]++
+		}
+	} else {
+		if p.table[idx] > 0 {
+			p.table[idx]--
+		}
+	}
+	// Update global history.
+	p.history = ((p.history << 1) | boolBit(taken)) & ((1 << p.histBits) - 1)
+	return correct
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Predicts returns the number of predictions made.
+func (p *Predictor) Predicts() int64 { return p.predicts }
+
+// Mispredicts returns the number of incorrect predictions (direction or
+// target).
+func (p *Predictor) Mispredicts() int64 { return p.misses }
+
+// Accuracy returns the fraction of correct predictions, or 1 before any
+// prediction.
+func (p *Predictor) Accuracy() float64 {
+	if p.predicts == 0 {
+		return 1
+	}
+	return 1 - float64(p.misses)/float64(p.predicts)
+}

@@ -1,0 +1,174 @@
+package microarch
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity. Must be a power of two.
+	SizeBytes int
+	// LineBytes is the cache-line size. Must be a power of two.
+	LineBytes int
+	// Assoc is the set associativity. Must divide SizeBytes/LineBytes.
+	Assoc int
+}
+
+// Validate checks the geometry.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes&(c.SizeBytes-1) != 0 {
+		return fmt.Errorf("cache: size %d not a power of two", c.SizeBytes)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines < c.Assoc {
+		return fmt.Errorf("cache: %d lines < associativity %d", lines, c.Assoc)
+	}
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: %d sets not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.SizeBytes / c.LineBytes / c.Assoc }
+
+// Cache is a set-associative cache with true-LRU replacement. It models
+// hit/miss behaviour only; latency and bandwidth are imposed by the
+// pipeline. The zero value is not usable; create with NewCache.
+type Cache struct {
+	cfg       CacheConfig
+	lineShift uint
+	setMask   uint64
+	// tags[set*assoc+way]; valid tags are stored +1 so the zero value
+	// means "invalid".
+	tags []uint64
+	// lru[set*assoc+way] holds a per-set logical clock; the smallest value
+	// in a set is the LRU way.
+	lru      []uint64
+	clock    uint64
+	accesses int64
+	misses   int64
+}
+
+// NewCache builds a cache from a validated config.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	return &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(cfg.Sets() - 1),
+		tags:      make([]uint64, lines),
+		lru:       make([]uint64, lines),
+	}, nil
+}
+
+// Access looks up addr, allocating on miss, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line + 1 // +1 so tag 0 is never valid
+	base := set * c.cfg.Assoc
+	c.clock++
+
+	victim := base
+	victimLRU := ^uint64(0)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		idx := base + w
+		if c.tags[idx] == tag {
+			c.lru[idx] = c.clock
+			return true
+		}
+		if c.lru[idx] < victimLRU {
+			victimLRU = c.lru[idx]
+			victim = idx
+		}
+	}
+	c.misses++
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Prefetch inserts addr's line without counting demand statistics: hits
+// refresh LRU, misses allocate. Used by the next-line prefetcher so
+// prefetch traffic does not pollute miss-rate accounting.
+func (c *Cache) Prefetch(addr uint64) {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line + 1
+	base := set * c.cfg.Assoc
+	c.clock++
+	victim := base
+	victimLRU := ^uint64(0)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		idx := base + w
+		if c.tags[idx] == tag {
+			c.lru[idx] = c.clock
+			return
+		}
+		if c.lru[idx] < victimLRU {
+			victimLRU = c.lru[idx]
+			victim = idx
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
+}
+
+// Contains reports whether addr is present without touching LRU state or
+// statistics (useful for tests and warm-up checks).
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line + 1
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Accesses returns the number of lookups performed.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Misses returns the number of lookups that missed.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.accesses = 0
+	c.misses = 0
+}

@@ -1,0 +1,220 @@
+package microarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{SizeBytes: 1024, LineBytes: 64, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{SizeBytes: 0, LineBytes: 64, Assoc: 2},
+		{SizeBytes: 1000, LineBytes: 64, Assoc: 2},  // size not power of 2
+		{SizeBytes: 1024, LineBytes: 48, Assoc: 2},  // line not power of 2
+		{SizeBytes: 128, LineBytes: 64, Assoc: 4},   // fewer lines than ways
+		{SizeBytes: 1024, LineBytes: 64, Assoc: 3},  // lines not divisible
+		{SizeBytes: 1024, LineBytes: 64, Assoc: -1}, // negative
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Assoc: 2}
+	if got := cfg.Sets(); got != 128 {
+		t.Fatalf("Sets = %d, want 128", got)
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 1024, LineBytes: 64, Assoc: 2})
+	if c.Access(0x100) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x13f & ^uint64(0)) && !c.Contains(0x100) {
+		t.Fatal("same line must stay resident")
+	}
+	if c.Accesses() != 3 || c.Misses() < 1 {
+		t.Fatalf("stats: accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+}
+
+func TestCacheSameLineDifferentOffsets(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 1024, LineBytes: 64, Assoc: 2})
+	c.Access(0x200)
+	if !c.Access(0x23f) {
+		t.Fatal("access within the same 64B line must hit")
+	}
+	if c.Access(0x240) {
+		t.Fatal("next line must miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets of 64B lines: addresses 0, 128, 256 map to
+	// set 0. Filling ways with 0 and 128 then touching 0 makes 128 the LRU
+	// victim when 256 arrives.
+	c := mustCache(t, CacheConfig{SizeBytes: 256, LineBytes: 64, Assoc: 2})
+	c.Access(0)
+	c.Access(128)
+	c.Access(0) // refresh line 0
+	c.Access(256)
+	if !c.Contains(0) {
+		t.Error("line 0 (MRU) must survive")
+	}
+	if c.Contains(128) {
+		t.Error("line 128 (LRU) must be evicted")
+	}
+	if !c.Contains(256) {
+		t.Error("line 256 must be resident")
+	}
+}
+
+func TestCacheWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 8 << 10, LineBytes: 64, Assoc: 4})
+	// Touch a 4KB working set twice; the second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 4<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	wantMisses := int64(4 << 10 / 64)
+	if c.Misses() != wantMisses {
+		t.Fatalf("misses = %d, want %d (cold only)", c.Misses(), wantMisses)
+	}
+}
+
+func TestCacheThrashingWorkingSet(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 1 << 10, LineBytes: 64, Assoc: 1})
+	// A working set 2× the cache size walked cyclically with a
+	// direct-mapped cache misses every time.
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0); addr < 2<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	if c.MissRate() != 1 {
+		t.Fatalf("thrashing miss rate = %v, want 1", c.MissRate())
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 1024, LineBytes: 64, Assoc: 2})
+	c.Access(0x40)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Fatal("Reset must clear statistics")
+	}
+	if c.Contains(0x40) {
+		t.Fatal("Reset must invalidate lines")
+	}
+	if c.Access(0x40) {
+		t.Fatal("post-reset access must miss")
+	}
+}
+
+func TestCacheMissRateZeroBeforeAccess(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 1024, LineBytes: 64, Assoc: 2})
+	if c.MissRate() != 0 {
+		t.Fatal("MissRate before any access must be 0")
+	}
+}
+
+func TestCacheAccessHitImpliesContains(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeBytes: 4 << 10, LineBytes: 64, Assoc: 2})
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			addr := uint64(a)
+			c.Access(addr)
+			if !c.Contains(addr) {
+				return false // just-accessed line must be resident
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictorLearnsBiasedBranch(t *testing.T) {
+	p := NewPredictor(12, 256)
+	// An always-taken loop branch must become nearly perfectly predicted.
+	for i := 0; i < 1000; i++ {
+		p.PredictAndUpdate(0x400, true, 0x100)
+	}
+	if acc := p.Accuracy(); acc < 0.99 {
+		t.Fatalf("always-taken accuracy = %v, want ≥ 0.99", acc)
+	}
+}
+
+func TestPredictorLearnsAlternatingPatternWithHistory(t *testing.T) {
+	p := NewPredictor(12, 256)
+	// Alternating T/N is learnable through global history correlation.
+	for i := 0; i < 4000; i++ {
+		p.PredictAndUpdate(0x400, i%2 == 0, 0x100)
+	}
+	// Discard warm-up by measuring a fresh window.
+	before := p.Mispredicts()
+	for i := 0; i < 1000; i++ {
+		p.PredictAndUpdate(0x400, i%2 == 0, 0x100)
+	}
+	window := p.Mispredicts() - before
+	if window > 50 {
+		t.Fatalf("alternating pattern mispredicts = %d/1000, want ≤ 50", window)
+	}
+}
+
+func TestPredictorBTBMissOnNewTarget(t *testing.T) {
+	p := NewPredictor(10, 64)
+	// First taken encounter must be counted incorrect (target unknown)
+	// even if direction guesses right.
+	p.PredictAndUpdate(0x800, true, 0xff00)
+	if p.Mispredicts() == 0 {
+		t.Fatal("first taken branch must mispredict (BTB cold)")
+	}
+	before := p.Mispredicts()
+	p.PredictAndUpdate(0x800, true, 0xff00)
+	if p.Mispredicts() != before {
+		t.Fatal("second identical taken branch must predict correctly")
+	}
+}
+
+func TestPredictorAccuracyBeforeUse(t *testing.T) {
+	p := NewPredictor(10, 64)
+	if p.Accuracy() != 1 {
+		t.Fatal("accuracy before any prediction must be 1")
+	}
+	if p.Predicts() != 0 {
+		t.Fatal("no predictions expected")
+	}
+}
+
+func TestPredictorTinyGeometry(t *testing.T) {
+	// Degenerate sizes must be clamped, not panic.
+	p := NewPredictor(0, 0)
+	for i := 0; i < 100; i++ {
+		p.PredictAndUpdate(uint64(i*4), i%3 == 0, uint64(i))
+	}
+	if p.Predicts() != 100 {
+		t.Fatalf("predicts = %d, want 100", p.Predicts())
+	}
+}

@@ -1,0 +1,86 @@
+package microarch
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/trace"
+)
+
+// failingStream yields n good instructions, then a permanent error.
+type failingStream struct {
+	n   int
+	pos int
+	err error
+}
+
+var _ trace.Stream = (*failingStream)(nil)
+
+func (s *failingStream) Next() (trace.Instruction, error) {
+	if s.pos >= s.n {
+		return trace.Instruction{}, s.err
+	}
+	in := trace.Instruction{PC: uint64(0x1000 + 4*(s.pos%64)), Class: trace.ClassIntALU, Dest: 1}
+	s.pos++
+	return in, nil
+}
+
+func TestRunSurfacesStreamErrors(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("disk on fire")
+	_, err = sim.Run(&failingStream{n: 100, err: wantErr})
+	if err == nil {
+		t.Fatal("stream error swallowed")
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("error chain lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "100 instructions") {
+		t.Fatalf("error should report progress: %v", err)
+	}
+}
+
+func TestRunTreatsEOFAsCleanEnd(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(&failingStream{n: 50, err: io.EOF})
+	if err != nil {
+		t.Fatalf("EOF must end the run cleanly: %v", err)
+	}
+	if res.Instructions != 50 {
+		t.Fatalf("retired %d instructions, want 50", res.Instructions)
+	}
+}
+
+// wrappedEOFStream returns an error that wraps io.EOF, as decoders that
+// annotate their errors might.
+type wrappedEOFStream struct{ done bool }
+
+func (s *wrappedEOFStream) Next() (trace.Instruction, error) {
+	if s.done {
+		return trace.Instruction{}, errors.New("not eof")
+	}
+	s.done = true
+	return trace.Instruction{}, io.EOF
+}
+
+func TestRunHandlesImmediateEOF(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(&wrappedEOFStream{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 0 || len(res.Samples) != 0 {
+		t.Fatalf("empty run produced instructions=%d samples=%d", res.Instructions, len(res.Samples))
+	}
+}

@@ -1,0 +1,77 @@
+package microarch_test
+
+import (
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// ipcWith runs gzip's generator through a mutated machine configuration.
+func ipcWith(t *testing.T, mutate func(*microarch.Config)) float64 {
+	t.Helper()
+	cfg := microarch.DefaultConfig()
+	mutate(&cfg)
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.New(prof, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := microarch.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.IPC()
+}
+
+// TestMachineMonotonicities checks the directional sanity of the pipeline
+// model: making a resource strictly worse must not make the machine
+// faster, and vice versa. These are the invariants a structural simulator
+// must keep regardless of modeling detail.
+func TestMachineMonotonicities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monotonicity sweep is slow; skipped with -short")
+	}
+	base := ipcWith(t, func(c *microarch.Config) {})
+	cases := []struct {
+		name   string
+		mutate func(*microarch.Config)
+		faster bool // whether the mutation should not DECREASE IPC
+	}{
+		{"longer memory latency", func(c *microarch.Config) { c.MemLat = 300 }, false},
+		{"longer L2 latency", func(c *microarch.Config) { c.L2Lat = 60 }, false},
+		{"tiny ROB", func(c *microarch.Config) { c.ROBSize = 16 }, false},
+		{"tiny memory queue", func(c *microarch.Config) { c.MemQueueSize = 4 }, false},
+		{"single issue", func(c *microarch.Config) { c.IssueWidth = 1 }, false},
+		{"narrow dispatch", func(c *microarch.Config) { c.DispatchWidth = 1 }, false},
+		{"tiny L1D", func(c *microarch.Config) {
+			c.L1D = microarch.CacheConfig{SizeBytes: 2 << 10, LineBytes: 128, Assoc: 2}
+		}, false},
+		{"huge mispredict penalty", func(c *microarch.Config) { c.MispredictPenalty = 60 }, false},
+		{"double ROB", func(c *microarch.Config) { c.ROBSize = 300 }, true},
+		{"more integer units", func(c *microarch.Config) { c.IntUnits = 4 }, true},
+		{"faster memory", func(c *microarch.Config) { c.MemLat = 40 }, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := ipcWith(t, tc.mutate)
+			// 1% tolerance: secondary interactions (e.g. interval
+			// boundaries) may wiggle an otherwise-neutral change.
+			if tc.faster && got < base*0.99 {
+				t.Errorf("improvement lowered IPC: %.3f vs base %.3f", got, base)
+			}
+			if !tc.faster && got > base*1.01 {
+				t.Errorf("degradation raised IPC: %.3f vs base %.3f", got, base)
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package microarch
+
+import (
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/trace"
+)
+
+func TestPredictorKindString(t *testing.T) {
+	if PredictorGshare.String() != "gshare" || PredictorBimodal.String() != "bimodal" {
+		t.Fatal("predictor kind names wrong")
+	}
+	if PredictorKind(9).String() != "predictor(9)" {
+		t.Fatal("unknown kind formatting wrong")
+	}
+}
+
+func TestBimodalCannotLearnAlternation(t *testing.T) {
+	// A strictly alternating branch defeats a history-less predictor (the
+	// 2-bit counter oscillates) but is learnable by gshare.
+	train := func(p *Predictor) float64 {
+		for i := 0; i < 4000; i++ {
+			p.PredictAndUpdate(0x400, i%2 == 0, 0x100)
+		}
+		before := p.Mispredicts()
+		for i := 0; i < 1000; i++ {
+			p.PredictAndUpdate(0x400, i%2 == 0, 0x100)
+		}
+		return float64(p.Mispredicts()-before) / 1000
+	}
+	gshare := train(NewPredictorKind(PredictorGshare, 12, 256))
+	bimodal := train(NewPredictorKind(PredictorBimodal, 12, 256))
+	if gshare > 0.05 {
+		t.Errorf("gshare mispredict rate on alternation = %.3f, want ≈ 0", gshare)
+	}
+	if bimodal < 0.4 {
+		t.Errorf("bimodal mispredict rate on alternation = %.3f, want high", bimodal)
+	}
+}
+
+func TestBimodalStillLearnsBias(t *testing.T) {
+	p := NewPredictorKind(PredictorBimodal, 12, 256)
+	for i := 0; i < 1000; i++ {
+		p.PredictAndUpdate(0x88, true, 0x40)
+	}
+	if acc := p.Accuracy(); acc < 0.99 {
+		t.Fatalf("bimodal accuracy on biased branch = %.3f", acc)
+	}
+}
+
+func TestPredictorKindConfigSelectsScheme(t *testing.T) {
+	// End-to-end: a patterned branch stream yields higher IPC under
+	// gshare than under bimodal.
+	mk := func() []trace.Instruction {
+		var instrs []trace.Instruction
+		const base = uint64(0x1000)
+		for i := 0; i < 8000; i++ {
+			instrs = append(instrs,
+				trace.Instruction{PC: base, Class: trace.ClassIntALU, Dest: uint16(1 + i%8)},
+			)
+			taken := i%2 == 0
+			br := trace.Instruction{PC: base + 4, Class: trace.ClassBranch, Taken: taken}
+			if taken {
+				br.Target = base
+			}
+			instrs = append(instrs, br)
+		}
+		return instrs
+	}
+	gcfg := DefaultConfig()
+	bcfg := DefaultConfig()
+	bcfg.PredictorKind = PredictorBimodal
+	gres := run(t, gcfg, mk())
+	bres := run(t, bcfg, mk())
+	if gres.MispredictRate() >= bres.MispredictRate() {
+		t.Fatalf("gshare mispredicts (%.3f) not below bimodal (%.3f)",
+			gres.MispredictRate(), bres.MispredictRate())
+	}
+	if gres.IPC() <= bres.IPC() {
+		t.Fatalf("gshare IPC %.3f not above bimodal %.3f", gres.IPC(), bres.IPC())
+	}
+}
+
+func TestZeroPredictorKindDefaultsToGshare(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PredictorKind = 0
+	if _, err := NewSimulator(cfg); err != nil {
+		t.Fatalf("zero predictor kind must default to gshare: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package microarch implements a trace-driven performance model of the
+// paper's base processor: a 180nm out-of-order 8-way superscalar core
+// conceptually similar to a single-core POWER4 (Table 2). It plays the role
+// Turandot plays in the paper's toolchain (§4.1): it consumes an
+// instruction trace and produces cycle counts (IPC) and per-structure
+// activity factors at a 1µs granularity, which drive the power, thermal,
+// and reliability models downstream.
+//
+// The model is a one-pass scoreboard-style out-of-order simulator: for each
+// instruction it computes fetch, dispatch, issue, completion, and
+// retirement cycles subject to the machine's structural constraints (fetch
+// and dispatch bandwidth, ROB and memory-queue occupancy, physical-register
+// availability, per-class functional-unit counts, issue bandwidth, cache
+// hierarchy latencies, and branch-misprediction redirects). This class of
+// model captures the activity and IPC dynamics that the reliability study
+// needs while remaining fast enough to run hundreds of millions of
+// instructions.
+package microarch
+
+import "fmt"
+
+// StructureID names one of the 7 microarchitectural structures the paper's
+// floorplan tracks (§4.3: "We combine the microarchitectural structures on
+// the POWER4-like core into 7 distinct structures"). The grouping mirrors
+// the POWER4 unit organisation.
+type StructureID int
+
+// The 7 modeled structures.
+const (
+	// StructIFU: instruction fetch unit — L1 I-cache, fetch logic, and the
+	// branch predictor tables.
+	StructIFU StructureID = iota
+	// StructIDU: instruction decode/dispatch unit.
+	StructIDU
+	// StructISU: instruction sequencing unit — rename, issue queues, and
+	// the reorder buffer.
+	StructISU
+	// StructFXU: fixed-point execution units and integer register file.
+	StructFXU
+	// StructFPU: floating-point execution units and FP register file.
+	StructFPU
+	// StructLSU: load/store units, memory queue, and L1 D-cache.
+	StructLSU
+	// StructBXU: branch and condition-register execution unit.
+	StructBXU
+
+	// NumStructures is the number of modeled structures.
+	NumStructures int = iota
+)
+
+var _structureNames = [NumStructures]string{
+	"IFU", "IDU", "ISU", "FXU", "FPU", "LSU", "BXU",
+}
+
+// String returns the POWER4-style unit mnemonic.
+func (s StructureID) String() string {
+	if s < 0 || int(s) >= NumStructures {
+		return fmt.Sprintf("structure(%d)", int(s))
+	}
+	return _structureNames[s]
+}
+
+// Structures returns all structure IDs in floorplan order.
+func Structures() []StructureID {
+	out := make([]StructureID, NumStructures)
+	for i := range out {
+		out[i] = StructureID(i)
+	}
+	return out
+}
+
+// ActivitySample carries the per-structure utilisation of one evaluation
+// interval (1µs in the paper's methodology, §4.3/§4.4). Activity factors
+// are event counts normalised by structure capacity × interval cycles and
+// lie in [0, 1].
+type ActivitySample struct {
+	// Cycles is the number of processor cycles in the interval.
+	Cycles int64
+	// Retired is the number of instructions retired in the interval.
+	Retired int64
+	// AF is the activity factor of each structure.
+	AF [NumStructures]float64
+}
+
+// IPC returns the interval's retired instructions per cycle.
+func (a ActivitySample) IPC() float64 {
+	if a.Cycles == 0 {
+		return 0
+	}
+	return float64(a.Retired) / float64(a.Cycles)
+}
+
+// Result aggregates a full simulation run.
+type Result struct {
+	// Instructions is the number of instructions retired.
+	Instructions int64
+	// Cycles is the total execution time in processor cycles.
+	Cycles int64
+	// Samples holds the per-1µs-interval activity factors in time order.
+	Samples []ActivitySample
+	// AvgAF is the whole-run average activity factor per structure.
+	AvgAF [NumStructures]float64
+	// Branch prediction statistics.
+	Branches, Mispredicts int64
+	// Cache statistics (accesses and misses per level).
+	L1IAccesses, L1IMisses int64
+	L1DAccesses, L1DMisses int64
+	L2Accesses, L2Misses   int64
+}
+
+// IPC returns retired instructions per cycle for the whole run.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// MispredictRate returns the branch misprediction ratio.
+func (r Result) MispredictRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// L1DMissRate returns the L1 D-cache miss ratio.
+func (r Result) L1DMissRate() float64 {
+	if r.L1DAccesses == 0 {
+		return 0
+	}
+	return float64(r.L1DMisses) / float64(r.L1DAccesses)
+}
+
+// L1IMissRate returns the L1 I-cache miss ratio.
+func (r Result) L1IMissRate() float64 {
+	if r.L1IAccesses == 0 {
+		return 0
+	}
+	return float64(r.L1IMisses) / float64(r.L1IAccesses)
+}
+
+// L2MissRate returns the unified L2 miss ratio.
+func (r Result) L2MissRate() float64 {
+	if r.L2Accesses == 0 {
+		return 0
+	}
+	return float64(r.L2Misses) / float64(r.L2Accesses)
+}

@@ -1,0 +1,128 @@
+package multicore
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/drm"
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+func drmConfig(base Config, budget float64, tech scaling.Technology) Config {
+	base.DRM = &DRMConfig{
+		Policy: drm.Policy{
+			Ladder:         drm.DefaultLadder(tech),
+			BudgetFIT:      budget,
+			EpochIntervals: 25,
+			Headroom:       0.9,
+			StartLevel:     2,
+		},
+		Constants: core.ReferenceConstants(),
+	}
+	return base
+}
+
+func TestCMPDRMValidation(t *testing.T) {
+	traces, cfg := testTraces(t, 20_000, "gzip", "ammp")
+	tech, err := scaling.ByName("65nm (1.0V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := drmConfig(dualConfig(cfg), 16000, tech)
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := mc
+	badDRM := *mc.DRM
+	badDRM.Policy.BudgetFIT = -1
+	bad.DRM = &badDRM
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid per-core DRM policy accepted")
+	}
+	_ = traces
+}
+
+func TestCMPDRMGenerousBudgetReachesTop(t *testing.T) {
+	traces, cfg := testTraces(t, 300_000, "ammp", "gzip")
+	tech, err := scaling.ByName("65nm (1.0V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := drmConfig(dualConfig(cfg), 1e9, tech)
+	res, err := Evaluate(mc, traces, tech, 341, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, pc := range res.PerCore {
+		if pc.AvgFreqGHz < 0.9*tech.FreqGHz {
+			t.Errorf("core %d avg freq %.2f under an unlimited budget (nominal %.2f)",
+				c, pc.AvgFreqGHz, tech.FreqGHz)
+		}
+		if pc.DRMSwitches == 0 {
+			t.Errorf("core %d never climbed the ladder", c)
+		}
+	}
+}
+
+func TestCMPDRMThrottlesHotCoreMore(t *testing.T) {
+	// A shared per-core budget throttles the hot workload's core harder
+	// than the cool one's — per-core DRM on a CMP.
+	traces, cfg := testTraces(t, 400_000, "ammp", "crafty")
+	tech, err := scaling.ByName("65nm (1.0V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := drmConfig(dualConfig(cfg), 8000, tech)
+	res, err := Evaluate(mc, traces, tech, 341, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool, hot := res.PerCore[0], res.PerCore[1]
+	if cool.AvgFreqGHz <= hot.AvgFreqGHz {
+		t.Fatalf("cool core %.3f GHz not above hot core %.3f GHz",
+			cool.AvgFreqGHz, hot.AvgFreqGHz)
+	}
+}
+
+func TestCMPDRMComposesWithMigration(t *testing.T) {
+	traces, cfg := testTraces(t, 300_000, "ammp", "crafty")
+	tech, err := scaling.ByName("65nm (1.0V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := drmConfig(dualConfig(cfg), 12000, tech)
+	mc.MigrateIntervals = 50
+	res, err := Evaluate(mc, traces, tech, 341, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("migration did not run alongside DRM")
+	}
+	for c, pc := range res.PerCore {
+		if len(pc.Apps) != 2 {
+			t.Errorf("core %d saw %d apps under migration", c, len(pc.Apps))
+		}
+		if pc.AvgFreqGHz <= 0 {
+			t.Errorf("core %d has no frequency accounting", c)
+		}
+	}
+}
+
+func TestCMPWithoutDRMReportsNominalFrequency(t *testing.T) {
+	traces, cfg := testTraces(t, 100_000, "gzip", "ammp")
+	res, err := Evaluate(dualConfig(cfg), traces, scaling.Base(), 341, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, pc := range res.PerCore {
+		if math.Abs(pc.AvgFreqGHz-scaling.Base().FreqGHz) > 1e-9 {
+			t.Errorf("core %d freq %.3f, want nominal %.3f",
+				c, pc.AvgFreqGHz, scaling.Base().FreqGHz)
+		}
+		if pc.DRMSwitches != 0 {
+			t.Errorf("core %d has DRM switches without DRM", c)
+		}
+	}
+}

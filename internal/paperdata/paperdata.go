@@ -1,0 +1,115 @@
+// Package paperdata is the machine-readable record of the numbers
+// published in Srinivasan et al., "The Impact of Technology Scaling on
+// Lifetime Reliability" (DSN 2004). It is the single source for every
+// paper-side value quoted by reports, regression tests, and
+// EXPERIMENTS.md, so the reproduction targets live in exactly one place.
+package paperdata
+
+import "github.com/ramp-sim/ramp/internal/core"
+
+// Table3Row is one benchmark's published operating point (Table 3).
+type Table3Row struct {
+	App    string
+	Suite  string
+	IPC    float64
+	PowerW float64
+}
+
+// Table3 lists the published per-benchmark IPC and average power for the
+// 180nm base processor.
+func Table3() []Table3Row {
+	return []Table3Row{
+		{"ammp", "SpecFP", 1.06, 26.08},
+		{"applu", "SpecFP", 1.17, 26.94},
+		{"sixtrack", "SpecFP", 1.38, 27.32},
+		{"mgrid", "SpecFP", 1.71, 27.78},
+		{"mesa", "SpecFP", 1.75, 29.21},
+		{"facerec", "SpecFP", 1.79, 29.60},
+		{"wupwise", "SpecFP", 1.66, 30.50},
+		{"apsi", "SpecFP", 1.64, 30.65},
+		{"vpr", "SpecInt", 1.38, 26.93},
+		{"bzip2", "SpecInt", 2.31, 27.71},
+		{"twolf", "SpecInt", 1.26, 28.44},
+		{"gzip", "SpecInt", 1.85, 28.69},
+		{"perlbmk", "SpecInt", 2.25, 30.59},
+		{"gap", "SpecInt", 1.76, 31.24},
+		{"gcc", "SpecInt", 1.24, 31.73},
+		{"crafty", "SpecInt", 2.25, 31.95},
+	}
+}
+
+// SuiteAverages are the published Table 3 suite averages.
+const (
+	SpecFPAvgIPC     = 1.52
+	SpecFPAvgPowerW  = 28.51
+	SpecIntAvgIPC    = 1.79
+	SpecIntAvgPowerW = 29.66
+)
+
+// Table4Power lists the published suite-average total power (W) per
+// technology point, in generation order.
+func Table4Power() []float64 { return []float64{29.1, 19.0, 14.7, 14.4, 16.9} }
+
+// Table4RelDensity lists the published relative total power density per
+// technology point, in generation order.
+func Table4RelDensity() []float64 { return []float64{1.0, 1.31, 2.02, 3.09, 3.63} }
+
+// Headline numbers (§1.3, §5).
+const (
+	// MaxTempRiseK: average rise of the hottest structure, 180nm →
+	// 65nm (1.0V).
+	MaxTempRiseK = 15.0
+	// TotalIncreaseFPPct / TotalIncreaseIntPct / TotalIncreaseAvgPct:
+	// total FIT increases 180nm → 65nm (1.0V).
+	TotalIncreaseFPPct  = 274.0
+	TotalIncreaseIntPct = 357.0
+	TotalIncreaseAvgPct = 316.0
+	// Total FIT increases 180nm → 65nm (0.9V).
+	TotalIncrease09FPPct  = 70.0
+	TotalIncrease09IntPct = 86.0
+	// Worst-case gaps (§5.2), as a percentage of the compared quantity.
+	WorstVsHighest180Pct = 25.0
+	WorstVsHighest65Pct  = 90.0
+	WorstVsAverage180Pct = 67.0
+	WorstVsAverage65Pct  = 206.0
+	// QualificationFITPerMechanism and QualificationTotalFIT (§4.4).
+	QualificationFITPerMechanism = 1000.0
+	QualificationTotalFIT        = 4000.0
+	// MTTFTargetYears is the ≈30-year lifetime the qualification encodes.
+	MTTFTargetYears = 30.0
+)
+
+// MechIncrease holds a mechanism's published FIT increases (percent) from
+// 180nm to the two 65nm points, as FP and INT suite averages.
+type MechIncrease struct {
+	At09FP, At09Int float64
+	At10FP, At10Int float64
+}
+
+// MechIncreases returns the §5.3 per-mechanism increases.
+func MechIncreases() map[core.Mechanism]MechIncrease {
+	return map[core.Mechanism]MechIncrease{
+		core.EM:   {At09FP: 97, At09Int: 128, At10FP: 303, At10Int: 447},
+		core.SM:   {At09FP: 43, At09Int: 52, At10FP: 76, At10Int: 106},
+		core.TDDB: {At09FP: 106, At09Int: 127, At10FP: 667, At10Int: 812},
+		core.TC:   {At09FP: 32, At09Int: 36, At10FP: 52, At10Int: 66},
+	}
+}
+
+// FITRange holds the published application-FIT spreads (§5.2).
+type FITRange struct {
+	// Spread is max−min application FIT.
+	Spread float64
+	// PctOfAvg expresses the spread as a percentage of the suite average.
+	PctOfAvg float64
+}
+
+// FITRanges returns the published spreads at 180nm, 65nm (0.9V), and
+// 65nm (1.0V).
+func FITRanges() [3]FITRange {
+	return [3]FITRange{
+		{Spread: 2479, PctOfAvg: 62},
+		{Spread: 5095, PctOfAvg: 72},
+		{Spread: 17272, PctOfAvg: 104},
+	}
+}

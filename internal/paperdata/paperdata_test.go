@@ -1,0 +1,108 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+func TestTable3ConsistentWithWorkloadProfiles(t *testing.T) {
+	// The workload package embeds the same Table 3 targets; the two
+	// records must agree exactly.
+	rows := Table3()
+	if len(rows) != 16 {
+		t.Fatalf("Table 3 has %d rows, want 16", len(rows))
+	}
+	for _, row := range rows {
+		prof, err := workload.ByName(row.App)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prof.TargetIPC != row.IPC {
+			t.Errorf("%s: IPC %v vs profile %v", row.App, row.IPC, prof.TargetIPC)
+		}
+		if prof.TargetPowerW != row.PowerW {
+			t.Errorf("%s: power %v vs profile %v", row.App, row.PowerW, prof.TargetPowerW)
+		}
+		if prof.Suite.String() != row.Suite {
+			t.Errorf("%s: suite %v vs profile %v", row.App, row.Suite, prof.Suite)
+		}
+	}
+}
+
+func TestSuiteAveragesMatchRows(t *testing.T) {
+	var fpIPC, fpW, intIPC, intW float64
+	for _, r := range Table3() {
+		if r.Suite == "SpecFP" {
+			fpIPC += r.IPC / 8
+			fpW += r.PowerW / 8
+		} else {
+			intIPC += r.IPC / 8
+			intW += r.PowerW / 8
+		}
+	}
+	// The paper's printed averages round to two decimals.
+	if math.Abs(fpIPC-SpecFPAvgIPC) > 0.005 || math.Abs(fpW-SpecFPAvgPowerW) > 0.005 {
+		t.Errorf("SpecFP averages %.3f/%.3f vs published %.2f/%.2f",
+			fpIPC, fpW, SpecFPAvgIPC, SpecFPAvgPowerW)
+	}
+	if math.Abs(intIPC-SpecIntAvgIPC) > 0.005 || math.Abs(intW-SpecIntAvgPowerW) > 0.005 {
+		t.Errorf("SpecInt averages %.3f/%.3f vs published %.2f/%.2f",
+			intIPC, intW, SpecIntAvgIPC, SpecIntAvgPowerW)
+	}
+}
+
+func TestTable4VectorsMatchGenerations(t *testing.T) {
+	if len(Table4Power()) != len(scaling.Generations()) {
+		t.Fatal("Table 4 power vector length mismatch")
+	}
+	if len(Table4RelDensity()) != len(scaling.Generations()) {
+		t.Fatal("Table 4 density vector length mismatch")
+	}
+	// Density rises monotonically in the published data.
+	prev := 0.0
+	for _, d := range Table4RelDensity() {
+		if d <= prev {
+			t.Fatal("published density not monotone")
+		}
+		prev = d
+	}
+}
+
+func TestMechIncreasesCoverAllMechanisms(t *testing.T) {
+	inc := MechIncreases()
+	for _, m := range core.Mechanisms() {
+		v, ok := inc[m]
+		if !ok {
+			t.Fatalf("no published increases for %v", m)
+		}
+		if v.At10FP <= v.At09FP || v.At10Int <= v.At09Int {
+			t.Errorf("%v: 1.0V increases must exceed 0.9V increases: %+v", m, v)
+		}
+	}
+	// TDDB is the steepest at 65nm (1.0V) in the published data.
+	if inc[core.TDDB].At10Int <= inc[core.EM].At10Int {
+		t.Error("published data has TDDB above EM at 65nm (1.0V)")
+	}
+}
+
+func TestQualificationArithmetic(t *testing.T) {
+	if QualificationFITPerMechanism*float64(core.NumMechanisms) != QualificationTotalFIT {
+		t.Fatal("qualification totals inconsistent")
+	}
+	// 4000 FIT ↔ ~28.5 years; the paper rounds to "around 30 years".
+	years := 1e9 / QualificationTotalFIT / (24 * 365.25)
+	if math.Abs(years-MTTFTargetYears) > 2 {
+		t.Fatalf("4000 FIT ↔ %.1f years, inconsistent with the 30-year target", years)
+	}
+}
+
+func TestFITRangesOrdered(t *testing.T) {
+	r := FITRanges()
+	if !(r[0].Spread < r[1].Spread && r[1].Spread < r[2].Spread) {
+		t.Fatal("published FIT spreads must widen with scaling")
+	}
+}

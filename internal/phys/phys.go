@@ -1,0 +1,69 @@
+// Package phys provides physical constants and unit helpers shared by the
+// power, thermal, and reliability models.
+//
+// All temperatures in this code base are absolute (Kelvin) unless a name
+// explicitly says otherwise. All energies in the reliability models are in
+// electron-volts, matching the units of the published RAMP activation
+// energies, so the Boltzmann constant is exposed in eV/K.
+package phys
+
+const (
+	// BoltzmannEV is the Boltzmann constant in electron-volts per Kelvin.
+	// The RAMP activation energies (0.9 eV for EM and SM, and the TDDB
+	// fitting parameters X, Y, Z) are specified in eV, so k is used in the
+	// same unit system.
+	BoltzmannEV = 8.617333262e-5
+
+	// ZeroCelsiusK is 0°C expressed in Kelvin.
+	ZeroCelsiusK = 273.15
+
+	// SiliconConductivity is the thermal conductivity of silicon in W/(m·K),
+	// the value used by HotSpot-class models.
+	SiliconConductivity = 100.0
+
+	// CopperConductivity is the thermal conductivity of the copper heat
+	// spreader in W/(m·K).
+	CopperConductivity = 400.0
+
+	// SiliconVolumetricHeat is the volumetric heat capacity of silicon in
+	// J/(m³·K).
+	SiliconVolumetricHeat = 1.75e6
+
+	// CopperVolumetricHeat is the volumetric heat capacity of copper in
+	// J/(m³·K).
+	CopperVolumetricHeat = 3.55e6
+)
+
+// CelsiusToKelvin converts a temperature in degrees Celsius to Kelvin.
+func CelsiusToKelvin(c float64) float64 { return c + ZeroCelsiusK }
+
+// KelvinToCelsius converts an absolute temperature in Kelvin to Celsius.
+func KelvinToCelsius(k float64) float64 { return k - ZeroCelsiusK }
+
+// HoursPerYear is the number of hours in a (365.25-day) year, used to
+// convert between MTTF in years and FIT rates.
+const HoursPerYear = 24 * 365.25
+
+// FITFromMTTFHours converts a mean time to failure in hours to a failure
+// rate in FITs (failures per 10⁹ device-hours). A non-positive MTTF yields
+// +Inf-free behaviour by returning 0, which callers treat as "no data".
+func FITFromMTTFHours(mttfHours float64) float64 {
+	if mttfHours <= 0 {
+		return 0
+	}
+	return 1e9 / mttfHours
+}
+
+// MTTFHoursFromFIT converts a FIT rate to mean time to failure in hours.
+// A non-positive FIT rate returns 0.
+func MTTFHoursFromFIT(fit float64) float64 {
+	if fit <= 0 {
+		return 0
+	}
+	return 1e9 / fit
+}
+
+// MTTFYearsFromFIT converts a FIT rate to mean time to failure in years.
+func MTTFYearsFromFIT(fit float64) float64 {
+	return MTTFHoursFromFIT(fit) / HoursPerYear
+}

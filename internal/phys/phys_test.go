@@ -1,0 +1,84 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCelsiusKelvinRoundTrip(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		got := KelvinToCelsius(CelsiusToKelvin(c))
+		return math.Abs(got-c) < 1e-9*math.Max(1, math.Abs(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCelsiusToKelvinKnownPoints(t *testing.T) {
+	tests := []struct {
+		name string
+		c    float64
+		want float64
+	}{
+		{"freezing", 0, 273.15},
+		{"boiling", 100, 373.15},
+		{"hotspot ambient", 45, 318.15},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CelsiusToKelvin(tt.c); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("CelsiusToKelvin(%v) = %v, want %v", tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFITMTTFReciprocity(t *testing.T) {
+	f := func(fit float64) bool {
+		fit = math.Abs(fit)
+		if fit == 0 || math.IsInf(fit, 0) || math.IsNaN(fit) {
+			return true
+		}
+		back := FITFromMTTFHours(MTTFHoursFromFIT(fit))
+		return math.Abs(back-fit) < 1e-6*fit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThirtyYearMTTFIsAbout4000FIT(t *testing.T) {
+	// The paper's calibration anchor: a 30-year MTTF corresponds to a total
+	// FIT value of roughly 4000 (10⁹ / (30 years in hours)).
+	fit := FITFromMTTFHours(30 * HoursPerYear)
+	if fit < 3700 || fit > 3900 {
+		t.Fatalf("30-year MTTF = %.0f FIT, want ≈ 3805 (paper rounds to 4000)", fit)
+	}
+}
+
+func TestNonPositiveInputs(t *testing.T) {
+	if got := FITFromMTTFHours(0); got != 0 {
+		t.Errorf("FITFromMTTFHours(0) = %v, want 0", got)
+	}
+	if got := FITFromMTTFHours(-5); got != 0 {
+		t.Errorf("FITFromMTTFHours(-5) = %v, want 0", got)
+	}
+	if got := MTTFHoursFromFIT(0); got != 0 {
+		t.Errorf("MTTFHoursFromFIT(0) = %v, want 0", got)
+	}
+	if got := MTTFYearsFromFIT(-1); got != 0 {
+		t.Errorf("MTTFYearsFromFIT(-1) = %v, want 0", got)
+	}
+}
+
+func TestMTTFYearsFromFIT(t *testing.T) {
+	years := MTTFYearsFromFIT(4000)
+	if years < 28 || years > 29 {
+		t.Fatalf("4000 FIT = %.2f years MTTF, want ≈ 28.5", years)
+	}
+}

@@ -1,0 +1,112 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/floorplan"
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+func gatedModel(t *testing.T) *Model {
+	t.Helper()
+	p := DefaultParams()
+	p.PowerGateIdle = true
+	tech, err := scaling.ByName("65nm (1.0V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := floorplan.POWER4().Scaled(tech.RelArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(p, tech, fp.Areas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGatingValidation(t *testing.T) {
+	p := DefaultParams()
+	p.PowerGateThreshold = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("threshold above 1 accepted")
+	}
+	p = DefaultParams()
+	p.PowerGateResidual = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative residual accepted")
+	}
+}
+
+func TestGatedIdleStructureDrawsNoDynamicPower(t *testing.T) {
+	m := gatedModel(t)
+	var af [microarch.NumStructures]float64
+	af[microarch.StructFXU] = 0.4 // busy
+	// Everything else idle (AF 0 < threshold).
+	dyn := m.Dynamic(af)
+	for i, w := range dyn {
+		s := microarch.StructureID(i)
+		if s == microarch.StructFXU {
+			if w <= 0 {
+				t.Errorf("busy FXU draws no power")
+			}
+			continue
+		}
+		if w != 0 {
+			t.Errorf("gated %v draws %v W of dynamic power", s, w)
+		}
+	}
+}
+
+func TestGatedLeakageResidual(t *testing.T) {
+	m := gatedModel(t)
+	full := m.LeakageActive(microarch.StructFPU, 360, 0.5)
+	gated := m.LeakageActive(microarch.StructFPU, 360, 0.0)
+	if math.Abs(gated/full-0.1) > 1e-9 {
+		t.Fatalf("gated leakage ratio = %v, want 0.1 residual", gated/full)
+	}
+	if full != m.LeakageAt(microarch.StructFPU, 360) {
+		t.Fatal("active structure leakage must equal the ungated value")
+	}
+}
+
+func TestGatingOffIsUngatedBehaviour(t *testing.T) {
+	p := DefaultParams() // gating off
+	tech := scaling.Base()
+	m, err := NewModel(p, tech, floorplan.POWER4().Areas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var af [microarch.NumStructures]float64 // all idle
+	dyn := m.Dynamic(af)
+	for i, w := range dyn {
+		want := p.PeakDynamicW[i] * p.GatingFloor
+		if math.Abs(w-want) > 1e-12 {
+			t.Fatalf("ungated idle power changed: %v vs %v", w, want)
+		}
+	}
+	if got := m.LeakageActive(microarch.StructLSU, 360, 0); got != m.LeakageAt(microarch.StructLSU, 360) {
+		t.Fatal("LeakageActive must be transparent with gating off")
+	}
+}
+
+func TestGatingThresholdBoundary(t *testing.T) {
+	m := gatedModel(t)
+	var low, high [microarch.NumStructures]float64
+	for i := range low {
+		low[i] = 0.005  // below the 0.01 default threshold
+		high[i] = 0.015 // above it
+	}
+	dLow, dHigh := m.Dynamic(low), m.Dynamic(high)
+	for i := range dLow {
+		if dLow[i] != 0 {
+			t.Errorf("structure %d below threshold not gated", i)
+		}
+		if dHigh[i] == 0 {
+			t.Errorf("structure %d above threshold gated", i)
+		}
+	}
+}

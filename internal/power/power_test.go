@@ -1,0 +1,275 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ramp-sim/ramp/internal/floorplan"
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+func newBaseModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultParams(), scaling.Base(), floorplan.POWER4().Areas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func techModel(t *testing.T, name string) *Model {
+	t.Helper()
+	tech, err := scaling.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := floorplan.POWER4().Scaled(tech.RelArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(DefaultParams(), tech, fp.Areas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidateRejections(t *testing.T) {
+	p := DefaultParams()
+	p.PeakDynamicW[0] = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative peak accepted")
+	}
+	p = DefaultParams()
+	p.GatingFloor = 1.0
+	if err := p.Validate(); err == nil {
+		t.Error("gating floor 1.0 accepted")
+	}
+	p = DefaultParams()
+	p.Beta = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative beta accepted")
+	}
+}
+
+func TestNewModelRejectsBadInputs(t *testing.T) {
+	if _, err := NewModel(DefaultParams(), scaling.Base(), []float64{1, 2}); err == nil {
+		t.Error("wrong area count accepted")
+	}
+	areas := floorplan.POWER4().Areas()
+	areas[3] = 0
+	if _, err := NewModel(DefaultParams(), scaling.Base(), areas); err == nil {
+		t.Error("zero area accepted")
+	}
+	var badTech scaling.Technology
+	if _, err := NewModel(DefaultParams(), badTech, floorplan.POWER4().Areas()); err == nil {
+		t.Error("invalid technology accepted")
+	}
+}
+
+func TestIdleDynamicPowerIsGatingFloor(t *testing.T) {
+	m := newBaseModel(t)
+	var zeroAF [microarch.NumStructures]float64
+	dyn := m.Dynamic(zeroAF)
+	p := DefaultParams()
+	for i := range dyn {
+		want := p.PeakDynamicW[i] * p.GatingFloor
+		if math.Abs(dyn[i]-want) > 1e-12 {
+			t.Errorf("idle %v = %v W, want %v", microarch.StructureID(i), dyn[i], want)
+		}
+	}
+}
+
+func TestFullActivityIsPeak(t *testing.T) {
+	m := newBaseModel(t)
+	var af [microarch.NumStructures]float64
+	for i := range af {
+		af[i] = 1
+	}
+	dyn := m.Dynamic(af)
+	p := DefaultParams()
+	for i := range dyn {
+		if math.Abs(dyn[i]-p.PeakDynamicW[i]) > 1e-12 {
+			t.Errorf("peak %v = %v W, want %v", microarch.StructureID(i), dyn[i], p.PeakDynamicW[i])
+		}
+	}
+}
+
+func TestDynamicClampsActivity(t *testing.T) {
+	m := newBaseModel(t)
+	var af [microarch.NumStructures]float64
+	af[0] = 1.7
+	af[1] = -0.3
+	dyn := m.Dynamic(af)
+	p := DefaultParams()
+	if dyn[0] != p.PeakDynamicW[0] {
+		t.Errorf("AF > 1 not clamped: %v", dyn[0])
+	}
+	if math.Abs(dyn[1]-p.PeakDynamicW[1]*p.GatingFloor) > 1e-12 {
+		t.Errorf("AF < 0 not clamped: %v", dyn[1])
+	}
+}
+
+func TestDynamicMonotonicInActivity(t *testing.T) {
+	m := newBaseModel(t)
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		var afa, afb [microarch.NumStructures]float64
+		for i := range afa {
+			afa[i], afb[i] = a, b
+		}
+		da, db := m.Dynamic(afa), m.Dynamic(afb)
+		for i := range da {
+			if da[i] > db[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakageAtReferenceMatchesTable2(t *testing.T) {
+	// Table 2: 0.04 W/mm² at 383K over an 81mm² die → 3.24W total.
+	m := newBaseModel(t)
+	var temps [microarch.NumStructures]float64
+	for i := range temps {
+		temps[i] = LeakageRefK
+	}
+	leak := m.Leakage(temps)
+	var sum float64
+	for _, w := range leak {
+		sum += w
+	}
+	if math.Abs(sum-3.24) > 1e-9 {
+		t.Fatalf("leakage at 383K = %v W, want 3.24", sum)
+	}
+}
+
+func TestLeakageTemperatureDependence(t *testing.T) {
+	// P(T)/P(383) = e^{0.017(T−383)} (§4.2).
+	m := newBaseModel(t)
+	base := m.LeakageAt(microarch.StructLSU, 383)
+	hot := m.LeakageAt(microarch.StructLSU, 403)
+	want := math.Exp(0.017 * 20)
+	if math.Abs(hot/base-want) > 1e-9 {
+		t.Fatalf("leakage ratio over 20K = %v, want %v", hot/base, want)
+	}
+	cold := m.LeakageAt(microarch.StructLSU, 363)
+	if cold >= base {
+		t.Fatal("leakage must fall below reference at lower temperature")
+	}
+}
+
+func TestDynamicScalingAcrossTechnologies(t *testing.T) {
+	// Per-structure dynamic power must scale exactly by C_rel(V/V0)²(f/f0).
+	var af [microarch.NumStructures]float64
+	for i := range af {
+		af[i] = 0.5
+	}
+	base := newBaseModel(t)
+	baseDyn := base.Dynamic(af)
+	for _, name := range []string{"130nm", "90nm", "65nm (0.9V)", "65nm (1.0V)"} {
+		m := techModel(t, name)
+		scale := m.Tech().DynamicPowerScale()
+		dyn := m.Dynamic(af)
+		for i := range dyn {
+			if math.Abs(dyn[i]-baseDyn[i]*scale) > 1e-12 {
+				t.Errorf("%s %v: dynamic %v, want %v", name, microarch.StructureID(i),
+					dyn[i], baseDyn[i]*scale)
+			}
+		}
+	}
+}
+
+func TestLeakageGrowsWithScalingDespiteSmallerArea(t *testing.T) {
+	// Total leakage at 383K: 81·relArea·density. Table 4 densities outpace
+	// area shrinkage, so chip leakage rises monotonically.
+	var prev float64
+	for _, name := range []string{"180nm", "130nm", "90nm", "65nm (0.9V)", "65nm (1.0V)"} {
+		m := techModel(t, name)
+		var temps [microarch.NumStructures]float64
+		for i := range temps {
+			temps[i] = LeakageRefK
+		}
+		var sum float64
+		for _, w := range m.Leakage(temps) {
+			sum += w
+		}
+		if sum <= prev {
+			t.Errorf("%s leakage %v W not above previous %v", name, sum, prev)
+		}
+		prev = sum
+	}
+}
+
+func TestTotalIsDynamicPlusLeakage(t *testing.T) {
+	m := newBaseModel(t)
+	var af, temps [microarch.NumStructures]float64
+	for i := range af {
+		af[i] = 0.3
+		temps[i] = 360
+	}
+	per, sum := m.Total(af, temps)
+	dyn := m.Dynamic(af)
+	var check float64
+	for i := range per {
+		want := dyn[i] + m.LeakageAt(microarch.StructureID(i), temps[i])
+		if math.Abs(per[i]-want) > 1e-12 {
+			t.Errorf("structure %v total %v, want %v", microarch.StructureID(i), per[i], want)
+		}
+		check += per[i]
+	}
+	if math.Abs(sum-check) > 1e-9 {
+		t.Fatalf("sum %v != Σ per-structure %v", sum, check)
+	}
+}
+
+func TestSetAppScale(t *testing.T) {
+	m := newBaseModel(t)
+	var af [microarch.NumStructures]float64
+	for i := range af {
+		af[i] = 0.4
+	}
+	before := m.Dynamic(af)
+	if err := m.SetAppScale(1.1); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Dynamic(af)
+	for i := range after {
+		if math.Abs(after[i]-before[i]*1.1) > 1e-12 {
+			t.Fatalf("app scale not applied to %v", microarch.StructureID(i))
+		}
+	}
+	if err := m.SetAppScale(0); err == nil {
+		t.Fatal("zero app scale accepted")
+	}
+}
+
+func TestBasePowerEnvelopeIsPlausible(t *testing.T) {
+	// With suite-typical activity factors the 180nm chip should land in
+	// the Table 3 envelope (26–32W total at operating temperature).
+	m := newBaseModel(t)
+	af := [microarch.NumStructures]float64{0.15, 0.24, 0.15, 0.23, 0.13, 0.19, 0.06}
+	var temps [microarch.NumStructures]float64
+	for i := range temps {
+		temps[i] = 355
+	}
+	_, sum := m.Total(af, temps)
+	if sum < 24 || sum > 34 {
+		t.Fatalf("typical 180nm total power = %.1f W, want ≈ 29 (Table 3)", sum)
+	}
+}

@@ -1,0 +1,170 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart renders numeric series as an ASCII line chart — a terminal
+// approximation of the paper's figures. Each series gets its own marker;
+// overlapping points show the later series' marker.
+type Chart struct {
+	Title string
+	// XLabels name the horizontal positions (technology points).
+	XLabels []string
+	Series  []Series
+	// Height is the plot's row count (default 16).
+	Height int
+}
+
+// _markers are assigned to series in order.
+const _markers = "ox*+#@%&=~^"
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 || len(c.XLabels) == 0 {
+		return fmt.Errorf("report: chart needs series and x labels")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return fmt.Errorf("report: series %q has %d values for %d x labels",
+				s.Name, len(s.Values), len(c.XLabels))
+		}
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	// Horizontal layout: each x position gets a fixed-width column.
+	colW := 0
+	for _, l := range c.XLabels {
+		if len(l) > colW {
+			colW = len(l)
+		}
+	}
+	colW += 2
+	plotW := colW * len(c.XLabels)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range c.Series {
+		marker := _markers[si%len(_markers)]
+		for xi, v := range s.Values {
+			col := xi*colW + colW/2
+			grid[rowOf(v)][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	yLabel := func(r int) string {
+		v := hi - (hi-lo)*float64(r)/float64(height-1)
+		return fmt.Sprintf("%10.0f", v)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 10)
+		if r == 0 || r == height-1 || r == height/2 {
+			label = yLabel(r)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 11))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", plotW))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", 12))
+	for _, l := range c.XLabels {
+		b.WriteString(pad(l, colW))
+	}
+	b.WriteByte('\n')
+	// Legend.
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s", _markers[si%len(_markers)], s.Name)
+		if (si+1)%4 == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	if len(c.Series)%4 != 0 {
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// ChartFromTable converts a figure table (label column + one value column
+// per technology) into a chart. Rows whose cells fail to parse are
+// skipped.
+func ChartFromTable(t *Table) (*Chart, error) {
+	if len(t.Header) < 2 {
+		return nil, fmt.Errorf("report: table too narrow to chart")
+	}
+	c := &Chart{Title: t.Title, XLabels: t.Header[1:]}
+	for _, row := range t.Rows {
+		vals := make([]float64, 0, len(row)-1)
+		ok := true
+		for _, cell := range row[1:] {
+			var v float64
+			if _, err := fmt.Sscanf(cell, "%f", &v); err != nil {
+				ok = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if !ok {
+			continue
+		}
+		c.Series = append(c.Series, Series{Name: row[0], Values: vals})
+	}
+	if len(c.Series) == 0 {
+		return nil, fmt.Errorf("report: no numeric rows to chart")
+	}
+	return c, nil
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:   "demo",
+		XLabels: []string{"180nm", "130nm", "90nm"},
+		Series: []Series{
+			{Name: "a", Values: []float64{1000, 2000, 4000}},
+			{Name: "b", Values: []float64{1500, 1500, 1500}},
+		},
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var sb strings.Builder
+	if err := demoChart().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "180nm", "90nm", "o a", "x b", "4000", "1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Marker counts: three points per series.
+	if n := strings.Count(out, "o"); n < 3 {
+		t.Errorf("series a has %d markers", n)
+	}
+}
+
+func TestChartMarkerPositionsMonotone(t *testing.T) {
+	var sb strings.Builder
+	c := &Chart{
+		XLabels: []string{"x0", "x1", "x2"},
+		Series:  []Series{{Name: "up", Values: []float64{0, 50, 100}}},
+		Height:  11,
+	}
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// The rising series' markers must appear on strictly rising rows (top
+	// of output = highest value).
+	lines := strings.Split(sb.String(), "\n")
+	var rows []int
+	for r, line := range lines {
+		// Only the plot area (rows containing the axis bar), not the legend.
+		bar := strings.Index(line, " |")
+		if bar < 0 {
+			continue
+		}
+		if idx := strings.IndexByte(line[bar:], 'o'); idx >= 0 {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("found %d marker rows, want 3", len(rows))
+	}
+	// Values ascend with x, so rows must descend down the slice? No: the
+	// first marker row encountered (top) is the largest value (x2).
+	if !(rows[0] < rows[1] && rows[1] < rows[2]) {
+		t.Fatalf("marker rows %v not ordered by value", rows)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var sb strings.Builder
+	empty := &Chart{}
+	if err := empty.Render(&sb); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := demoChart()
+	bad.Series[0].Values = bad.Series[0].Values[:2]
+	if err := bad.Render(&sb); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	var sb strings.Builder
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "flat", Values: []float64{5, 5}}},
+	}
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tab := &Table{
+		Title:  "fig",
+		Header: []string{"app", "180nm", "65nm"},
+	}
+	if err := tab.AddRow("gzip", "4000", "16000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("note", "n/a", "n/a"); err != nil { // skipped
+		t.Fatal(err)
+	}
+	c, err := ChartFromTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 1 || c.Series[0].Name != "gzip" {
+		t.Fatalf("series: %+v", c.Series)
+	}
+	if c.Series[0].Values[1] != 16000 {
+		t.Fatalf("values: %v", c.Series[0].Values)
+	}
+	narrow := &Table{Header: []string{"only"}}
+	if _, err := ChartFromTable(narrow); err == nil {
+		t.Error("narrow table accepted")
+	}
+	textOnly := &Table{Header: []string{"a", "b"}}
+	if err := textOnly.AddRow("x", "not-a-number"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ChartFromTable(textOnly); err == nil {
+		t.Error("non-numeric table accepted")
+	}
+}

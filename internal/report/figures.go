@@ -1,0 +1,404 @@
+package report
+
+import (
+	"fmt"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// techHeader builds the header row: label column then one column per
+// technology point.
+func techHeader(label string, techs []scaling.Technology) []string {
+	h := make([]string, 0, len(techs)+1)
+	h = append(h, label)
+	for _, t := range techs {
+		h = append(h, t.Name)
+	}
+	return h
+}
+
+// suiteApps filters one suite's runs (or all when suite == 0), preserving
+// order.
+func suiteApps(res *sim.StudyResult, ti int, suite workload.Suite) []sim.AppRun {
+	var out []sim.AppRun
+	for _, a := range res.AppsAt(ti) {
+		if suite == 0 || a.Suite == suite {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Figure2 reproduces Figure 2: the maximum temperature reached by any
+// structure, per application per technology, plus the suite-average heat
+// sink temperature row.
+func Figure2(res *sim.StudyResult, suite workload.Suite) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 2 (%v): max structure temperature (K)", suite),
+		Header: techHeader("app", res.Techs),
+	}
+	apps0 := suiteApps(res, 0, suite)
+	for _, a0 := range apps0 {
+		row := []string{a0.App}
+		for ti := range res.Techs {
+			for _, a := range suiteApps(res, ti, suite) {
+				if a.App == a0.App {
+					row = append(row, F(a.MaxStructTempK, 1))
+				}
+			}
+		}
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	// Average heat-sink temperature across the suite's applications
+	// (constant with scaling by construction, §4.3).
+	sinkRow := []string{"heat sink (avg)"}
+	for ti := range res.Techs {
+		var sum float64
+		apps := suiteApps(res, ti, suite)
+		for _, a := range apps {
+			sum += a.SinkTempK
+		}
+		sinkRow = append(sinkRow, F(sum/float64(len(apps)), 1))
+	}
+	if err := t.AddRow(sinkRow...); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Figure3 reproduces Figure 3: total processor FIT per application per
+// technology, with the worst-case ("max") curve.
+func Figure3(res *sim.StudyResult, suite workload.Suite) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 3 (%v): total processor FIT", suite),
+		Header: techHeader("app", res.Techs),
+	}
+	for _, a0 := range suiteApps(res, 0, suite) {
+		row := []string{a0.App}
+		for ti := range res.Techs {
+			for _, a := range suiteApps(res, ti, suite) {
+				if a.App == a0.App {
+					row = append(row, F(res.FIT(a).Total(), 0))
+				}
+			}
+		}
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	maxRow := []string{"max (worst-case)"}
+	for ti := range res.Techs {
+		maxRow = append(maxRow, F(res.WorstFIT(ti).Total(), 0))
+	}
+	if err := t.AddRow(maxRow...); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Figure4 reproduces Figure 4: suite-average FIT per technology broken
+// into the contribution of each failure mechanism.
+func Figure4(res *sim.StudyResult, suite workload.Suite) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 4 (%v): average FIT by mechanism", suite),
+		Header: techHeader("component", res.Techs),
+	}
+	for _, m := range core.Mechanisms() {
+		row := []string{m.String()}
+		for ti := range res.Techs {
+			mech := res.SuiteAverageMech(ti, suite)
+			row = append(row, F(mech[m], 0))
+		}
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	totalRow := []string{"total"}
+	for ti := range res.Techs {
+		totalRow = append(totalRow, F(res.SuiteAverageFIT(ti, suite), 0))
+	}
+	if err := t.AddRow(totalRow...); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Figure5 reproduces one panel of Figure 5: a single mechanism's FIT per
+// application per technology, with the worst-case curve.
+func Figure5(res *sim.StudyResult, suite workload.Suite, mech core.Mechanism) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 5 (%v, %v): FIT by application", suite, mech),
+		Header: techHeader("app", res.Techs),
+	}
+	for _, a0 := range suiteApps(res, 0, suite) {
+		row := []string{a0.App}
+		for ti := range res.Techs {
+			for _, a := range suiteApps(res, ti, suite) {
+				if a.App == a0.App {
+					row = append(row, F(res.FIT(a).ByMechanism()[mech], 0))
+				}
+			}
+		}
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	maxRow := []string{"max (worst-case)"}
+	for ti := range res.Techs {
+		maxRow = append(maxRow, F(res.WorstFIT(ti).ByMechanism()[mech], 0))
+	}
+	if err := t.AddRow(maxRow...); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MechanismCurves tabulates each mechanism's relative FIT over a
+// temperature sweep at a technology point — the model curves behind the
+// paper's Table 1 discussion, normalised to 1.0 at the first temperature.
+func MechanismCurves(params core.Params, tech scaling.Technology, tempsK []float64) (*Table, error) {
+	if len(tempsK) < 2 {
+		return nil, fmt.Errorf("report: need at least 2 temperatures")
+	}
+	header := make([]string, 0, len(tempsK)+1)
+	header = append(header, "mech")
+	for _, tk := range tempsK {
+		header = append(header, F(tk, 0)+"K")
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Mechanism FIT vs temperature at %s (normalised)", tech.Name),
+		Header: header,
+	}
+	const af = 0.5
+	rate := func(m core.Mechanism, tk float64) float64 {
+		switch m {
+		case core.EM:
+			return params.EMRate(af, tk, tech)
+		case core.SM:
+			return params.SMRate(tk)
+		case core.TDDB:
+			return params.TDDBRate(tech.VddV, tk, tech)
+		case core.TC:
+			return params.TCRate(tk)
+		}
+		return 0
+	}
+	for _, m := range core.Mechanisms() {
+		base := rate(m, tempsK[0])
+		if base <= 0 {
+			return nil, fmt.Errorf("report: %v rate is zero at %vK", m, tempsK[0])
+		}
+		row := make([]string, 0, len(tempsK)+1)
+		row = append(row, m.String())
+		for _, tk := range tempsK {
+			row = append(row, F(rate(m, tk)/base, 2))
+		}
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// StructureBreakdown is an analysis beyond the paper's figures: the
+// per-structure FIT decomposition of one application at one technology
+// index, showing which microarchitectural units dominate the failure rate.
+func StructureBreakdown(res *sim.StudyResult, ti int, app string) (*Table, error) {
+	for _, a := range res.AppsAt(ti) {
+		if a.App != app {
+			continue
+		}
+		fit := res.FIT(a)
+		t := &Table{
+			Title:  fmt.Sprintf("Per-structure FIT: %s @ %s", app, res.Techs[ti].Name),
+			Header: []string{"structure", "EM", "SM", "TDDB", "TC", "total"},
+		}
+		for s := 0; s < microarch.NumStructures; s++ {
+			row := fit.ByStructMech[s]
+			var total float64
+			for _, v := range row {
+				total += v
+			}
+			if err := t.AddRow(microarch.StructureID(s).String(),
+				F(row[core.EM], 0), F(row[core.SM], 0),
+				F(row[core.TDDB], 0), F(row[core.TC], 0), F(total, 0)); err != nil {
+				return nil, err
+			}
+		}
+		mech := fit.ByMechanism()
+		if err := t.AddRow("total",
+			F(mech[core.EM], 0), F(mech[core.SM], 0),
+			F(mech[core.TDDB], 0), F(mech[core.TC], 0), F(fit.Total(), 0)); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("report: app %q not in study at technology %d", app, ti)
+}
+
+// Table1 reproduces Table 1: the qualitative summary of how each scaling
+// parameter affects each mechanism's MTTF.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: impact of scaling on MTTF",
+		Header: []string{"mech", "temperature dependence", "voltage dependence", "feature size dependence"},
+	}
+	// Static content from the paper.
+	rows := [][]string{
+		{"EM", "e^{Ea/kT}", "-", "w·h (κ²)"},
+		{"SM", "|T-T0|^-m · e^{Ea/kT}", "-", "-"},
+		{"TDDB", "e^{(X+Y/T+ZT)/kT}", "(1/V)^{a-bT}", "10^{Δtox/0.22}"},
+		{"TC", "1/ΔT^q", "-", "-"},
+	}
+	for _, r := range rows {
+		// Static rows match the header width by construction.
+		_ = t.AddRow(r...)
+	}
+	return t
+}
+
+// Table1Quantified evaluates Table 1's qualitative sensitivities
+// numerically at a reference operating point: each mechanism's FIT
+// multiplier for +10K of temperature, +5% of supply voltage, and for the
+// full 180nm→65nm feature-size scaling at fixed temperature. This is the
+// quantitative teeth behind the paper's summary table.
+func Table1Quantified(params core.Params, refTempK float64) (*Table, error) {
+	base := scaling.Base()
+	tech65, err := scaling.ByName("65nm (1.0V)")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Table 1 (quantified at %.0f K): FIT multipliers", refTempK),
+		Header: []string{"mech", "x per +10K", "x per +5% V",
+			"x from feature size (180nm→65nm)"},
+	}
+	const af = 0.5
+	tempX := func(m core.Mechanism) float64 {
+		switch m {
+		case core.EM:
+			return params.EMRate(af, refTempK+10, base) / params.EMRate(af, refTempK, base)
+		case core.SM:
+			return params.SMRate(refTempK+10) / params.SMRate(refTempK)
+		case core.TDDB:
+			return params.TDDBRate(base.VddV, refTempK+10, base) /
+				params.TDDBRate(base.VddV, refTempK, base)
+		case core.TC:
+			return params.TCRate(refTempK+10) / params.TCRate(refTempK)
+		}
+		return 0
+	}
+	voltX := func(m core.Mechanism) string {
+		if m != core.TDDB {
+			return "-"
+		}
+		x := params.TDDBRate(base.VddV*1.05, refTempK, base) /
+			params.TDDBRate(base.VddV, refTempK, base)
+		return F(x, 0)
+	}
+	featX := func(m core.Mechanism) string {
+		switch m {
+		case core.EM:
+			// Geometry and J_max derate at equal activity and temperature.
+			x := params.EMRate(af, refTempK, tech65) / params.EMRate(af, refTempK, base)
+			return F(x, 2)
+		case core.TDDB:
+			return F(params.TDDBTechFactor(tech65), 2)
+		default:
+			return "-"
+		}
+	}
+	for _, m := range core.Mechanisms() {
+		if err := t.AddRow(m.String(), F(tempX(m), 2), voltX(m), featX(m)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table 2: the base 180nm processor configuration.
+func Table2(cfg microarch.Config) *Table {
+	t := &Table{
+		Title:  "Table 2: base 180nm POWER4-like processor",
+		Header: []string{"parameter", "value"},
+	}
+	add := func(k, v string) { _ = t.AddRow(k, v) }
+	base := scaling.Base()
+	add("Process technology", fmt.Sprintf("%d nm", base.FeatureNm))
+	add("Vdd", fmt.Sprintf("%.1f V", base.VddV))
+	add("Processor frequency", fmt.Sprintf("%.1f GHz", cfg.FrequencyGHz))
+	add("Processor core size", "81 mm² (9mm x 9mm)")
+	add("Leakage power density at 383 K", fmt.Sprintf("%.2f W/mm²", base.LeakW383PerMm2))
+	add("Fetch rate", fmt.Sprintf("%d per cycle", cfg.FetchWidth))
+	add("Retirement rate", fmt.Sprintf("1 dispatch-group (=%d, max)", cfg.RetireWidth))
+	add("Functional units", fmt.Sprintf("%d Int, %d FP, %d Load-Store, %d Branch, %d LCR",
+		cfg.IntUnits, cfg.FPUnits, cfg.LSUnits, cfg.BranchUnits, cfg.LCRUnits))
+	add("Integer FU latencies", fmt.Sprintf("%d/%d/%d add/multiply/divide",
+		cfg.IntAddLat, cfg.IntMulLat, cfg.IntDivLat))
+	add("FP FU latencies", fmt.Sprintf("%d default, %d divide", cfg.FPLat, cfg.FPDivLat))
+	add("Reorder buffer size", fmt.Sprintf("%d", cfg.ROBSize))
+	add("Register file size", fmt.Sprintf("%d integer, %d FP", cfg.IntRegs, cfg.FPRegs))
+	add("Memory queue size", fmt.Sprintf("%d entries", cfg.MemQueueSize))
+	add("L1 D/L1 I/L2 unified", fmt.Sprintf("%dKB/%dKB/%dMB",
+		cfg.L1D.SizeBytes>>10, cfg.L1I.SizeBytes>>10, cfg.L2.SizeBytes>>20))
+	add("L1 D/L2/Main memory latencies", fmt.Sprintf("%d/%d/%d cycles",
+		cfg.L1Lat, cfg.L2Lat, cfg.MemLat))
+	return t
+}
+
+// Table3 reproduces Table 3: per-application IPC and average total power
+// on the 180nm base machine, alongside the paper's published values.
+func Table3(res *sim.StudyResult) (*Table, error) {
+	t := &Table{
+		Title:  "Table 3: IPC and power for the 180nm base processor",
+		Header: []string{"app", "suite", "IPC", "paper IPC", "power (W)", "paper power (W)"},
+	}
+	for _, a := range res.AppsAt(0) {
+		prof, err := workload.ByName(a.App)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(a.App, a.Suite.String(),
+			F(a.IPC, 2), F(prof.TargetIPC, 2),
+			F(a.AvgTotalW, 2), F(prof.TargetPowerW, 2)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Table4 reproduces Table 4: the scaled technology parameters with the
+// measured suite-average total power and the relative total power density.
+func Table4(res *sim.StudyResult) (*Table, error) {
+	t := &Table{
+		Title: "Table 4: scaled parameters",
+		Header: []string{"tech", "Vdd (V)", "freq (GHz)", "rel cap", "rel area",
+			"tox (A)", "Jmax (mA/um2)", "leak (W/mm2)", "avg total power (W)", "rel power density"},
+	}
+	var basePower float64
+	for ti, tech := range res.Techs {
+		apps := res.AppsAt(ti)
+		var sum float64
+		for _, a := range apps {
+			sum += a.AvgTotalW
+		}
+		avg := sum / float64(len(apps))
+		if ti == 0 {
+			basePower = avg
+		}
+		relDensity := (avg / tech.RelArea) / basePower
+		if err := t.AddRow(tech.Name, F(tech.VddV, 1), F(tech.FreqGHz, 2),
+			F(tech.RelCapacitance, 2), F(tech.RelArea, 2),
+			F(tech.ToxNm*10, 0), F(tech.JMaxMAum2, 1), F(tech.LeakW383PerMm2, 3),
+			F(avg, 1), F(relDensity, 2)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+)
+
+var _update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares rendered output against a checked-in file, regenerating
+// it under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *_update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table1.golden", sb.String())
+}
+
+func TestGoldenTable2(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(microarch.DefaultConfig()).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table2.golden", sb.String())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1().RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table1.csv.golden", sb.String())
+}
+
+func TestGoldenAlignmentWithUnicode(t *testing.T) {
+	// Alignment must hold for multi-byte cells (κ², µ, …).
+	tab := &Table{Title: "unicode", Header: []string{"name", "value"}}
+	for _, row := range [][]string{{"κ²", "1"}, {"plain", "22"}, {"µs", "333"}} {
+		if err := tab.AddRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "unicode.golden", sb.String())
+	// Every line must have the same rune width.
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	width := len([]rune(lines[1])) // header line
+	for _, line := range lines[2:] {
+		if len([]rune(line)) != width {
+			t.Errorf("misaligned line %q (width %d, want %d)", line, len([]rune(line)), width)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package report
+
+import (
+	"fmt"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/paperdata"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// Headline collects the paper's quoted summary numbers (§1.3, §5) computed
+// from a study result, for side-by-side comparison in EXPERIMENTS.md.
+type Headline struct {
+	// TempRiseK is the suite-average rise of the hottest-structure
+	// temperature from 180nm to 65nm (1.0V) — the paper reports 15 K.
+	TempRiseK float64
+	// TotalIncreasePct maps suite → percentage FIT increase from 180nm to
+	// 65nm (1.0V) — the paper reports 274% (FP), 357% (INT), 316% average.
+	TotalIncreasePct map[string]float64
+	// MechIncreasePct maps mechanism → [65nm(0.9V), 65nm(1.0V)] average
+	// percentage increases from 180nm.
+	MechIncreasePct map[core.Mechanism][2]float64
+	// WorstVsHighestPct is the worst-case FIT margin over the highest
+	// individual application, as a percentage of the highest application
+	// FIT, at 180nm and 65nm (1.0V) — the paper reports 25% → 90%.
+	WorstVsHighestPct [2]float64
+	// WorstVsAveragePct is the worst-case margin over the suite-average
+	// FIT at 180nm and 65nm (1.0V) — the paper reports 67% → 206%.
+	WorstVsAveragePct [2]float64
+	// FITRange is the spread (max−min) of application FIT values at
+	// 180nm, 65nm (0.9V), and 65nm (1.0V) — paper: 2479, 5095, 17272.
+	FITRange [3]float64
+	// FITRangePctOfAvg expresses the same spreads as a percentage of the
+	// suite-average FIT — paper: 62%, 72%, 104%.
+	FITRangePctOfAvg [3]float64
+}
+
+// techIndex finds a technology by name.
+func techIndex(res *sim.StudyResult, name string) (int, error) {
+	for i, t := range res.Techs {
+		if t.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("report: study does not include %q", name)
+}
+
+// ComputeHeadline derives the headline numbers from a full study. The
+// study must include 180nm, 65nm (0.9V), and 65nm (1.0V).
+func ComputeHeadline(res *sim.StudyResult) (*Headline, error) {
+	i180, err := techIndex(res, "180nm")
+	if err != nil {
+		return nil, err
+	}
+	i09, err := techIndex(res, "65nm (0.9V)")
+	if err != nil {
+		return nil, err
+	}
+	i10, err := techIndex(res, "65nm (1.0V)")
+	if err != nil {
+		return nil, err
+	}
+
+	h := &Headline{
+		TotalIncreasePct: make(map[string]float64, 3),
+		MechIncreasePct:  make(map[core.Mechanism][2]float64, core.NumMechanisms),
+	}
+
+	// Temperature rise (suite average of per-app max-structure temps).
+	apps180, apps10 := res.AppsAt(i180), res.AppsAt(i10)
+	var t180, t10 float64
+	for _, a := range apps180 {
+		t180 += a.MaxStructTempK
+	}
+	for _, a := range apps10 {
+		t10 += a.MaxStructTempK
+	}
+	h.TempRiseK = t10/float64(len(apps10)) - t180/float64(len(apps180))
+
+	// Total FIT increases per suite.
+	for _, s := range []struct {
+		label string
+		suite workload.Suite
+	}{{"SpecFP", workload.SuiteFP}, {"SpecInt", workload.SuiteInt}, {"all", 0}} {
+		base := res.SuiteAverageFIT(i180, s.suite)
+		if base <= 0 {
+			continue
+		}
+		h.TotalIncreasePct[s.label] = (res.SuiteAverageFIT(i10, s.suite)/base - 1) * 100
+	}
+
+	// Per-mechanism increases (suite-wide averages).
+	m180 := res.SuiteAverageMech(i180, 0)
+	m09 := res.SuiteAverageMech(i09, 0)
+	m10 := res.SuiteAverageMech(i10, 0)
+	for _, m := range core.Mechanisms() {
+		if m180[m] <= 0 {
+			continue
+		}
+		h.MechIncreasePct[m] = [2]float64{
+			(m09[m]/m180[m] - 1) * 100,
+			(m10[m]/m180[m] - 1) * 100,
+		}
+	}
+
+	// Worst-case gaps (§5.2).
+	gapVsHighest := func(ti int) float64 {
+		_, hi := res.FITRange(ti)
+		return (res.WorstFIT(ti).Total()/hi - 1) * 100
+	}
+	gapVsAverage := func(ti int) float64 {
+		return (res.WorstFIT(ti).Total()/res.SuiteAverageFIT(ti, 0) - 1) * 100
+	}
+	h.WorstVsHighestPct = [2]float64{gapVsHighest(i180), gapVsHighest(i10)}
+	h.WorstVsAveragePct = [2]float64{gapVsAverage(i180), gapVsAverage(i10)}
+
+	// FIT ranges (§5.2).
+	for k, ti := range []int{i180, i09, i10} {
+		lo, hi := res.FITRange(ti)
+		h.FITRange[k] = hi - lo
+		if avg := res.SuiteAverageFIT(ti, 0); avg > 0 {
+			h.FITRangePctOfAvg[k] = (hi - lo) / avg * 100
+		}
+	}
+	return h, nil
+}
+
+// Render produces the headline comparison table with the paper's published
+// values (internal/paperdata) alongside the measured ones.
+func (h *Headline) Render() *Table {
+	t := &Table{
+		Title:  "Headline results: paper vs. this reproduction",
+		Header: []string{"quantity", "paper", "measured"},
+	}
+	add := func(k, paper, measured string) { _ = t.AddRow(k, paper, measured) }
+	add("max-temp rise 180nm→65nm(1.0V)",
+		F(paperdata.MaxTempRiseK, 0)+" K", F(h.TempRiseK, 1)+" K")
+	add("total FIT increase, SpecFP",
+		F(paperdata.TotalIncreaseFPPct, 0)+"%", F(h.TotalIncreasePct["SpecFP"], 0)+"%")
+	add("total FIT increase, SpecInt",
+		F(paperdata.TotalIncreaseIntPct, 0)+"%", F(h.TotalIncreasePct["SpecInt"], 0)+"%")
+	add("total FIT increase, average",
+		F(paperdata.TotalIncreaseAvgPct, 0)+"%", F(h.TotalIncreasePct["all"], 0)+"%")
+	paperMech := paperdata.MechIncreases()
+	for _, m := range core.Mechanisms() {
+		inc := h.MechIncreasePct[m]
+		pm := paperMech[m]
+		add(fmt.Sprintf("%v increase at 65nm(0.9V)", m),
+			fmt.Sprintf("%.0f-%.0f%%", pm.At09FP, pm.At09Int), F(inc[0], 0)+"%")
+		add(fmt.Sprintf("%v increase at 65nm(1.0V)", m),
+			fmt.Sprintf("%.0f-%.0f%%", pm.At10FP, pm.At10Int), F(inc[1], 0)+"%")
+	}
+	add("worst-case vs highest app, 180nm",
+		F(paperdata.WorstVsHighest180Pct, 0)+"%", F(h.WorstVsHighestPct[0], 0)+"%")
+	add("worst-case vs highest app, 65nm(1.0V)",
+		F(paperdata.WorstVsHighest65Pct, 0)+"%", F(h.WorstVsHighestPct[1], 0)+"%")
+	add("worst-case vs average, 180nm",
+		F(paperdata.WorstVsAverage180Pct, 0)+"%", F(h.WorstVsAveragePct[0], 0)+"%")
+	add("worst-case vs average, 65nm(1.0V)",
+		F(paperdata.WorstVsAverage65Pct, 0)+"%", F(h.WorstVsAveragePct[1], 0)+"%")
+	ranges := paperdata.FITRanges()
+	labels := [3]string{"180nm", "65nm(0.9V)", "65nm(1.0V)"}
+	for i, r := range ranges {
+		add("FIT range at "+labels[i],
+			fmt.Sprintf("%.0f (%.0f%%)", r.Spread, r.PctOfAvg),
+			fmt.Sprintf("%s (%s%%)", F(h.FITRange[i], 0), F(h.FITRangePctOfAvg[i], 0)))
+	}
+	return t
+}

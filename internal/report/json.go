@@ -1,0 +1,141 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/sim"
+)
+
+// Document is the JSON-serialisable form of a study result, for external
+// plotting and archival. Figures 2–5 can all be regenerated from it.
+type Document struct {
+	// Schema versions the document layout.
+	Schema int `json:"schema"`
+	// Technologies lists the evaluated technology points in order.
+	Technologies []TechDoc `json:"technologies"`
+	// Applications holds one record per (application × technology).
+	Applications []AppDoc `json:"applications"`
+	// WorstCase holds the §5.2 worst-case evaluation per technology.
+	WorstCase []WorstDoc `json:"worst_case"`
+	// QualificationConstants maps mechanism → proportionality constant.
+	QualificationConstants map[string]float64 `json:"qualification_constants"`
+}
+
+// TechDoc is one technology point.
+type TechDoc struct {
+	Name           string  `json:"name"`
+	FeatureNm      int     `json:"feature_nm"`
+	VddV           float64 `json:"vdd_v"`
+	FreqGHz        float64 `json:"freq_ghz"`
+	RelArea        float64 `json:"rel_area"`
+	ToxNm          float64 `json:"tox_nm"`
+	JMaxMAum2      float64 `json:"jmax_ma_per_um2"`
+	LeakW383PerMm2 float64 `json:"leak_w_per_mm2_383k"`
+}
+
+// AppDoc is one application × technology evaluation.
+type AppDoc struct {
+	App            string             `json:"app"`
+	Suite          string             `json:"suite"`
+	Tech           string             `json:"tech"`
+	IPC            float64            `json:"ipc"`
+	AvgTotalW      float64            `json:"avg_total_w"`
+	AvgDynamicW    float64            `json:"avg_dynamic_w"`
+	AvgLeakageW    float64            `json:"avg_leakage_w"`
+	MaxStructTempK float64            `json:"max_struct_temp_k"`
+	SinkTempK      float64            `json:"sink_temp_k"`
+	DieAvgTempK    float64            `json:"die_avg_temp_k"`
+	TotalFIT       float64            `json:"total_fit"`
+	MTTFYears      float64            `json:"mttf_years"`
+	FITByMechanism map[string]float64 `json:"fit_by_mechanism"`
+	FITByStructure map[string]float64 `json:"fit_by_structure"`
+}
+
+// WorstDoc is the worst-case evaluation at one technology.
+type WorstDoc struct {
+	Tech           string             `json:"tech"`
+	TotalFIT       float64            `json:"total_fit"`
+	FITByMechanism map[string]float64 `json:"fit_by_mechanism"`
+}
+
+// BuildDocument converts a study result into its JSON document form.
+func BuildDocument(res *sim.StudyResult) Document {
+	doc := Document{
+		Schema:                 1,
+		Technologies:           make([]TechDoc, 0, len(res.Techs)),
+		QualificationConstants: make(map[string]float64, core.NumMechanisms),
+	}
+	for _, t := range res.Techs {
+		doc.Technologies = append(doc.Technologies, TechDoc{
+			Name:           t.Name,
+			FeatureNm:      t.FeatureNm,
+			VddV:           t.VddV,
+			FreqGHz:        t.FreqGHz,
+			RelArea:        t.RelArea,
+			ToxNm:          t.ToxNm,
+			JMaxMAum2:      t.JMaxMAum2,
+			LeakW383PerMm2: t.LeakW383PerMm2,
+		})
+	}
+	for m, k := range res.Constants.K {
+		doc.QualificationConstants[core.Mechanism(m).String()] = k
+	}
+	for ti := range res.Techs {
+		for _, a := range res.AppsAt(ti) {
+			fit := res.FIT(a)
+			doc.Applications = append(doc.Applications, AppDoc{
+				App:            a.App,
+				Suite:          a.Suite.String(),
+				Tech:           a.Tech.Name,
+				IPC:            a.IPC,
+				AvgTotalW:      a.AvgTotalW,
+				AvgDynamicW:    a.AvgDynamicW,
+				AvgLeakageW:    a.AvgLeakageW,
+				MaxStructTempK: a.MaxStructTempK,
+				SinkTempK:      a.SinkTempK,
+				DieAvgTempK:    a.DieAvgTempK,
+				TotalFIT:       fit.Total(),
+				MTTFYears:      fit.MTTFYears(),
+				FITByMechanism: mechMap(fit.ByMechanism()),
+				FITByStructure: structMap(fit.ByStructure()),
+			})
+		}
+		wfit := res.WorstFIT(ti)
+		doc.WorstCase = append(doc.WorstCase, WorstDoc{
+			Tech:           res.Techs[ti].Name,
+			TotalFIT:       wfit.Total(),
+			FITByMechanism: mechMap(wfit.ByMechanism()),
+		})
+	}
+	return doc
+}
+
+func mechMap(v [core.NumMechanisms]float64) map[string]float64 {
+	out := make(map[string]float64, len(v))
+	for m, x := range v {
+		out[core.Mechanism(m).String()] = x
+	}
+	return out
+}
+
+func structMap(v [microarch.NumStructures]float64) map[string]float64 {
+	out := make(map[string]float64, len(v))
+	for s, x := range v {
+		out[microarch.StructureID(s).String()] = x
+	}
+	return out
+}
+
+// WriteJSON encodes the study result as indented JSON.
+func WriteJSON(w io.Writer, res *sim.StudyResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(BuildDocument(res)); err != nil {
+		return fmt.Errorf("report: encode json: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestBuildDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study run is slow; skipped with -short")
+	}
+	res := smallStudy(t)
+	doc := BuildDocument(res)
+	if doc.Schema != 1 {
+		t.Fatalf("schema = %d", doc.Schema)
+	}
+	if len(doc.Technologies) != len(res.Techs) {
+		t.Fatalf("technologies = %d, want %d", len(doc.Technologies), len(res.Techs))
+	}
+	if len(doc.Applications) != len(res.Apps) {
+		t.Fatalf("applications = %d, want %d", len(doc.Applications), len(res.Apps))
+	}
+	if len(doc.WorstCase) != len(res.Techs) {
+		t.Fatalf("worst-case entries = %d, want %d", len(doc.WorstCase), len(res.Techs))
+	}
+	if len(doc.QualificationConstants) != 4 {
+		t.Fatalf("constants = %d, want 4", len(doc.QualificationConstants))
+	}
+	// Per-app mechanism sums must equal the reported total.
+	for _, a := range doc.Applications {
+		var sum float64
+		for _, v := range a.FITByMechanism {
+			sum += v
+		}
+		if math.Abs(sum-a.TotalFIT) > 1e-6*a.TotalFIT {
+			t.Errorf("%s@%s: mechanism sum %v != total %v", a.App, a.Tech, sum, a.TotalFIT)
+		}
+		var ssum float64
+		for _, v := range a.FITByStructure {
+			ssum += v
+		}
+		if math.Abs(ssum-a.TotalFIT) > 1e-6*a.TotalFIT {
+			t.Errorf("%s@%s: structure sum %v != total %v", a.App, a.Tech, ssum, a.TotalFIT)
+		}
+		if a.MTTFYears <= 0 {
+			t.Errorf("%s@%s: non-positive MTTF", a.App, a.Tech)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study run is slow; skipped with -short")
+	}
+	res := smallStudy(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	want := BuildDocument(res)
+	if len(doc.Applications) != len(want.Applications) {
+		t.Fatalf("round trip lost applications: %d vs %d",
+			len(doc.Applications), len(want.Applications))
+	}
+	if doc.Applications[0].App != want.Applications[0].App {
+		t.Fatal("round trip mangled application records")
+	}
+}

@@ -1,0 +1,161 @@
+// Package scaling captures the technology-generation parameters of the
+// paper's Table 4 and the derived quantities the power, thermal, and
+// reliability models need. All scaling is expressed relative to the 180nm
+// base point, matching the paper's methodology (§4.6: "All scaling is done
+// with respect to 180nm, as the performance and power simulator are
+// calibrated for this technology point").
+package scaling
+
+import "fmt"
+
+// Technology is one technology generation/operating point from Table 4.
+type Technology struct {
+	// Name is the label used in the paper's figures, e.g. "65nm (1.0V)".
+	Name string
+	// FeatureNm is the drawn feature size in nanometres.
+	FeatureNm int
+	// VddV is the supply voltage in volts.
+	VddV float64
+	// FreqGHz is the clock frequency in GHz (22% growth per generation).
+	FreqGHz float64
+	// RelCapacitance is the switched capacitance relative to 180nm.
+	RelCapacitance float64
+	// RelArea is the die (and per-structure) area relative to 180nm.
+	RelArea float64
+	// ToxNm is the gate oxide thickness in nanometres (Table 4 lists Å).
+	ToxNm float64
+	// JMaxMAum2 is the maximum allowed interconnect current density in
+	// mA/µm² (reduced 33% per generation until 90nm, then held).
+	JMaxMAum2 float64
+	// LeakW383PerMm2 is the leakage power density in W/mm² at 383K.
+	LeakW383PerMm2 float64
+	// WireScale is the cumulative linear interconnect scaling factor κ
+	// relative to 180nm (0.7 per generation to 90nm, 0.8 to 65nm); wire
+	// width and height both scale by it (paper §3, Figure 1 discussion).
+	WireScale float64
+}
+
+// Validate checks the parameters for physical plausibility.
+func (t Technology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("scaling: technology needs a name")
+	}
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"FeatureNm", float64(t.FeatureNm)},
+		{"VddV", t.VddV},
+		{"FreqGHz", t.FreqGHz},
+		{"RelCapacitance", t.RelCapacitance},
+		{"RelArea", t.RelArea},
+		{"ToxNm", t.ToxNm},
+		{"JMaxMAum2", t.JMaxMAum2},
+		{"LeakW383PerMm2", t.LeakW383PerMm2},
+		{"WireScale", t.WireScale},
+	}
+	for _, c := range checks {
+		if c.v <= 0 {
+			return fmt.Errorf("scaling: %s: %s must be positive", t.Name, c.name)
+		}
+	}
+	if t.RelArea > 1.000001 || t.WireScale > 1.000001 || t.RelCapacitance > 1.000001 {
+		return fmt.Errorf("scaling: %s: relative factors cannot exceed the 180nm base", t.Name)
+	}
+	return nil
+}
+
+// Base returns the 180nm reference technology (Tables 2 and 4).
+func Base() Technology {
+	return Technology{
+		Name:           "180nm",
+		FeatureNm:      180,
+		VddV:           1.3,
+		FreqGHz:        1.1,
+		RelCapacitance: 1.0,
+		RelArea:        1.0,
+		ToxNm:          2.5,
+		JMaxMAum2:      9.0,
+		LeakW383PerMm2: 0.040,
+		WireScale:      1.0,
+	}
+}
+
+// Generations returns the five technology points of Table 4 in order:
+// 180nm, 130nm, 90nm, 65nm (0.9V), 65nm (1.0V).
+func Generations() []Technology {
+	return []Technology{
+		Base(),
+		{
+			Name:           "130nm",
+			FeatureNm:      130,
+			VddV:           1.1,
+			FreqGHz:        1.35,
+			RelCapacitance: 0.7,
+			RelArea:        0.5,
+			ToxNm:          1.7,
+			JMaxMAum2:      6.0,
+			LeakW383PerMm2: 0.10,
+			WireScale:      0.7,
+		},
+		{
+			Name:           "90nm",
+			FeatureNm:      90,
+			VddV:           1.0,
+			FreqGHz:        1.65,
+			RelCapacitance: 0.49,
+			RelArea:        0.25,
+			ToxNm:          1.2,
+			JMaxMAum2:      4.0,
+			LeakW383PerMm2: 0.25,
+			WireScale:      0.49,
+		},
+		{
+			Name:           "65nm (0.9V)",
+			FeatureNm:      65,
+			VddV:           0.9,
+			FreqGHz:        2.0,
+			RelCapacitance: 0.4,
+			RelArea:        0.16,
+			ToxNm:          0.9,
+			JMaxMAum2:      4.0,
+			LeakW383PerMm2: 0.54,
+			WireScale:      0.392,
+		},
+		{
+			Name:           "65nm (1.0V)",
+			FeatureNm:      65,
+			VddV:           1.0,
+			FreqGHz:        2.0,
+			RelCapacitance: 0.4,
+			RelArea:        0.16,
+			ToxNm:          0.9,
+			JMaxMAum2:      4.0,
+			LeakW383PerMm2: 0.60,
+			WireScale:      0.392,
+		},
+	}
+}
+
+// ByName returns the named technology point.
+func ByName(name string) (Technology, error) {
+	for _, t := range Generations() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Technology{}, fmt.Errorf("scaling: unknown technology %q", name)
+}
+
+// DynamicPowerScale returns the factor by which a structure's dynamic
+// power changes from the 180nm base to this technology: C_rel·(V/V₀)²·(f/f₀).
+func (t Technology) DynamicPowerScale() float64 {
+	base := Base()
+	v := t.VddV / base.VddV
+	return t.RelCapacitance * v * v * (t.FreqGHz / base.FreqGHz)
+}
+
+// ToxReductionNm returns how much thinner the gate oxide is than at 180nm.
+func (t Technology) ToxReductionNm() float64 {
+	return Base().ToxNm - t.ToxNm
+}

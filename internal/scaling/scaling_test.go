@@ -1,0 +1,159 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerationsMatchTable4(t *testing.T) {
+	gens := Generations()
+	if len(gens) != 5 {
+		t.Fatalf("got %d generations, want 5", len(gens))
+	}
+	// Spot-check the exact Table 4 rows.
+	tests := []struct {
+		idx  int
+		name string
+		vdd  float64
+		freq float64
+		cap  float64
+		area float64
+		tox  float64
+		jmax float64
+		leak float64
+	}{
+		{0, "180nm", 1.3, 1.1, 1.0, 1.0, 2.5, 9.0, 0.040},
+		{1, "130nm", 1.1, 1.35, 0.7, 0.5, 1.7, 6.0, 0.10},
+		{2, "90nm", 1.0, 1.65, 0.49, 0.25, 1.2, 4.0, 0.25},
+		{3, "65nm (0.9V)", 0.9, 2.0, 0.4, 0.16, 0.9, 4.0, 0.54},
+		{4, "65nm (1.0V)", 1.0, 2.0, 0.4, 0.16, 0.9, 4.0, 0.60},
+	}
+	for _, tt := range tests {
+		g := gens[tt.idx]
+		if g.Name != tt.name || g.VddV != tt.vdd || g.FreqGHz != tt.freq ||
+			g.RelCapacitance != tt.cap || g.RelArea != tt.area ||
+			g.ToxNm != tt.tox || g.JMaxMAum2 != tt.jmax || g.LeakW383PerMm2 != tt.leak {
+			t.Errorf("generation %d = %+v, want Table 4 row %+v", tt.idx, g, tt)
+		}
+	}
+}
+
+func TestAllGenerationsValidate(t *testing.T) {
+	for _, g := range Generations() {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	g := Base()
+	g.Name = ""
+	if err := g.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	g = Base()
+	g.VddV = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero voltage accepted")
+	}
+	g = Base()
+	g.RelArea = 1.5
+	if err := g.Validate(); err == nil {
+		t.Error("relative area > 1 accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	g, err := ByName("90nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FeatureNm != 90 {
+		t.Fatalf("ByName returned %+v", g)
+	}
+	if _, err := ByName("45nm"); err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+}
+
+func TestWireScaleFollowsKappaSchedule(t *testing.T) {
+	// κ = 0.7 per generation to 90nm, then 0.8 (paper §4.6).
+	gens := Generations()
+	if math.Abs(gens[1].WireScale-0.7) > 1e-12 {
+		t.Errorf("130nm wire scale = %v, want 0.7", gens[1].WireScale)
+	}
+	if math.Abs(gens[2].WireScale-0.49) > 1e-12 {
+		t.Errorf("90nm wire scale = %v, want 0.49", gens[2].WireScale)
+	}
+	if math.Abs(gens[3].WireScale-0.392) > 1e-9 {
+		t.Errorf("65nm wire scale = %v, want 0.392", gens[3].WireScale)
+	}
+}
+
+func TestFrequencyGrowth22Percent(t *testing.T) {
+	gens := Generations()
+	for i := 1; i < 3; i++ {
+		ratio := gens[i].FreqGHz / gens[i-1].FreqGHz
+		if ratio < 1.20 || ratio > 1.25 {
+			t.Errorf("%s→%s frequency growth %.3f, want ≈1.22",
+				gens[i-1].Name, gens[i].Name, ratio)
+		}
+	}
+}
+
+func TestDynamicPowerScale(t *testing.T) {
+	if got := Base().DynamicPowerScale(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("base dynamic scale = %v, want 1", got)
+	}
+	g, err := ByName("130nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.7 * (1.1 / 1.3) * (1.1 / 1.3) * (1.35 / 1.1)
+	if got := g.DynamicPowerScale(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("130nm dynamic scale = %v, want %v", got, want)
+	}
+	// Dynamic power per structure must fall monotonically through 90nm.
+	gens := Generations()
+	for i := 1; i < 3; i++ {
+		if gens[i].DynamicPowerScale() >= gens[i-1].DynamicPowerScale() {
+			t.Errorf("dynamic power scale not decreasing at %s", gens[i].Name)
+		}
+	}
+}
+
+func TestToxReduction(t *testing.T) {
+	g, err := ByName("65nm (1.0V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ToxReductionNm(); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("tox reduction = %v nm, want 1.6", got)
+	}
+	if got := Base().ToxReductionNm(); got != 0 {
+		t.Fatalf("base tox reduction = %v, want 0", got)
+	}
+}
+
+func TestPowerDensityRisesWithScaling(t *testing.T) {
+	// Table 4's punchline: relative total power density rises steadily.
+	// Approximate total power as dynamic-scale × base-dynamic + leakage
+	// density × area; density = power/area relative to base.
+	gens := Generations()
+	const baseDyn = 25.9 // W, suite-average dynamic at 180nm
+	density := func(g Technology) float64 {
+		total := baseDyn*g.DynamicPowerScale() + g.LeakW383PerMm2*81*g.RelArea
+		return total / (81 * g.RelArea)
+	}
+	base := density(gens[0])
+	prev := 1.0
+	for _, g := range gens[1:] {
+		rel := density(g) / base
+		if rel <= prev {
+			t.Errorf("%s relative power density %.2f not above previous %.2f",
+				g.Name, rel, prev)
+		}
+		prev = rel
+	}
+}

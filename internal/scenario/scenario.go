@@ -1,0 +1,207 @@
+// Package scenario defines reproducible experiment specifications: a JSON
+// document selecting workloads, technology points, trace length, and model
+// overrides (the ablation knobs DESIGN.md lists), which resolves into the
+// inputs of sim.RunStudy. Scenarios make every experiment in EXPERIMENTS.md
+// a shareable artifact instead of a command line.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// Spec is the JSON experiment specification.
+type Spec struct {
+	// Name identifies the scenario in reports.
+	Name string `json:"name"`
+	// Description says what the scenario studies.
+	Description string `json:"description,omitempty"`
+	// Apps selects benchmarks by name; empty means all 16.
+	Apps []string `json:"apps,omitempty"`
+	// Techs selects technology points by name; empty means all five.
+	// The 180nm anchor is prepended automatically if missing.
+	Techs []string `json:"techs,omitempty"`
+	// Instructions is the per-application trace length (default 2M).
+	Instructions int64 `json:"instructions,omitempty"`
+	// Overrides tweak the model (ablation knobs).
+	Overrides *Overrides `json:"overrides,omitempty"`
+}
+
+// Overrides are the supported model modifications. Pointer fields are
+// applied only when present in the JSON document.
+type Overrides struct {
+	// EMGeomExponent replaces the EM wire-geometry exponent.
+	EMGeomExponent *float64 `json:"em_geom_exponent,omitempty"`
+	// TDDBToxDecadeNm replaces the oxide-thinning decade constant.
+	TDDBToxDecadeNm *float64 `json:"tddb_tox_decade_nm,omitempty"`
+	// TDDBVoltExponent replaces the cross-technology voltage exponent.
+	TDDBVoltExponent *float64 `json:"tddb_volt_exponent,omitempty"`
+	// GatingFloor replaces the clock-gating idle fraction.
+	GatingFloor *float64 `json:"gating_floor,omitempty"`
+	// SinkR replaces the base heat-sink resistance (K/W).
+	SinkR *float64 `json:"sink_r,omitempty"`
+	// NextLinePrefetch toggles the data prefetcher.
+	NextLinePrefetch *bool `json:"next_line_prefetch,omitempty"`
+	// BimodalPredictor switches the branch predictor from gshare.
+	BimodalPredictor *bool `json:"bimodal_predictor,omitempty"`
+	// QualFITPerMechanism replaces the §4.4 qualification target.
+	QualFITPerMechanism *float64 `json:"qual_fit_per_mechanism,omitempty"`
+}
+
+// Load parses a scenario from JSON, rejecting unknown fields so typos in
+// experiment files fail loudly.
+func Load(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadFile loads a scenario from a file path.
+func LoadFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Validate checks the specification against the available workloads and
+// technologies.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: needs a name")
+	}
+	for _, a := range s.Apps {
+		if _, err := workload.ByName(a); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	for _, t := range s.Techs {
+		if _, err := scaling.ByName(t); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if s.Instructions < 0 {
+		return fmt.Errorf("scenario %q: negative instruction count", s.Name)
+	}
+	if o := s.Overrides; o != nil {
+		check := func(name string, v *float64, min, max float64) error {
+			if v != nil && (*v < min || *v > max) {
+				return fmt.Errorf("scenario %q: %s %v outside [%v, %v]", s.Name, name, *v, min, max)
+			}
+			return nil
+		}
+		if err := check("em_geom_exponent", o.EMGeomExponent, 0, 4); err != nil {
+			return err
+		}
+		if err := check("tddb_tox_decade_nm", o.TDDBToxDecadeNm, 0.01, 1e9); err != nil {
+			return err
+		}
+		if err := check("tddb_volt_exponent", o.TDDBVoltExponent, 0, 200); err != nil {
+			return err
+		}
+		if err := check("gating_floor", o.GatingFloor, 0, 0.99); err != nil {
+			return err
+		}
+		if err := check("sink_r", o.SinkR, 0.01, 100); err != nil {
+			return err
+		}
+		if err := check("qual_fit_per_mechanism", o.QualFITPerMechanism, 1, 1e9); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resolve turns the specification into study inputs, applying overrides to
+// a copy of the base configuration.
+func (s Spec) Resolve(base sim.Config) (sim.Config, []workload.Profile, []scaling.Technology, error) {
+	if err := s.Validate(); err != nil {
+		return sim.Config{}, nil, nil, err
+	}
+	cfg := base
+	if s.Instructions > 0 {
+		cfg.Instructions = s.Instructions
+	}
+	if o := s.Overrides; o != nil {
+		if o.EMGeomExponent != nil {
+			cfg.RAMP.EM.GeomExponent = *o.EMGeomExponent
+		}
+		if o.TDDBToxDecadeNm != nil {
+			cfg.RAMP.TDDB.ToxDecadeNm = *o.TDDBToxDecadeNm
+		}
+		if o.TDDBVoltExponent != nil {
+			cfg.RAMP.TDDB.VoltExponent = *o.TDDBVoltExponent
+		}
+		if o.GatingFloor != nil {
+			cfg.Power.GatingFloor = *o.GatingFloor
+		}
+		if o.SinkR != nil {
+			cfg.Thermal.SinkR = *o.SinkR
+		}
+		if o.NextLinePrefetch != nil {
+			cfg.Machine.NextLinePrefetch = *o.NextLinePrefetch
+		}
+		if o.BimodalPredictor != nil && *o.BimodalPredictor {
+			cfg.Machine.PredictorKind = microarch.PredictorBimodal
+		}
+		if o.QualFITPerMechanism != nil {
+			cfg.QualFITPerMechanism = *o.QualFITPerMechanism
+		}
+	}
+
+	var profiles []workload.Profile
+	if len(s.Apps) == 0 {
+		profiles = workload.Profiles()
+	} else {
+		profiles = make([]workload.Profile, 0, len(s.Apps))
+		for _, a := range s.Apps {
+			p, err := workload.ByName(a)
+			if err != nil {
+				return sim.Config{}, nil, nil, err
+			}
+			profiles = append(profiles, p)
+		}
+	}
+
+	var techs []scaling.Technology
+	if len(s.Techs) == 0 {
+		techs = scaling.Generations()
+	} else {
+		techs = make([]scaling.Technology, 0, len(s.Techs)+1)
+		for _, name := range s.Techs {
+			t, err := scaling.ByName(name)
+			if err != nil {
+				return sim.Config{}, nil, nil, err
+			}
+			techs = append(techs, t)
+		}
+		// The study needs the 180nm calibration anchor first.
+		if techs[0].Name != scaling.Base().Name {
+			withBase := make([]scaling.Technology, 0, len(techs)+1)
+			withBase = append(withBase, scaling.Base())
+			for _, t := range techs {
+				if t.Name != scaling.Base().Name {
+					withBase = append(withBase, t)
+				}
+			}
+			techs = withBase
+		}
+	}
+	return cfg, profiles, techs, nil
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/cycles"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+func TestThermalTraceRecording(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 150_000
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTiming(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off by default.
+	off, err := EvaluateTech(cfg, tr, scaling.Base(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.TempTraceK != nil {
+		t.Fatal("trace recorded without the flag")
+	}
+	cfg.RecordThermalTrace = true
+	on, err := EvaluateTech(cfg, tr, scaling.Base(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on.TempTraceK) != len(tr.Timing.Samples) {
+		t.Fatalf("trace has %d samples, want %d", len(on.TempTraceK), len(tr.Timing.Samples))
+	}
+	for i, temp := range on.TempTraceK {
+		if temp < 320 || temp > 400 {
+			t.Fatalf("sample %d: implausible temperature %v", i, temp)
+		}
+	}
+}
+
+func TestPhasedWorkloadProducesMoreSmallCycleDamage(t *testing.T) {
+	// The paper's §2 open problem, measured: a workload with program
+	// phases (alternating memory/compute behaviour) produces more
+	// small-thermal-cycle damage than the same workload without phases.
+	if testing.Short() {
+		t.Skip("phase comparison is slow; skipped with -short")
+	}
+	cfg := testConfig()
+	cfg.Instructions = 800_000
+	cfg.RecordThermalTrace = true
+
+	base, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased := base
+	phased.PhaseInstrs = 40_000
+	phased.PhaseMemScale = 8
+
+	damage := func(p workload.Profile) float64 {
+		t.Helper()
+		tr, err := RunTiming(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := EvaluateTech(cfg, tr, scaling.Base(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One sample per µs.
+		dur := float64(len(run.TempTraceK)) * 1e-6
+		sum, err := cycles.Analyze(run.TempTraceK, dur, cycles.Params{Q: 2.35, MinRangeK: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.DamageIndex
+	}
+	steady := damage(base)
+	bursty := damage(phased)
+	if bursty <= steady {
+		t.Fatalf("phased workload small-cycle damage %.4g not above steady %.4g",
+			bursty, steady)
+	}
+}

@@ -1,0 +1,347 @@
+// Package sim orchestrates the full evaluation pipeline of the paper
+// (§4): the timing simulation of each workload on the base machine
+// (activity factors and IPC), then — per technology point — the power
+// model, the two-pass thermal methodology of §4.3 (steady-state heat-sink
+// initialisation followed by a 1µs-granularity transient run), and the
+// RAMP failure-rate accumulation, including the reliability-qualification
+// calibration of §4.4 and the worst-case ("max") operating-point analysis
+// of §5.2.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/floorplan"
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/power"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/stats"
+	"github.com/ramp-sim/ramp/internal/thermal"
+	"github.com/ramp-sim/ramp/internal/trace"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// Config parameterises a study.
+type Config struct {
+	// Machine is the base 180nm processor (Table 2).
+	Machine microarch.Config
+	// Power holds the 180nm power calibration.
+	Power power.Params
+	// Thermal holds the package-stack constants.
+	Thermal thermal.Params
+	// RAMP holds the failure-mechanism constants.
+	RAMP core.Params
+	// Instructions is the trace length simulated per application.
+	Instructions int64
+	// QualFITPerMechanism is the per-mechanism suite-average FIT imposed
+	// at reliability qualification (1000 in §4.4, for a 4000-FIT total).
+	QualFITPerMechanism float64
+	// CalibrateAppPower, when set, solves a per-application dynamic-power
+	// factor at 180nm so each benchmark reproduces its Table 3 total
+	// power, standing in for PowerTimer's circuit-level fidelity.
+	CalibrateAppPower bool
+	// RecordThermalTrace, when set, stores each run's per-interval
+	// hottest-structure temperature in AppRun.TempTraceK (one sample per
+	// 1µs interval) for small-thermal-cycle analysis (internal/cycles).
+	RecordThermalTrace bool
+}
+
+// DefaultConfig returns the paper's experimental setup with a trace length
+// suitable for interactive runs.
+func DefaultConfig() Config {
+	return Config{
+		Machine:             microarch.DefaultConfig(),
+		Power:               power.DefaultParams(),
+		Thermal:             thermal.DefaultParams(),
+		RAMP:                core.DefaultParams(),
+		Instructions:        2_000_000,
+		QualFITPerMechanism: 1000,
+		CalibrateAppPower:   true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return fmt.Errorf("sim: machine: %w", err)
+	}
+	if err := c.Power.Validate(); err != nil {
+		return fmt.Errorf("sim: power: %w", err)
+	}
+	if err := c.Thermal.Validate(); err != nil {
+		return fmt.Errorf("sim: thermal: %w", err)
+	}
+	if err := c.RAMP.Validate(); err != nil {
+		return fmt.Errorf("sim: ramp: %w", err)
+	}
+	if c.Instructions <= 0 {
+		return fmt.Errorf("sim: instructions must be positive, got %d", c.Instructions)
+	}
+	if c.QualFITPerMechanism <= 0 {
+		return fmt.Errorf("sim: qualification FIT must be positive")
+	}
+	return nil
+}
+
+// ActivityTrace is the timing-simulation output for one application,
+// reused across technology points (the paper keeps the microarchitecture
+// and hence the activity behaviour fixed while remapping, §1.3).
+type ActivityTrace struct {
+	Profile workload.Profile
+	Timing  microarch.Result
+}
+
+// RunTiming executes the timing stage for one workload profile.
+func RunTiming(cfg Config, prof workload.Profile) (*ActivityTrace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := workload.New(prof, cfg.Instructions)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", prof.Name, err)
+	}
+	return RunTimingStream(cfg, prof, gen)
+}
+
+// RunTimingStream executes the timing stage over an arbitrary instruction
+// stream — a trace file (trace.NewReader), a sampled stream
+// (trace.NewSystematicSampler), or any other trace.Stream. prof supplies
+// the workload's identity (name, suite, Table 3 targets) for reporting.
+func RunTimingStream(cfg Config, prof workload.Profile, stream trace.Stream) (*ActivityTrace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("sim: %s: nil instruction stream", prof.Name)
+	}
+	ms, err := microarch.NewSimulator(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ms.Run(stream)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: timing: %w", prof.Name, err)
+	}
+	if len(res.Samples) == 0 {
+		return nil, fmt.Errorf("sim: %s: timing produced no activity samples", prof.Name)
+	}
+	return &ActivityTrace{Profile: prof, Timing: res}, nil
+}
+
+// AppRun is the evaluation of one application at one technology point. FIT
+// values are raw (unit proportionality constants) until scaled by the
+// study-level calibration.
+type AppRun struct {
+	// App and Suite identify the workload.
+	App   string
+	Suite workload.Suite
+	// Tech is the technology point evaluated.
+	Tech scaling.Technology
+	// IPC is the timing result (technology independent).
+	IPC float64
+	// AvgDynamicW, AvgLeakageW, AvgTotalW are time-averaged chip powers.
+	AvgDynamicW, AvgLeakageW, AvgTotalW float64
+	// AppPowerScale is the per-application dynamic calibration factor used.
+	AppPowerScale float64
+	// MaxStructTempK is the hottest instantaneous structure temperature
+	// (Figure 2's quantity).
+	MaxStructTempK float64
+	// AvgMaxStructTempK is the time-average of the hottest structure.
+	AvgMaxStructTempK float64
+	// SinkTempK is the time-averaged heat-sink temperature.
+	SinkTempK float64
+	// DieAvgTempK is the time-averaged area-weighted die temperature.
+	DieAvgTempK float64
+	// MaxAF and MaxTempK hold per-structure maxima over the run, feeding
+	// the worst-case operating-point analysis (§5.2).
+	MaxAF, MaxTempK [microarch.NumStructures]float64
+	// MaxDieAvgTempK is the maximum instantaneous die-average temperature.
+	MaxDieAvgTempK float64
+	// RawFIT is the time-averaged failure-rate breakdown with unit
+	// proportionality constants.
+	RawFIT core.Breakdown
+	// TempTraceK holds the per-interval hottest-structure temperature when
+	// Config.RecordThermalTrace is set; nil otherwise.
+	TempTraceK []float64
+}
+
+// EvaluateTech runs the power/thermal/reliability pipeline for one
+// activity trace at one technology point.
+//
+// sinkTempTargetK, when positive, adjusts the heat-sink resistance so the
+// steady-state sink temperature matches it (the paper holds each
+// application's sink temperature constant across technologies, §4.3).
+// appPowerScale is the per-application dynamic-power calibration factor
+// (1 to disable).
+func EvaluateTech(cfg Config, tr *ActivityTrace, tech scaling.Technology,
+	sinkTempTargetK, appPowerScale float64) (AppRun, error) {
+	if err := cfg.Validate(); err != nil {
+		return AppRun{}, err
+	}
+	if tr == nil || len(tr.Timing.Samples) == 0 {
+		return AppRun{}, fmt.Errorf("sim: empty activity trace")
+	}
+	fp, err := floorplan.POWER4().Scaled(tech.RelArea)
+	if err != nil {
+		return AppRun{}, err
+	}
+	pm, err := power.NewModel(cfg.Power, tech, fp.Areas())
+	if err != nil {
+		return AppRun{}, err
+	}
+	if appPowerScale > 0 && appPowerScale != 1 {
+		if err := pm.SetAppScale(appPowerScale); err != nil {
+			return AppRun{}, err
+		}
+	} else {
+		appPowerScale = 1
+	}
+	net, err := thermal.NewNetwork(fp, cfg.Thermal)
+	if err != nil {
+		return AppRun{}, err
+	}
+	eval, err := core.NewEvaluator(cfg.RAMP, core.UnitConstants(), tech, fp.Areas())
+	if err != nil {
+		return AppRun{}, err
+	}
+
+	// ---- Pass 1 (§4.3): solve the average-power steady state, adjusting
+	// the sink resistance to the target sink temperature if requested.
+	steady, err := SolveOperatingPoint(pm, net, tr.Timing.AvgAF, sinkTempTargetK)
+	if err != nil {
+		return AppRun{}, fmt.Errorf("sim: %s @ %s: %w", tr.Profile.Name, tech.Name, err)
+	}
+
+	// ---- Pass 2: transient run over the activity samples at 1µs
+	// granularity, accumulating power, temperature, and FIT statistics.
+	net.Init(steady)
+	run := AppRun{
+		App:           tr.Profile.Name,
+		Suite:         tr.Profile.Suite,
+		Tech:          tech,
+		IPC:           tr.Timing.IPC(),
+		AppPowerScale: appPowerScale,
+	}
+	var twDyn, twLeak, twSink, twDieAvg, twMaxT stats.TimeWeighted
+	for i := range tr.Timing.Samples {
+		s := &tr.Timing.Samples[i]
+		dur := float64(s.Cycles) / float64(cfg.Machine.CyclesPerMicrosecond()) // µs
+		if dur <= 0 {
+			continue
+		}
+		cur := net.Current()
+		dyn := pm.Dynamic(s.AF)
+		var blockP [microarch.NumStructures]float64
+		var dynSum, leakSum float64
+		for b := range blockP {
+			leak := pm.LeakageActive(microarch.StructureID(b), cur.Blocks[b], s.AF[b])
+			blockP[b] = dyn[b] + leak
+			dynSum += dyn[b]
+			leakSum += leak
+		}
+		net.Step(blockP[:], dur*1e-6)
+		cur = net.Current()
+		dieAvg := net.DieAverage(cur)
+		var blockT [microarch.NumStructures]float64
+		copy(blockT[:], cur.Blocks)
+		fit := eval.Instant(s.AF, blockT, tech.VddV, dieAvg)
+		eval.Accumulate(fit, dur)
+
+		// Statistics: time-weighted averages with extrema.
+		maxT := cur.MaxBlock()
+		twDyn.Add(dynSum, dur)
+		twLeak.Add(leakSum, dur)
+		twSink.Add(cur.Sink, dur)
+		twDieAvg.Add(dieAvg, dur)
+		twMaxT.Add(maxT, dur)
+		if cfg.RecordThermalTrace {
+			run.TempTraceK = append(run.TempTraceK, maxT)
+		}
+		for b := range blockP {
+			if s.AF[b] > run.MaxAF[b] {
+				run.MaxAF[b] = s.AF[b]
+			}
+			if cur.Blocks[b] > run.MaxTempK[b] {
+				run.MaxTempK[b] = cur.Blocks[b]
+			}
+		}
+	}
+	if twMaxT.TotalTime() == 0 {
+		return AppRun{}, fmt.Errorf("sim: %s @ %s: no evaluable intervals", tr.Profile.Name, tech.Name)
+	}
+	run.AvgDynamicW = twDyn.Mean()
+	run.AvgLeakageW = twLeak.Mean()
+	run.AvgTotalW = run.AvgDynamicW + run.AvgLeakageW
+	run.SinkTempK = twSink.Mean()
+	run.DieAvgTempK = twDieAvg.Mean()
+	run.AvgMaxStructTempK = twMaxT.Mean()
+	run.MaxStructTempK = twMaxT.Max()
+	run.MaxDieAvgTempK = twDieAvg.Max()
+	run.RawFIT = eval.Average()
+	return run, nil
+}
+
+// floorplanFor returns the POWER4 floorplan scaled to a technology point.
+func floorplanFor(tech scaling.Technology) (floorplan.Floorplan, error) {
+	return floorplan.POWER4().Scaled(tech.RelArea)
+}
+
+// SolveOperatingPoint iterates the leakage-temperature fixed point for the
+// whole-run average activity, optionally re-solving the sink resistance so
+// the steady sink temperature hits the target (pass 1 of the paper's §4.3
+// methodology). It leaves the network's sink resistance set and returns
+// the steady state. Exposed for alternative evaluation loops such as the
+// dynamic reliability manager (internal/drm).
+func SolveOperatingPoint(pm *power.Model, net *thermal.Network,
+	avgAF [microarch.NumStructures]float64, sinkTempTargetK float64) (thermal.State, error) {
+	var temps [microarch.NumStructures]float64
+	for i := range temps {
+		temps[i] = 355
+	}
+	var steady thermal.State
+	for iter := 0; iter < 60; iter++ {
+		blockP, total := pm.Total(avgAF, temps)
+		if sinkTempTargetK > 0 {
+			r := (sinkTempTargetK - net.Ambient()) / total
+			if r <= 0 {
+				return thermal.State{}, fmt.Errorf("sink target %vK at/below ambient", sinkTempTargetK)
+			}
+			if err := net.SetSinkR(r); err != nil {
+				return thermal.State{}, err
+			}
+		}
+		next, err := net.SteadyState(blockP[:])
+		if err != nil {
+			return thermal.State{}, err
+		}
+		var maxDelta float64
+		for i := range temps {
+			if !IsReasonableTemp(next.Blocks[i]) {
+				return thermal.State{}, fmt.Errorf(
+					"thermal runaway at %.0fW: temperature diverged (cooling insufficient "+
+						"for this configuration; lower the power or the sink resistance)", total)
+			}
+			d := math.Abs(next.Blocks[i] - temps[i])
+			if d > maxDelta {
+				maxDelta = d
+			}
+			// Damped update for stable convergence of the exponential
+			// leakage feedback.
+			temps[i] = 0.5*temps[i] + 0.5*next.Blocks[i]
+		}
+		steady = next
+		if maxDelta < 1e-4 {
+			return steady, nil
+		}
+	}
+	return steady, fmt.Errorf("operating point did not converge")
+}
+
+// IsReasonableTemp rejects non-finite and physically absurd junction
+// temperatures (the leakage feedback diverges past ~500K anyway). Shared
+// by the CMP solver in internal/multicore.
+func IsReasonableTemp(tK float64) bool {
+	return !math.IsNaN(tK) && tK > 0 && tK < 1000
+}

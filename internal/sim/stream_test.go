@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/trace"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+func TestRunTimingStreamFromTraceFile(t *testing.T) {
+	// Generate a trace, serialise it to the binary format, read it back,
+	// and verify the timing result matches the direct generator path —
+	// the "bring your own trace" workflow.
+	cfg := testConfig()
+	cfg.Instructions = 100_000
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := RunTiming(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := workload.New(prof, cfg.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		in, err := gen.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := RunTimingStream(cfg, prof, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.Timing.IPC() != direct.Timing.IPC() {
+		t.Fatalf("file-trace IPC %.4f != direct IPC %.4f",
+			fromFile.Timing.IPC(), direct.Timing.IPC())
+	}
+	if fromFile.Timing.Instructions != direct.Timing.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d",
+			fromFile.Timing.Instructions, direct.Timing.Instructions)
+	}
+}
+
+func TestRunTimingStreamRejectsNil(t *testing.T) {
+	cfg := testConfig()
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTimingStream(cfg, prof, nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+}
+
+func TestSampledTraceIsRepresentative(t *testing.T) {
+	// The paper's §4.5 sampling-validation property: a systematic sample
+	// spread across the whole program behaves like any other equal-length
+	// view of it. Compare ten 10k-instruction windows drawn from a 1M
+	// stream against a contiguous 100k prefix — same simulation budget,
+	// so cache/predictor warm-up affects both alike, isolating the
+	// sampling effect itself.
+	if testing.Short() {
+		t.Skip("sampling comparison is slow; skipped with -short")
+	}
+	cfg := testConfig()
+	prof, err := workload.ByName("mesa")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Instructions = 100_000
+	contiguous, err := RunTiming(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := workload.New(prof, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := trace.NewSystematicSampler(gen, trace.SamplerConfig{
+		WindowInstrs: 10_000,
+		PeriodInstrs: 100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := RunTimingStream(cfg, prof, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Timing.Instructions != 100_000 {
+		t.Fatalf("sampled %d instructions, want 100000", sampled.Timing.Instructions)
+	}
+	if rel := sampled.Timing.IPC()/contiguous.Timing.IPC() - 1; math.Abs(rel) > 0.10 {
+		t.Errorf("sampled IPC %.3f vs contiguous %.3f (%.1f%% off, want ≤ 10%%)",
+			sampled.Timing.IPC(), contiguous.Timing.IPC(), rel*100)
+	}
+	for s := range contiguous.Timing.AvgAF {
+		f, g := contiguous.Timing.AvgAF[s], sampled.Timing.AvgAF[s]
+		if f < 0.01 {
+			continue
+		}
+		if math.Abs(g/f-1) > 0.15 {
+			t.Errorf("structure %d: sampled AF %.4f vs contiguous %.4f", s, g, f)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d, want 8", r.N())
+	}
+	if !almostEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if !almostEqual(r.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", r.Variance())
+	}
+	if !almostEqual(r.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.Min() != 0 || r.Max() != 0 {
+		t.Fatal("zero-value Running must report zeros")
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(42)
+	if r.Mean() != 42 || r.Min() != 42 || r.Max() != 42 || r.Variance() != 0 {
+		t.Fatalf("single sample: mean=%v min=%v max=%v var=%v", r.Mean(), r.Min(), r.Max(), r.Variance())
+	}
+}
+
+func TestRunningAddNMatchesRepeatedAdd(t *testing.T) {
+	f := func(x float64, nRaw uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+			return true
+		}
+		n := int64(nRaw%20) + 1
+		var a, b Running
+		a.Add(1.5)
+		b.Add(1.5)
+		a.AddN(x, n)
+		for i := int64(0); i < n; i++ {
+			b.Add(x)
+		}
+		return a.N() == b.N() &&
+			almostEqual(a.Mean(), b.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), b.Variance(), 1e-6) &&
+			a.Min() == b.Min() && a.Max() == b.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningAddNIgnoresNonPositive(t *testing.T) {
+	var r Running
+	r.AddN(10, 0)
+	r.AddN(10, -3)
+	if r.N() != 0 {
+		t.Fatalf("AddN with non-positive n must be a no-op, got N=%d", r.N())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, a, b Running
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEqual(a.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !almostEqual(a.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("merged variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestRunningMergeEmptyCases(t *testing.T) {
+	var a, b Running
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 {
+		t.Fatal("empty merge should stay empty")
+	}
+	b.Add(3)
+	a.Merge(&b) // non-empty into empty
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("merge into empty: N=%d mean=%v", a.N(), a.Mean())
+	}
+	var c Running
+	a.Merge(&c) // empty into non-empty
+	if a.N() != 1 {
+		t.Fatal("merging empty must not change the receiver")
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Add(10, 1)
+	tw.Add(20, 3)
+	want := (10.0*1 + 20.0*3) / 4.0
+	if !almostEqual(tw.Mean(), want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", tw.Mean(), want)
+	}
+	if tw.TotalTime() != 4 {
+		t.Errorf("TotalTime = %v, want 4", tw.TotalTime())
+	}
+	if tw.Min() != 10 || tw.Max() != 20 {
+		t.Errorf("Min/Max = %v/%v, want 10/20", tw.Min(), tw.Max())
+	}
+	if tw.N() != 2 {
+		t.Errorf("N = %d, want 2", tw.N())
+	}
+}
+
+func TestTimeWeightedIgnoresNonPositiveDurations(t *testing.T) {
+	var tw TimeWeighted
+	tw.Add(100, 0)
+	tw.Add(100, -1)
+	if tw.N() != 0 || tw.Mean() != 0 {
+		t.Fatal("non-positive durations must be ignored")
+	}
+}
+
+func TestTimeWeightedEqualWeightsMatchArithmeticMean(t *testing.T) {
+	f := func(raw []float64) bool {
+		var tw TimeWeighted
+		var xs []float64
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			xs = append(xs, x)
+			tw.Add(x, 2.5)
+		}
+		if len(xs) == 0 {
+			return tw.Mean() == 0
+		}
+		m, err := Mean(xs)
+		return err == nil && almostEqual(tw.Mean(), m, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndMinMaxErrors(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v/%v, want -1/7", lo, hi)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty percentile err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("p < 0 must error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("p > 100 must error")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	got, err := Percentile([]float64{42}, 99)
+	if err != nil || got != 42 {
+		t.Fatalf("single-element percentile = %v, %v", got, err)
+	}
+}

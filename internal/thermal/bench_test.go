@@ -1,0 +1,51 @@
+package thermal
+
+import (
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/floorplan"
+)
+
+func benchNetwork(b *testing.B) *Network {
+	b.Helper()
+	n, err := NewNetwork(floorplan.POWER4(), DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+func benchPower() []float64 {
+	return []float64{3.8, 2.4, 4.6, 5.4, 4.4, 5.7, 1.4}
+}
+
+// BenchmarkTransientStep measures the cost of one 1µs RC step — executed
+// once per evaluation interval, this dominates the thermal pipeline.
+func BenchmarkTransientStep(b *testing.B) {
+	n := benchNetwork(b)
+	p := benchPower()
+	s, err := n.SteadyState(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Init(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(p, 1e-6)
+	}
+}
+
+// BenchmarkSteadyState measures the 9×9 linear solve used by pass 1 of the
+// §4.3 methodology.
+func BenchmarkSteadyState(b *testing.B) {
+	n := benchNetwork(b)
+	p := benchPower()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.SteadyState(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/floorplan"
+)
+
+// TestHeunAgreesWithEuler validates the evaluation pipeline's integrator
+// choice: at the paper's 1µs step, forward Euler and second-order Heun
+// produce indistinguishable trajectories (the step is ~1000× below the
+// smallest node time constant).
+func TestHeunAgreesWithEuler(t *testing.T) {
+	mkNet := func() *Network {
+		n, err := NewNetwork(floorplan.POWER4(), DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	p := uniformPower(t, 35)
+	start, err := mkNet().SteadyState(uniformPower(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	euler, heun := mkNet(), mkNet()
+	euler.Init(start)
+	heun.Init(start)
+	const dt = 1e-6
+	for i := 0; i < 20000; i++ { // 20 ms of a power step response
+		euler.Step(p, dt)
+		heun.StepHeun(p, dt)
+	}
+	e, h := euler.Current(), heun.Current()
+	for i := range e.Blocks {
+		if d := math.Abs(e.Blocks[i] - h.Blocks[i]); d > 0.01 {
+			t.Errorf("block %d: Euler and Heun differ by %.4f K after 20ms", i, d)
+		}
+	}
+	if math.Abs(e.Spreader-h.Spreader) > 0.01 || math.Abs(e.Sink-h.Sink) > 0.01 {
+		t.Error("package nodes diverge between integrators")
+	}
+}
+
+// TestHeunMoreAccurateAtCoarseStep shows why StepHeun exists: at a step
+// 100× coarser, Heun tracks the fine-step reference better than Euler.
+func TestHeunMoreAccurateAtCoarseStep(t *testing.T) {
+	mkNet := func() *Network {
+		n, err := NewNetwork(floorplan.POWER4(), DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	p := uniformPower(t, 35)
+	start, err := mkNet().SteadyState(uniformPower(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: fine-step Euler.
+	ref := mkNet()
+	ref.Init(start)
+	for i := 0; i < 100000; i++ {
+		ref.Step(p, 1e-6)
+	}
+	// Coarse integrators: 100µs steps.
+	euler, heun := mkNet(), mkNet()
+	euler.Init(start)
+	heun.Init(start)
+	for i := 0; i < 1000; i++ {
+		euler.Step(p, 1e-4)
+		heun.StepHeun(p, 1e-4)
+	}
+	r, e, h := ref.Current(), euler.Current(), heun.Current()
+	var eErr, hErr float64
+	for i := range r.Blocks {
+		eErr += math.Abs(e.Blocks[i] - r.Blocks[i])
+		hErr += math.Abs(h.Blocks[i] - r.Blocks[i])
+	}
+	if hErr >= eErr {
+		t.Fatalf("Heun error %.5f K not below Euler error %.5f K at coarse steps", hErr, eErr)
+	}
+}

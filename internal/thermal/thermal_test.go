@@ -1,0 +1,358 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/floorplan"
+	"github.com/ramp-sim/ramp/internal/microarch"
+)
+
+func newBaseNetwork(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork(floorplan.POWER4(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// uniformPower spreads total watts across blocks in proportion to area.
+func uniformPower(t *testing.T, total float64) []float64 {
+	t.Helper()
+	p := make([]float64, microarch.NumStructures)
+	areas := floorplan.POWER4().Areas()
+	for i := range p {
+		p[i] = total * areas[i] / 81.0
+	}
+	return p
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidateRejections(t *testing.T) {
+	p := DefaultParams()
+	p.SinkR = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero sink resistance accepted")
+	}
+	p = DefaultParams()
+	p.AmbientK = 100
+	if err := p.Validate(); err == nil {
+		t.Error("implausible ambient accepted")
+	}
+	p = DefaultParams()
+	p.SpreadCoeff = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative spreading coefficient accepted")
+	}
+}
+
+func TestZeroPowerEquilibratesAtAmbient(t *testing.T) {
+	n := newBaseNetwork(t)
+	zero := make([]float64, microarch.NumStructures)
+	s, err := n.SteadyState(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := n.Ambient()
+	for i, temp := range s.Blocks {
+		if math.Abs(temp-amb) > 1e-6 {
+			t.Errorf("block %v at %v K with zero power, want ambient %v",
+				microarch.StructureID(i), temp, amb)
+		}
+	}
+	if math.Abs(s.Sink-amb) > 1e-6 {
+		t.Errorf("sink at %v, want ambient", s.Sink)
+	}
+}
+
+func TestSinkTemperatureFollowsTotalPower(t *testing.T) {
+	// In steady state all heat leaves through the sink: T_sink = T_amb +
+	// R_sink × P_total, independent of how power is distributed.
+	n := newBaseNetwork(t)
+	const total = 29.1
+	s, err := n.SteadyState(uniformPower(t, total))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.Ambient() + DefaultParams().SinkR*total
+	if math.Abs(s.Sink-want) > 1e-6 {
+		t.Fatalf("sink temp = %v, want %v", s.Sink, want)
+	}
+	// Concentrated power: same sink temperature.
+	conc := make([]float64, microarch.NumStructures)
+	conc[microarch.StructFXU] = total
+	s2, err := n.SteadyState(conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s2.Sink-want) > 1e-6 {
+		t.Fatalf("concentrated sink temp = %v, want %v", s2.Sink, want)
+	}
+}
+
+func TestBlocksAreHotterThanSpreaderAndSink(t *testing.T) {
+	n := newBaseNetwork(t)
+	s, err := n.SteadyState(uniformPower(t, 29.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, temp := range s.Blocks {
+		if temp <= s.Spreader {
+			t.Errorf("block %v (%v K) not hotter than spreader (%v K)",
+				microarch.StructureID(i), temp, s.Spreader)
+		}
+	}
+	if s.Spreader <= s.Sink || s.Sink <= n.Ambient() {
+		t.Fatalf("temperature ordering violated: spreader %v sink %v ambient %v",
+			s.Spreader, s.Sink, n.Ambient())
+	}
+}
+
+func TestPoweredBlockIsHottest(t *testing.T) {
+	n := newBaseNetwork(t)
+	p := make([]float64, microarch.NumStructures)
+	p[microarch.StructFPU] = 10
+	s, err := n.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, temp := range s.Blocks {
+		if microarch.StructureID(i) != microarch.StructFPU && temp >= s.Blocks[microarch.StructFPU] {
+			t.Errorf("unpowered block %v (%v K) at least as hot as the powered FPU (%v K)",
+				microarch.StructureID(i), temp, s.Blocks[microarch.StructFPU])
+		}
+	}
+}
+
+func TestBase180nmTemperaturesAreInPaperRange(t *testing.T) {
+	// With ~29W distributed like a busy core, the hottest structure should
+	// sit near 350K and the sink near 341K (Figure 2's 180nm points).
+	n := newBaseNetwork(t)
+	p := make([]float64, microarch.NumStructures)
+	p[microarch.StructIFU] = 3.8
+	p[microarch.StructIDU] = 2.4
+	p[microarch.StructISU] = 4.6
+	p[microarch.StructFXU] = 5.4
+	p[microarch.StructFPU] = 4.4
+	p[microarch.StructLSU] = 5.7
+	p[microarch.StructBXU] = 1.4
+	s, err := n.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxT := s.MaxBlock()
+	if maxT < 343 || maxT > 362 {
+		t.Fatalf("180nm max structure temp = %.1f K, want ≈ 345-360 (Fig 2)", maxT)
+	}
+	if s.Sink < 335 || s.Sink > 345 {
+		t.Fatalf("sink temp = %.1f K, want ≈ 341", s.Sink)
+	}
+}
+
+func TestScaledDieRunsHotterAtSameSinkTemp(t *testing.T) {
+	// The scaling effect at the heart of the paper: a smaller die with the
+	// sink temperature held constant develops larger junction-to-sink
+	// deltas even at lower total power.
+	base := newBaseNetwork(t)
+	fp65, err := floorplan.POWER4().Scaled(0.16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := NewNetwork(fp65, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p180 := uniformPower(t, 29.1)
+	p65 := make([]float64, microarch.NumStructures)
+	for i := range p65 {
+		p65[i] = p180[i] * 16.9 / 29.1 // 65nm(1.0V) total power, same shape
+	}
+	// Hold the sink temperature constant by scaling the sink resistance.
+	if err := scaled.SetSinkR(0.8 * 29.1 / 16.9); err != nil {
+		t.Fatal(err)
+	}
+	s180, err := base.SteadyState(p180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s65, err := scaled.SteadyState(p65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s65.Sink-s180.Sink) > 0.5 {
+		t.Fatalf("sink temps differ: 180nm %v vs 65nm %v", s180.Sink, s65.Sink)
+	}
+	d180 := s180.MaxBlock() - s180.Sink
+	d65 := s65.MaxBlock() - s65.Sink
+	if d65 <= d180 {
+		t.Fatalf("junction-to-sink delta must grow with scaling: 180nm %.1fK vs 65nm %.1fK", d180, d65)
+	}
+	rise := s65.MaxBlock() - s180.MaxBlock()
+	if rise < 5 || rise > 30 {
+		t.Fatalf("max-temp rise 180→65nm = %.1f K, want ≈ 15 (paper §5.1)", rise)
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	n := newBaseNetwork(t)
+	p := uniformPower(t, 29.1)
+	want, err := n.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initialise at the steady state of the slow nodes but ambient blocks:
+	// blocks must relax to the steady solution within a few milliseconds.
+	// (clone: State carries a slice, so plain assignment would alias.)
+	init := want.clone()
+	for i := range init.Blocks {
+		init.Blocks[i] = n.Ambient()
+	}
+	n.Init(init)
+	const dt = 1e-6
+	for i := 0; i < 200000; i++ { // 200 ms — several block time constants
+		n.Step(p, dt)
+	}
+	// 0.5K tolerance: the spreader was dragged below its steady value by
+	// the artificially cold blocks and recovers on its own ~0.1s constant.
+	got := n.Current()
+	for i := range got.Blocks {
+		if math.Abs(got.Blocks[i]-want.Blocks[i]) > 0.5 {
+			t.Errorf("block %v transient %v K vs steady %v K",
+				microarch.StructureID(i), got.Blocks[i], want.Blocks[i])
+		}
+	}
+}
+
+func TestTransientStabilityAtMicrosecondStep(t *testing.T) {
+	// Forward Euler at 1µs must not oscillate or blow up even with a power
+	// square wave.
+	n := newBaseNetwork(t)
+	s0, err := n.SteadyState(uniformPower(t, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Init(s0)
+	hi, lo := uniformPower(t, 60), uniformPower(t, 5)
+	for i := 0; i < 50000; i++ {
+		p := hi
+		if (i/500)%2 == 1 {
+			p = lo
+		}
+		n.Step(p, 1e-6)
+		cur := n.Current()
+		if cur.MaxBlock() > 500 || cur.MaxBlock() < n.Ambient()-1 {
+			t.Fatalf("step %d: implausible temperature %v", i, cur.MaxBlock())
+		}
+	}
+}
+
+func TestSinkTimeConstantIsMuchSlowerThanBlocks(t *testing.T) {
+	// Paper §4.3: the sink RC constant is far larger than block constants,
+	// which is why the two-pass initialisation exists. Blocks settle in
+	// ~10ms; the sink barely moves from ambient in that time under power.
+	n := newBaseNetwork(t)
+	p := uniformPower(t, 29.1)
+	amb := State{Blocks: make([]float64, microarch.NumStructures)}
+	for i := range amb.Blocks {
+		amb.Blocks[i] = n.Ambient()
+	}
+	amb.Spreader, amb.Sink = n.Ambient(), n.Ambient()
+	n.Init(amb)
+	for i := 0; i < 15000; i++ { // 15 ms — a few block time constants
+		n.Step(p, 1e-6)
+	}
+	cur := n.Current()
+	steady, err := n.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkProgress := (cur.Sink - n.Ambient()) / (steady.Sink - n.Ambient())
+	if sinkProgress > 0.1 {
+		t.Fatalf("sink reached %.0f%% of steady rise in 10ms; its RC constant is too small",
+			sinkProgress*100)
+	}
+	// Blocks ride on the slow spreader, so measure the fast local
+	// junction-to-spreader delta rather than the absolute temperature.
+	blockDelta := cur.Blocks[0] - cur.Spreader
+	steadyDelta := steady.Blocks[0] - steady.Spreader
+	if blockDelta < 0.5*steadyDelta {
+		t.Fatalf("block-to-spreader delta reached only %.0f%% of steady value in 10ms",
+			blockDelta/steadyDelta*100)
+	}
+}
+
+func TestSetSinkRChangesEquilibrium(t *testing.T) {
+	n := newBaseNetwork(t)
+	p := uniformPower(t, 29.1)
+	s1, err := n.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetSinkR(1.6); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := n.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Sink <= s1.Sink {
+		t.Fatal("doubling sink resistance must raise the sink temperature")
+	}
+	if err := n.SetSinkR(0); err == nil {
+		t.Fatal("zero sink resistance accepted")
+	}
+	if got := n.SinkR(); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("SinkR = %v, want 1.6", got)
+	}
+}
+
+func TestDieAverageIsAreaWeighted(t *testing.T) {
+	n := newBaseNetwork(t)
+	s := State{Blocks: make([]float64, microarch.NumStructures)}
+	for i := range s.Blocks {
+		s.Blocks[i] = 350
+	}
+	if got := n.DieAverage(s); math.Abs(got-350) > 1e-9 {
+		t.Fatalf("uniform die average = %v, want 350", got)
+	}
+	// Heating only the largest block (LSU) moves the average by its area
+	// fraction.
+	s.Blocks[microarch.StructLSU] = 360
+	lsuFrac := floorplan.POWER4().Areas()[microarch.StructLSU] / 81.0
+	want := 350 + 10*lsuFrac
+	if got := n.DieAverage(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("die average = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyConservationInSteadyState(t *testing.T) {
+	// All injected power must flow out through the sink: P = (T_sink −
+	// T_amb)/R_sink.
+	n := newBaseNetwork(t)
+	p := uniformPower(t, 42.0)
+	s, err := n.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := (s.Sink - n.Ambient()) / n.SinkR()
+	if math.Abs(out-42.0) > 1e-6 {
+		t.Fatalf("outflow %v W, want 42 (energy conservation)", out)
+	}
+}
+
+func TestNewNetworkRejectsBadInputs(t *testing.T) {
+	if _, err := NewNetwork(floorplan.Floorplan{}, DefaultParams()); err == nil {
+		t.Fatal("empty floorplan accepted")
+	}
+	p := DefaultParams()
+	p.SinkR = -1
+	if _, err := NewNetwork(floorplan.POWER4(), p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format (version 1):
+//
+//	magic   [8]byte  "RAMPTRC1"
+//	records …        one varint-encoded record per instruction
+//
+// Each record packs the class and flags into one byte, followed by
+// varint-encoded deltas for PC (instruction addresses are mostly
+// sequential) and absolute values for the remaining fields. The format
+// favours compactness for the synthetic SPEC-like traces, which run to
+// hundreds of millions of instructions.
+
+// Magic identifies a version-1 binary trace file.
+const Magic = "RAMPTRC1"
+
+// ErrBadMagic is returned when a trace file does not start with Magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a RAMP trace file)")
+
+const (
+	_flagTaken    = 1 << 0
+	_flagHasAddr  = 1 << 1
+	_flagHasTgt   = 1 << 2
+	_flagHasDest  = 1 << 3
+	_flagHasSrc1  = 1 << 4
+	_flagHasSrc2  = 1 << 5
+	_classShift   = 0 // class is stored in its own byte
+	_maxVarintLen = binary.MaxVarintLen64
+)
+
+// Writer serialises instructions to the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	buf    [_maxVarintLen]byte
+	count  int64
+}
+
+// NewWriter creates a Writer and emits the file header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("trace: write magic: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction to the trace.
+func (w *Writer) Write(in Instruction) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	var flags byte
+	if in.Taken {
+		flags |= _flagTaken
+	}
+	if in.Addr != 0 {
+		flags |= _flagHasAddr
+	}
+	if in.Target != 0 {
+		flags |= _flagHasTgt
+	}
+	if in.Dest != RegNone {
+		flags |= _flagHasDest
+	}
+	if in.Src1 != RegNone {
+		flags |= _flagHasSrc1
+	}
+	if in.Src2 != RegNone {
+		flags |= _flagHasSrc2
+	}
+	if err := w.w.WriteByte(byte(in.Class)); err != nil {
+		return fmt.Errorf("trace: write class: %w", err)
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return fmt.Errorf("trace: write flags: %w", err)
+	}
+	// PC is stored as a zig-zag delta from the previous record.
+	if err := w.putVarint(int64(in.PC) - int64(w.lastPC)); err != nil {
+		return err
+	}
+	w.lastPC = in.PC
+	if flags&_flagHasAddr != 0 {
+		if err := w.putUvarint(in.Addr); err != nil {
+			return err
+		}
+	}
+	if flags&_flagHasTgt != 0 {
+		if err := w.putUvarint(in.Target); err != nil {
+			return err
+		}
+	}
+	if flags&_flagHasDest != 0 {
+		if err := w.putUvarint(uint64(in.Dest)); err != nil {
+			return err
+		}
+	}
+	if flags&_flagHasSrc1 != 0 {
+		if err := w.putUvarint(uint64(in.Src1)); err != nil {
+			return err
+		}
+	}
+	if flags&_flagHasSrc2 != 0 {
+		if err := w.putUvarint(uint64(in.Src2)); err != nil {
+			return err
+		}
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of instructions written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+func (w *Writer) putVarint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: write varint: %w", err)
+	}
+	return nil
+}
+
+func (w *Writer) putUvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: write uvarint: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes a binary trace file as a Stream.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+}
+
+var _ Stream = (*Reader)(nil)
+
+// NewReader validates the header and returns a streaming decoder.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes the next instruction, returning io.EOF at end of file.
+func (r *Reader) Next() (Instruction, error) {
+	classByte, err := r.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Instruction{}, io.EOF
+		}
+		return Instruction{}, fmt.Errorf("trace: read class: %w", err)
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return Instruction{}, fmt.Errorf("trace: read flags: %w", eofToUnexpected(err))
+	}
+	var in Instruction
+	in.Class = Class(classByte)
+	in.Taken = flags&_flagTaken != 0
+	delta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return Instruction{}, fmt.Errorf("trace: read pc delta: %w", eofToUnexpected(err))
+	}
+	r.lastPC = uint64(int64(r.lastPC) + delta)
+	in.PC = r.lastPC
+	if flags&_flagHasAddr != 0 {
+		if in.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return Instruction{}, fmt.Errorf("trace: read addr: %w", eofToUnexpected(err))
+		}
+	}
+	if flags&_flagHasTgt != 0 {
+		if in.Target, err = binary.ReadUvarint(r.r); err != nil {
+			return Instruction{}, fmt.Errorf("trace: read target: %w", eofToUnexpected(err))
+		}
+	}
+	if flags&_flagHasDest != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Instruction{}, fmt.Errorf("trace: read dest: %w", eofToUnexpected(err))
+		}
+		in.Dest = uint16(v)
+	}
+	if flags&_flagHasSrc1 != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Instruction{}, fmt.Errorf("trace: read src1: %w", eofToUnexpected(err))
+		}
+		in.Src1 = uint16(v)
+	}
+	if flags&_flagHasSrc2 != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Instruction{}, fmt.Errorf("trace: read src2: %w", eofToUnexpected(err))
+		}
+		in.Src2 = uint16(v)
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, fmt.Errorf("trace: corrupt record: %w", err)
+	}
+	return in, nil
+}
+
+// eofToUnexpected converts a bare io.EOF in mid-record to
+// io.ErrUnexpectedEOF so truncated files are distinguishable from clean
+// ends of stream.
+func eofToUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

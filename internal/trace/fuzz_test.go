@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must always
+// terminate with a clean EOF or an error, never panic, and every decoded
+// instruction must validate.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid two-record trace and some corruptions of it.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedInstrs := []Instruction{
+		{PC: 0x1000, Class: ClassIntALU, Dest: 3, Src1: 1, Src2: 2},
+		{PC: 0x1004, Class: ClassLoad, Addr: 0xdead00, Dest: 7},
+		{PC: 0x1008, Class: ClassBranch, Taken: true, Target: 0x1000},
+	}
+	for _, in := range seedInstrs {
+		if err := w.Write(in); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // bad magic or short header: fine
+		}
+		for i := 0; i < 10000; i++ {
+			in, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return // corrupt record reported as an error: fine
+			}
+			if verr := in.Validate(); verr != nil {
+				t.Fatalf("decoder returned invalid instruction %+v: %v", in, verr)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any instruction the validator accepts survives
+// encode/decode byte-for-byte.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x2000), uint16(1), uint16(2), uint16(3), byte(1), true, uint64(0))
+	f.Add(uint64(4), uint64(0), uint16(0), uint16(0), uint16(0), byte(8), true, uint64(0x44))
+	f.Fuzz(func(t *testing.T, pc, addr uint64, dest, src1, src2 uint16, class byte, taken bool, target uint64) {
+		in := Instruction{
+			PC: pc, Addr: addr, Dest: dest, Src1: src1, Src2: src2,
+			Class: Class(class), Taken: taken, Target: target,
+		}
+		if in.Validate() != nil {
+			return // not a representable instruction
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(in); err != nil {
+			t.Fatalf("validated instruction rejected by writer: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("decode failed: %v", err)
+		}
+		if got != in {
+			t.Fatalf("round trip changed instruction: %+v vs %+v", got, in)
+		}
+	})
+}

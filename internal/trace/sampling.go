@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Sampling support. The paper's traces are sampled: "Sampling was used to
+// limit the trace length to 100 million instructions per program. The
+// sampled traces have been validated with the original full traces for
+// accuracy and correct representation" (§4.5, citing Iyengar et al. [9]).
+// SystematicSampler reproduces that methodology: it passes through one
+// window of W instructions out of every period of P, discarding the rest,
+// turning a long trace into a representative short one.
+
+// SamplerConfig parameterises systematic trace sampling.
+type SamplerConfig struct {
+	// WindowInstrs is the number of consecutive instructions kept per
+	// period.
+	WindowInstrs int64
+	// PeriodInstrs is the sampling period; PeriodInstrs − WindowInstrs
+	// instructions are skipped after each window. PeriodInstrs ==
+	// WindowInstrs passes the trace through unchanged.
+	PeriodInstrs int64
+}
+
+// Validate checks the sampling geometry.
+func (c SamplerConfig) Validate() error {
+	if c.WindowInstrs <= 0 {
+		return fmt.Errorf("trace: sampling window must be positive, got %d", c.WindowInstrs)
+	}
+	if c.PeriodInstrs < c.WindowInstrs {
+		return fmt.Errorf("trace: sampling period %d below window %d", c.PeriodInstrs, c.WindowInstrs)
+	}
+	return nil
+}
+
+// Ratio returns the fraction of instructions kept.
+func (c SamplerConfig) Ratio() float64 {
+	return float64(c.WindowInstrs) / float64(c.PeriodInstrs)
+}
+
+// SystematicSampler filters a Stream down to periodic windows.
+type SystematicSampler struct {
+	src     Stream
+	cfg     SamplerConfig
+	pos     int64 // position within the current period
+	kept    int64
+	dropped int64
+}
+
+var _ Stream = (*SystematicSampler)(nil)
+
+// NewSystematicSampler wraps src with systematic sampling.
+func NewSystematicSampler(src Stream, cfg SamplerConfig) (*SystematicSampler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("trace: nil source stream")
+	}
+	return &SystematicSampler{src: src, cfg: cfg}, nil
+}
+
+// Next returns the next sampled instruction, skipping out-of-window
+// instructions from the source.
+func (s *SystematicSampler) Next() (Instruction, error) {
+	for {
+		in, err := s.src.Next()
+		if err != nil {
+			return Instruction{}, err
+		}
+		inWindow := s.pos < s.cfg.WindowInstrs
+		s.pos++
+		if s.pos == s.cfg.PeriodInstrs {
+			s.pos = 0
+		}
+		if inWindow {
+			s.kept++
+			return in, nil
+		}
+		s.dropped++
+	}
+}
+
+// Kept returns the number of instructions passed through.
+func (s *SystematicSampler) Kept() int64 { return s.kept }
+
+// Dropped returns the number of instructions skipped.
+func (s *SystematicSampler) Dropped() int64 { return s.dropped }
+
+// ClassMix tallies the dynamic class distribution of up to limit
+// instructions from a stream (limit <= 0 drains it), for sampling-fidelity
+// validation.
+func ClassMix(s Stream, limit int64) (map[Class]float64, int64, error) {
+	counts := make(map[Class]int64, NumClasses)
+	var total int64
+	for limit <= 0 || total < limit {
+		in, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, total, err
+		}
+		counts[in.Class]++
+		total++
+	}
+	mix := make(map[Class]float64, len(counts))
+	if total > 0 {
+		for c, k := range counts {
+			mix[c] = float64(k) / float64(total)
+		}
+	}
+	return mix, total, nil
+}

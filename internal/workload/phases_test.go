@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// phasedProfile returns a gzip variant with program phases enabled.
+func phasedProfile(t *testing.T) Profile {
+	t.Helper()
+	p, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PhaseInstrs = 50_000
+	p.PhaseMemScale = 5
+	return p
+}
+
+func TestPhasedProfileValidates(t *testing.T) {
+	p := phasedProfile(t)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseValidationRejections(t *testing.T) {
+	p := phasedProfile(t)
+	p.PhaseInstrs = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative PhaseInstrs accepted")
+	}
+	p = phasedProfile(t)
+	p.PhaseMemScale = 1.0
+	if err := p.Validate(); err == nil {
+		t.Error("PhaseMemScale of 1 with phases on accepted")
+	}
+	p = phasedProfile(t)
+	p.WarmProb = 0.3
+	p.PhaseMemScale = 5 // 0.3·5 > 1
+	if err := p.Validate(); err == nil {
+		t.Error("memory-phase probability above 1 accepted")
+	}
+}
+
+// windowMemFractions counts the warm+cold access fraction of the memory
+// operations in each consecutive window of the trace.
+func windowMemFractions(t *testing.T, p Profile, total int64, window int64) []float64 {
+	t.Helper()
+	g, err := New(p, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fractions []float64
+	var mem, nonHot int64
+	var produced int64
+	for {
+		in, err := g.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		produced++
+		if in.Class.IsMem() {
+			mem++
+			if in.Addr >= 0x2000_0000 {
+				nonHot++
+			}
+		}
+		if produced%window == 0 {
+			if mem > 0 {
+				fractions = append(fractions, float64(nonHot)/float64(mem))
+			}
+			mem, nonHot = 0, 0
+		}
+	}
+	return fractions
+}
+
+func TestPhasesAlternateMemoryBehaviour(t *testing.T) {
+	p := phasedProfile(t)
+	fr := windowMemFractions(t, p, 400_000, p.PhaseInstrs)
+	if len(fr) < 6 {
+		t.Fatalf("only %d windows measured", len(fr))
+	}
+	// Odd windows (memory phase) must have clearly more warm/cold traffic
+	// than even windows (compute phase).
+	var even, odd float64
+	var nEven, nOdd int
+	for i, f := range fr {
+		if i%2 == 0 {
+			even += f
+			nEven++
+		} else {
+			odd += f
+			nOdd++
+		}
+	}
+	even /= float64(nEven)
+	odd /= float64(nOdd)
+	if odd < 3*even {
+		t.Fatalf("memory-phase miss traffic %.4f not well above compute-phase %.4f", odd, even)
+	}
+}
+
+func TestPhasesOffIsUniform(t *testing.T) {
+	p, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := windowMemFractions(t, p, 400_000, 50_000)
+	lo, hi := fr[0], fr[0]
+	for _, f := range fr {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi > 4*lo+0.02 {
+		t.Fatalf("unphased trace shows phase-like variation: windows %.4f..%.4f", lo, hi)
+	}
+}
+
+func TestPhasedTraceStillValid(t *testing.T) {
+	g, err := New(phasedProfile(t), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		in, err := g.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestShippedProfilesHavePhasesOff(t *testing.T) {
+	// The calibrated Table 3 profiles must not drift: phases ship disabled.
+	for _, p := range Profiles() {
+		if p.PhaseInstrs != 0 {
+			t.Errorf("%s ships with phases enabled", p.Name)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package workload
+
+import "fmt"
+
+// Profiles returns the 16 SPEC2K benchmark profiles (8 SpecFP + 8 SpecInt)
+// used throughout the paper's evaluation (Table 3). Parameters are chosen
+// from the known characteristics of each benchmark (instruction mix,
+// memory-boundedness, code footprint, branch behaviour) and then tuned so
+// the 180nm base machine reproduces the Table 3 IPC and power operating
+// points. TargetIPC/TargetPowerW record the paper's values verbatim.
+//
+// The returned slice is freshly allocated; callers may reorder or modify it.
+func Profiles() []Profile {
+	intMix := func(alu, mul, div, load, store, branch, lcr float64) Mix {
+		return Mix{IntALU: alu, IntMul: mul, IntDiv: div, Load: load,
+			Store: store, Branch: branch, LCR: lcr}
+	}
+	fpMix := func(alu, fp, fpdiv, load, store, branch, lcr float64) Mix {
+		return Mix{IntALU: alu, FPOp: fp, FPDiv: fpdiv, Load: load,
+			Store: store, Branch: branch, LCR: lcr}
+	}
+	profiles := []Profile{
+		// ---- SpecFP (Table 3 order: coolest to hottest) ----
+		{
+			Name: "ammp", Suite: SuiteFP, TargetIPC: 1.06, TargetPowerW: 26.08,
+			// Molecular dynamics: pointer-heavy neighbour lists, poor
+			// locality, long FP dependence chains.
+			Mix:     fpMix(0.24, 0.32, 0.010, 0.26, 0.09, 0.06, 0.02),
+			DepDist: 2.66, NearDepProb: 0.71,
+			HotBytes: 16 << 10, WarmBytes: 1 << 20, WarmProb: 0.124, ColdProb: 0.0113,
+			CodeBlocks: 220, BranchPredictability: 0.972, LoopProb: 0.75,
+		},
+		{
+			Name: "applu", Suite: SuiteFP, TargetIPC: 1.17, TargetPowerW: 26.94,
+			// SSOR PDE solver: streaming sweeps with recurrence chains.
+			Mix:     fpMix(0.23, 0.36, 0.014, 0.25, 0.09, 0.045, 0.011),
+			DepDist: 4.59, NearDepProb: 0.59,
+			HotBytes: 24 << 10, WarmBytes: 1536 << 10, WarmProb: 0.0438, ColdProb: 0.006,
+			CodeBlocks: 160, BranchPredictability: 0.991, LoopProb: 0.85,
+		},
+		{
+			Name: "sixtrack", Suite: SuiteFP, TargetIPC: 1.38, TargetPowerW: 27.32,
+			// Particle tracking: compute-dense, small data footprint.
+			Mix:     fpMix(0.21, 0.42, 0.012, 0.22, 0.08, 0.05, 0.008),
+			DepDist: 4.8, NearDepProb: 0.59,
+			HotBytes: 28 << 10, WarmBytes: 512 << 10, WarmProb: 0.0234, ColdProb: 0.0012,
+			CodeBlocks: 260, BranchPredictability: 0.988, LoopProb: 0.8,
+		},
+		{
+			Name: "mgrid", Suite: SuiteFP, TargetIPC: 1.71, TargetPowerW: 27.78,
+			// Multigrid: regular stencils, high ILP, some cold streaming.
+			Mix:     fpMix(0.22, 0.40, 0.004, 0.25, 0.07, 0.035, 0.021),
+			DepDist: 9.97, NearDepProb: 0.47,
+			HotBytes: 28 << 10, WarmBytes: 1 << 20, WarmProb: 0.0183, ColdProb: 0.002,
+			CodeBlocks: 120, BranchPredictability: 0.993, LoopProb: 0.9,
+		},
+		{
+			Name: "mesa", Suite: SuiteFP, TargetIPC: 1.75, TargetPowerW: 29.21,
+			// Software rendering: integer/FP blend with good locality.
+			Mix:     fpMix(0.34, 0.28, 0.006, 0.22, 0.09, 0.055, 0.009),
+			DepDist: 4.71, NearDepProb: 0.62,
+			HotBytes: 30 << 10, WarmBytes: 384 << 10, WarmProb: 0.0279, ColdProb: 0.0016,
+			CodeBlocks: 420, BranchPredictability: 0.982, LoopProb: 0.7,
+		},
+		{
+			Name: "facerec", Suite: SuiteFP, TargetIPC: 1.79, TargetPowerW: 29.60,
+			// Image correlation: wide independent FP work.
+			Mix:     fpMix(0.23, 0.38, 0.006, 0.24, 0.07, 0.045, 0.029),
+			DepDist: 8.76, NearDepProb: 0.48,
+			HotBytes: 30 << 10, WarmBytes: 768 << 10, WarmProb: 0.0146, ColdProb: 0.0013,
+			CodeBlocks: 180, BranchPredictability: 0.991, LoopProb: 0.85,
+		},
+		{
+			Name: "wupwise", Suite: SuiteFP, TargetIPC: 1.66, TargetPowerW: 30.50,
+			// Lattice QCD: dense matrix kernels, high FP density.
+			Mix:     fpMix(0.19, 0.44, 0.004, 0.24, 0.07, 0.04, 0.016),
+			DepDist: 8.91, NearDepProb: 0.49,
+			HotBytes: 30 << 10, WarmBytes: 1 << 20, WarmProb: 0.0146, ColdProb: 0.0015,
+			CodeBlocks: 140, BranchPredictability: 0.992, LoopProb: 0.88,
+		},
+		{
+			Name: "apsi", Suite: SuiteFP, TargetIPC: 1.64, TargetPowerW: 30.65,
+			// Mesoscale weather: mixed stencil/transcendental work.
+			Mix:     fpMix(0.24, 0.38, 0.009, 0.23, 0.08, 0.045, 0.016),
+			DepDist: 7.27, NearDepProb: 0.53,
+			HotBytes: 28 << 10, WarmBytes: 896 << 10, WarmProb: 0.0183, ColdProb: 0.0017,
+			CodeBlocks: 300, BranchPredictability: 0.99, LoopProb: 0.82,
+		},
+
+		// ---- SpecInt (Table 3 order: coolest to hottest) ----
+		{
+			Name: "vpr", Suite: SuiteInt, TargetIPC: 1.38, TargetPowerW: 26.93,
+			// FPGA place & route: pointer chasing, data-dependent branches.
+			Mix:     intMix(0.47, 0.012, 0.002, 0.25, 0.10, 0.135, 0.031),
+			DepDist: 4.9, NearDepProb: 0.59,
+			HotBytes: 24 << 10, WarmBytes: 512 << 10, WarmProb: 0.0211, ColdProb: 0.0011,
+			CodeBlocks: 380, BranchPredictability: 0.969, LoopProb: 0.6,
+		},
+		{
+			Name: "bzip2", Suite: SuiteInt, TargetIPC: 2.31, TargetPowerW: 27.71,
+			// Compression: tight loops, cache-resident working set.
+			Mix:     intMix(0.52, 0.006, 0.001, 0.24, 0.09, 0.115, 0.028),
+			DepDist: 14.0, NearDepProb: 0.4,
+			HotBytes: 30 << 10, WarmBytes: 640 << 10, WarmProb: 0.0038, ColdProb: 0.0002,
+			CodeBlocks: 200, BranchPredictability: 0.993, LoopProb: 0.75,
+		},
+		{
+			Name: "twolf", Suite: SuiteInt, TargetIPC: 1.26, TargetPowerW: 28.44,
+			// Standard-cell place & route: poor locality, hard branches.
+			Mix:     intMix(0.46, 0.016, 0.003, 0.25, 0.09, 0.145, 0.036),
+			DepDist: 4.07, NearDepProb: 0.65,
+			HotBytes: 20 << 10, WarmBytes: 768 << 10, WarmProb: 0.0295, ColdProb: 0.0014,
+			CodeBlocks: 420, BranchPredictability: 0.949, LoopProb: 0.6,
+		},
+		{
+			Name: "gzip", Suite: SuiteInt, TargetIPC: 1.85, TargetPowerW: 28.69,
+			// LZ77 compression: predictable loops, L1-resident data.
+			Mix:     intMix(0.50, 0.004, 0.001, 0.25, 0.10, 0.12, 0.025),
+			DepDist: 6.87, NearDepProb: 0.52,
+			HotBytes: 30 << 10, WarmBytes: 384 << 10, WarmProb: 0.0092, ColdProb: 0.0003,
+			CodeBlocks: 240, BranchPredictability: 0.983, LoopProb: 0.72,
+		},
+		{
+			Name: "perlbmk", Suite: SuiteInt, TargetIPC: 2.25, TargetPowerW: 30.59,
+			// Perl interpreter: big code, but highly predictable dispatch.
+			Mix:     intMix(0.53, 0.005, 0.001, 0.24, 0.10, 0.10, 0.024),
+			DepDist: 11.34, NearDepProb: 0.41,
+			HotBytes: 30 << 10, WarmBytes: 512 << 10, WarmProb: 0.0049, ColdProb: 0.0002,
+			CodeBlocks: 900, BranchPredictability: 0.99, LoopProb: 0.55,
+		},
+		{
+			Name: "gap", Suite: SuiteInt, TargetIPC: 1.76, TargetPowerW: 31.24,
+			// Group-theory interpreter: arithmetic-dense, medium locality.
+			Mix:     intMix(0.52, 0.020, 0.003, 0.24, 0.09, 0.105, 0.022),
+			DepDist: 8.87, NearDepProb: 0.46,
+			HotBytes: 28 << 10, WarmBytes: 768 << 10, WarmProb: 0.0074, ColdProb: 0.0003,
+			CodeBlocks: 520, BranchPredictability: 0.988, LoopProb: 0.65,
+		},
+		{
+			Name: "gcc", Suite: SuiteInt, TargetIPC: 1.24, TargetPowerW: 31.73,
+			// Compiler: huge code footprint, irregular data, hard branches.
+			Mix:     intMix(0.45, 0.008, 0.002, 0.26, 0.11, 0.135, 0.035),
+			DepDist: 4.49, NearDepProb: 0.61,
+			HotBytes: 22 << 10, WarmBytes: 1 << 20, WarmProb: 0.0233, ColdProb: 0.0009,
+			CodeBlocks: 2600, BranchPredictability: 0.969, LoopProb: 0.45,
+		},
+		{
+			Name: "crafty", Suite: SuiteInt, TargetIPC: 2.25, TargetPowerW: 31.95,
+			// Chess search: bit-board logic, high ILP, cache-resident.
+			Mix:     intMix(0.55, 0.010, 0.001, 0.23, 0.07, 0.11, 0.029),
+			DepDist: 13.8, NearDepProb: 0.4,
+			HotBytes: 30 << 10, WarmBytes: 640 << 10, WarmProb: 0.0046, ColdProb: 0.0002,
+			CodeBlocks: 360, BranchPredictability: 0.991, LoopProb: 0.6,
+		},
+	}
+	for i := range profiles {
+		profiles[i].Seed = int64(1000 + 37*i)
+	}
+	return profiles
+}
+
+// ByName returns the profile for a benchmark name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names in Table 3 order (SpecFP then SpecInt).
+func Names() []string {
+	profs := Profiles()
+	names := make([]string, len(profs))
+	for i, p := range profs {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// BySuite filters profiles by suite, preserving order.
+func BySuite(s Suite) []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Suite == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/trace"
+)
+
+func TestSuiteString(t *testing.T) {
+	if SuiteInt.String() != "SpecInt" || SuiteFP.String() != "SpecFP" {
+		t.Fatal("suite names wrong")
+	}
+	if Suite(9).String() != "suite(9)" {
+		t.Fatal("unknown suite formatting wrong")
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	profs := Profiles()
+	if len(profs) != 16 {
+		t.Fatalf("got %d profiles, want 16", len(profs))
+	}
+	var nInt, nFP int
+	for _, p := range profs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s: %v", p.Name, err)
+		}
+		switch p.Suite {
+		case SuiteInt:
+			nInt++
+		case SuiteFP:
+			nFP++
+		}
+	}
+	if nInt != 8 || nFP != 8 {
+		t.Fatalf("suite split %d INT / %d FP, want 8/8", nInt, nFP)
+	}
+}
+
+func TestProfileSeedsAreDistinct(t *testing.T) {
+	seen := make(map[int64]string)
+	for _, p := range Profiles() {
+		if prev, ok := seen[p.Seed]; ok {
+			t.Errorf("profiles %s and %s share seed %d", prev, p.Name, p.Seed)
+		}
+		seen[p.Seed] = p.Name
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Suite != SuiteInt || p.TargetIPC != 1.24 {
+		t.Fatalf("gcc profile wrong: %+v", p)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("ByName must fail for unknown benchmarks")
+	}
+}
+
+func TestNamesAndBySuite(t *testing.T) {
+	if len(Names()) != 16 {
+		t.Fatalf("Names() returned %d entries", len(Names()))
+	}
+	fp := BySuite(SuiteFP)
+	if len(fp) != 8 {
+		t.Fatalf("BySuite(FP) returned %d", len(fp))
+	}
+	for _, p := range fp {
+		if p.Suite != SuiteFP {
+			t.Errorf("BySuite(FP) contains %s (%v)", p.Name, p.Suite)
+		}
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	good := Mix{IntALU: 0.5, Load: 0.2, Store: 0.1, Branch: 0.15, LCR: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good mix rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		mix  Mix
+	}{
+		{"negative", Mix{IntALU: -0.1, Load: 0.95, Branch: 0.15}},
+		{"sum below one", Mix{IntALU: 0.5, Branch: 0.1}},
+		{"sum above one", Mix{IntALU: 0.9, Load: 0.2, Branch: 0.1}},
+		{"no branches", Mix{IntALU: 0.8, Load: 0.2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.mix.Validate(); err == nil {
+				t.Errorf("mix %+v accepted, want error", tt.mix)
+			}
+		})
+	}
+}
+
+func TestProfileValidateRejections(t *testing.T) {
+	base, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"empty name", func(p *Profile) { p.Name = "" }},
+		{"bad suite", func(p *Profile) { p.Suite = 0 }},
+		{"dep dist below 1", func(p *Profile) { p.DepDist = 0.5 }},
+		{"near dep prob above 1", func(p *Profile) { p.NearDepProb = 1.5 }},
+		{"warm+cold above 1", func(p *Profile) { p.WarmProb = 0.8; p.ColdProb = 0.4 }},
+		{"zero hot bytes", func(p *Profile) { p.HotBytes = 0 }},
+		{"one code block", func(p *Profile) { p.CodeBlocks = 1 }},
+		{"predictability below 0.5", func(p *Profile) { p.BranchPredictability = 0.4 }},
+		{"loop prob above 1", func(p *Profile) { p.LoopProb = 1.2 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("mutation accepted, want error")
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, err := ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []trace.Instruction {
+		g, err := New(p, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := trace.Collect(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != 2000 {
+		t.Fatalf("generated %d instructions, want 2000", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGeneratorEOFAndProduced(t *testing.T) {
+	p, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := g.Next(); err != nil {
+			t.Fatalf("instruction %d: %v", i, err)
+		}
+	}
+	if _, err := g.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after limit, err = %v, want EOF", err)
+	}
+	if g.Produced() != 10 {
+		t.Fatalf("Produced = %d, want 10", g.Produced())
+	}
+}
+
+func TestGeneratorRejectsInvalidProfile(t *testing.T) {
+	var p Profile
+	if _, err := New(p, 10); err == nil {
+		t.Fatal("New must reject an invalid profile")
+	}
+}
+
+func TestGeneratedInstructionsAreValid(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			g, err := New(p, 5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				in, err := g.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := in.Validate(); err != nil {
+					t.Fatalf("invalid generated instruction %+v: %v", in, err)
+				}
+			}
+		})
+	}
+}
+
+// classFractions tallies the dynamic class distribution of n instructions.
+func classFractions(t *testing.T, p Profile, n int64) map[trace.Class]float64 {
+	t.Helper()
+	g, err := New(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[trace.Class]int64, trace.NumClasses)
+	total := int64(0)
+	for {
+		in, err := g.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[in.Class]++
+		total++
+	}
+	fr := make(map[trace.Class]float64, len(counts))
+	for c, k := range counts {
+		fr[c] = float64(k) / float64(total)
+	}
+	return fr
+}
+
+func TestGeneratedMixMatchesProfile(t *testing.T) {
+	// The dynamic mix should track the profile mix within a small absolute
+	// tolerance (block-length quantisation perturbs the branch fraction).
+	for _, name := range []string{"gcc", "wupwise"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := classFractions(t, p, 200000)
+		checks := []struct {
+			class trace.Class
+			want  float64
+		}{
+			{trace.ClassBranch, p.Mix.Branch},
+			{trace.ClassLoad, p.Mix.Load},
+			{trace.ClassStore, p.Mix.Store},
+			{trace.ClassIntALU, p.Mix.IntALU},
+			{trace.ClassFPOp, p.Mix.FPOp},
+		}
+		for _, c := range checks {
+			got := fr[c.class]
+			if math.Abs(got-c.want) > 0.03 {
+				t.Errorf("%s: class %v fraction = %.3f, want %.3f ± 0.03",
+					name, c.class, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBranchBiasControlsTakenRate(t *testing.T) {
+	// A loop-heavy FP benchmark should have a clearly non-trivial taken rate.
+	p, err := ByName("mgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(p, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branches, taken int
+	for {
+		in, err := g.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Class == trace.ClassBranch {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	if branches == 0 {
+		t.Fatal("no branches generated")
+	}
+	rate := float64(taken) / float64(branches)
+	if rate < 0.2 || rate > 0.95 {
+		t.Fatalf("taken rate %.2f outside plausible range", rate)
+	}
+}
+
+func TestMemoryRegionsAreDisjoint(t *testing.T) {
+	p, err := ByName("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(p, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, warm, cold, mem int
+	for {
+		in, err := g.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in.Class.IsMem() {
+			continue
+		}
+		mem++
+		switch {
+		case in.Addr >= 0x4000_0000:
+			cold++
+		case in.Addr >= 0x2000_0000:
+			warm++
+		case in.Addr >= 0x1000_0000:
+			hot++
+		default:
+			t.Fatalf("address %#x outside all regions", in.Addr)
+		}
+	}
+	if mem == 0 {
+		t.Fatal("no memory operations generated")
+	}
+	warmFrac := float64(warm) / float64(mem)
+	coldFrac := float64(cold) / float64(mem)
+	if math.Abs(warmFrac-p.WarmProb) > 0.02 {
+		t.Errorf("warm fraction %.3f, want %.3f ± 0.02", warmFrac, p.WarmProb)
+	}
+	if math.Abs(coldFrac-p.ColdProb) > 0.01 {
+		t.Errorf("cold fraction %.3f, want %.3f ± 0.01", coldFrac, p.ColdProb)
+	}
+	if hot == 0 {
+		t.Error("no hot-set accesses generated")
+	}
+}
+
+func TestUnboundedGenerator(t *testing.T) {
+	p, err := ByName("mesa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(p, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := g.Next(); err != nil {
+			t.Fatalf("unbounded generator stopped at %d: %v", i, err)
+		}
+	}
+}

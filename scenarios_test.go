@@ -1,0 +1,49 @@
+package ramp_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+// TestShippedScenariosLoadAndResolve guards the scenario files in
+// scenarios/: each must parse, validate, and resolve against the default
+// configuration.
+func TestShippedScenariosLoadAndResolve(t *testing.T) {
+	entries, err := os.ReadDir("scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no shipped scenarios found")
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			spec, err := ramp.LoadScenarioFile(filepath.Join("scenarios", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name == "" || spec.Description == "" {
+				t.Error("shipped scenarios need a name and a description")
+			}
+			cfg, profiles, techs, err := spec.Resolve(ramp.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(profiles) == 0 || len(techs) == 0 {
+				t.Fatal("scenario resolves to an empty study")
+			}
+			if techs[0].Name != "180nm" {
+				t.Fatal("resolved technologies must start with the calibration anchor")
+			}
+		})
+	}
+}
