@@ -11,24 +11,41 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	ramp "github.com/ramp-sim/ramp"
 )
 
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ramplife:", err)
 		os.Exit(1)
 	}
 }
 
+// run keeps the historical entry point for tests; it never cancels.
 func run(out io.Writer, args []string) error {
+	return runCtx(context.Background(), out, args)
+}
+
+// session bundles the per-invocation execution environment: cancellation,
+// the timing parallelism bound, and the optional progress sink.
+type session struct {
+	ctx  context.Context
+	opts ramp.StudyOptions
+}
+
+func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("ramplife", flag.ContinueOnError)
 	fs.SetOutput(out)
 	mode := fs.String("mode", "", "mc | drm | cmp | schedule | cycles | remap")
@@ -39,6 +56,8 @@ func run(out io.Writer, args []string) error {
 	samples := fs.Int("samples", 50_000, "Monte Carlo trials (mc mode)")
 	budget := fs.Float64("budget", 16_000, "FIT budget (drm mode)")
 	migrate := fs.Int("migrate", 100, "migration period in µs, 0 = static (cmp mode)")
+	parallelism := fs.Int("parallelism", 0, "max concurrent timing runs (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report per-task progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,34 +68,53 @@ func run(out io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	s := session{ctx: ctx, opts: ramp.StudyOptions{Parallelism: *parallelism}}
+	if *progress {
+		s.opts.OnProgress = func(p ramp.StudyProgress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s done\n", p.Done, p.Total, p.Task)
+		}
+	}
 	switch *mode {
 	case "mc":
-		return runMC(out, cfg, *app, tech, *samples)
+		return runMC(s, out, cfg, *app, tech, *samples)
 	case "drm":
-		return runDRM(out, cfg, *app, tech, *budget)
+		return runDRM(s, out, cfg, *app, tech, *budget)
 	case "cmp":
-		return runCMP(out, cfg, strings.Split(*apps, ","), tech, *migrate)
+		return runCMP(s, out, cfg, strings.Split(*apps, ","), tech, *migrate)
 	case "schedule":
-		return runSchedule(out, cfg, *app, tech)
+		return runSchedule(s, out, cfg, *app, tech)
 	case "cycles":
-		return runCycles(out, cfg, *app, tech)
+		return runCycles(s, out, cfg, *app, tech)
 	case "remap":
-		return runRemap(out, cfg, *app, *budget)
+		return runRemap(s, out, cfg, *app, *budget)
 	default:
 		return fmt.Errorf("pick a mode with -mode mc|drm|cmp|schedule|cycles|remap")
 	}
 }
 
-func timing(cfg ramp.Config, app string) (*ramp.ActivityTrace, error) {
+func (s session) timing(cfg ramp.Config, app string) (*ramp.ActivityTrace, error) {
 	prof, err := ramp.ProfileByName(strings.TrimSpace(app))
 	if err != nil {
 		return nil, err
 	}
-	return ramp.RunTiming(cfg, prof)
+	return ramp.RunTimingContext(s.ctx, cfg, prof)
 }
 
-func runMC(out io.Writer, cfg ramp.Config, app string, tech ramp.Technology, samples int) error {
-	tr, err := timing(cfg, app)
+// timings runs the timing stage for several benchmarks on the bounded pool.
+func (s session) timings(cfg ramp.Config, apps []string) ([]*ramp.ActivityTrace, error) {
+	profiles := make([]ramp.Profile, len(apps))
+	for i, a := range apps {
+		p, err := ramp.ProfileByName(strings.TrimSpace(a))
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = p
+	}
+	return ramp.RunTimings(s.ctx, cfg, profiles, s.opts)
+}
+
+func runMC(s session, out io.Writer, cfg ramp.Config, app string, tech ramp.Technology, samples int) error {
+	tr, err := s.timing(cfg, app)
 	if err != nil {
 		return err
 	}
@@ -118,8 +156,8 @@ func runMC(out io.Writer, cfg ramp.Config, app string, tech ramp.Technology, sam
 	return t.Render(out)
 }
 
-func runDRM(out io.Writer, cfg ramp.Config, app string, tech ramp.Technology, budget float64) error {
-	tr, err := timing(cfg, app)
+func runDRM(s session, out io.Writer, cfg ramp.Config, app string, tech ramp.Technology, budget float64) error {
+	tr, err := s.timing(cfg, app)
 	if err != nil {
 		return err
 	}
@@ -151,20 +189,16 @@ func runDRM(out io.Writer, cfg ramp.Config, app string, tech ramp.Technology, bu
 	return nil
 }
 
-func runCMP(out io.Writer, cfg ramp.Config, apps []string, tech ramp.Technology, migrate int) error {
+func runCMP(s session, out io.Writer, cfg ramp.Config, apps []string, tech ramp.Technology, migrate int) error {
 	if len(apps) < 2 {
 		return fmt.Errorf("cmp mode needs at least 2 apps, got %d", len(apps))
 	}
-	var traces []*ramp.ActivityTrace
-	for _, a := range apps {
-		tr, err := timing(cfg, a)
-		if err != nil {
-			return err
-		}
-		traces = append(traces, tr)
+	traces, err := s.timings(cfg, apps)
+	if err != nil {
+		return err
 	}
 	mc := ramp.CMPConfig{Base: cfg, Cores: len(apps), MigrateIntervals: migrate}
-	res, err := ramp.EvaluateCMP(mc, traces, tech, 341, nil)
+	res, err := ramp.EvaluateCMPContext(s.ctx, mc, traces, tech, 341, nil)
 	if err != nil {
 		return err
 	}
@@ -190,8 +224,8 @@ func runCMP(out io.Writer, cfg ramp.Config, apps []string, tech ramp.Technology,
 // runSchedule projects deployment lifetime under a realistic day/night
 // duty cycle: the named workload during the working day, a light load in
 // the evening, and near-idle overnight.
-func runSchedule(out io.Writer, cfg ramp.Config, app string, tech ramp.Technology) error {
-	tr, err := timing(cfg, app)
+func runSchedule(s session, out io.Writer, cfg ramp.Config, app string, tech ramp.Technology) error {
+	tr, err := s.timing(cfg, app)
 	if err != nil {
 		return err
 	}
@@ -207,23 +241,23 @@ func runSchedule(out io.Writer, cfg ramp.Config, app string, tech ramp.Technolog
 		}
 	}
 	busy := point.RawFIT.Calibrated(ramp.ReferenceConstants()).Total()
-	s := ramp.AgingSchedule{Phases: []ramp.AgingPhase{
+	day := ramp.AgingSchedule{Phases: []ramp.AgingPhase{
 		{Name: app, HoursPerDay: 9, FIT: busy},
 		{Name: "light load", HoursPerDay: 7, FIT: busy * 0.45},
 		{Name: "idle", HoursPerDay: 8, FIT: busy * 0.15},
 	}}
-	proj, err := ramp.ProjectAging(s)
+	proj, err := ramp.ProjectAging(day)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "%s @ %s daily duty cycle:\n", app, tech.Name)
-	for _, p := range s.Phases {
+	for _, p := range day.Phases {
 		fmt.Fprintf(out, "  %-11s %4.0f h/day at %6.0f FIT  (%.0f%% of damage)\n",
 			p.Name, p.HoursPerDay, p.FIT, proj.DamageShare[p.Name]*100)
 	}
 	fmt.Fprintf(out, "  effective FIT %.0f -> projected lifetime %.1f years\n",
 		proj.EffectiveFIT, proj.LifetimeYears)
-	whatIf, err := ramp.AgingMitigations(s, 0.5)
+	whatIf, err := ramp.AgingMitigations(day, 0.5)
 	if err != nil {
 		return err
 	}
@@ -236,7 +270,7 @@ func runSchedule(out io.Writer, cfg ramp.Config, app string, tech ramp.Technolog
 // recording the hottest structure's temperature trace for the workload
 // as-is and for a phased (bursty) variant, and comparing rainflow damage
 // indices.
-func runCycles(out io.Writer, cfg ramp.Config, app string, tech ramp.Technology) error {
+func runCycles(s session, out io.Writer, cfg ramp.Config, app string, tech ramp.Technology) error {
 	cfg.RecordThermalTrace = true
 	prof, err := ramp.ProfileByName(strings.TrimSpace(app))
 	if err != nil {
@@ -247,7 +281,7 @@ func runCycles(out io.Writer, cfg ramp.Config, app string, tech ramp.Technology)
 	phased.PhaseMemScale = 8
 
 	analyse := func(p ramp.Profile) (ramp.CycleSummary, float64, float64, error) {
-		tr, err := ramp.RunTiming(cfg, p)
+		tr, err := ramp.RunTimingContext(s.ctx, cfg, p)
 		if err != nil {
 			return ramp.CycleSummary{}, 0, 0, err
 		}
@@ -292,8 +326,8 @@ func runCycles(out io.Writer, cfg ramp.Config, app string, tech ramp.Technology)
 // runRemap prints the derating schedule: for each technology point, the
 // fastest below-nominal operating point that keeps the workload within the
 // FIT budget — the cost of remapping one design across generations.
-func runRemap(out io.Writer, cfg ramp.Config, app string, budget float64) error {
-	tr, err := timing(cfg, app)
+func runRemap(s session, out io.Writer, cfg ramp.Config, app string, budget float64) error {
+	tr, err := s.timing(cfg, app)
 	if err != nil {
 		return err
 	}

@@ -5,28 +5,40 @@
 // Usage:
 //
 //	rampsim [-n instructions] [-apps ammp,gcc] [-csv] [-figure 2|3|4|5] [-headline] [-all]
+//	        [-parallelism N] [-progress]
 //
 // Without -figure/-headline/-all it prints the per-run summary lines.
+// Interrupting the process (Ctrl-C) cancels the study promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	ramp "github.com/ramp-sim/ramp"
 )
 
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rampsim:", err)
 		os.Exit(1)
 	}
 }
 
+// run keeps the historical entry point for tests; it never cancels.
 func run(out io.Writer, args []string) error {
+	return runCtx(context.Background(), out, args)
+}
+
+func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("rampsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	instructions := fs.Int64("n", 2_000_000, "instructions to simulate per application")
@@ -38,6 +50,8 @@ func run(out io.Writer, args []string) error {
 	plot := fs.Bool("plot", false, "render figures as ASCII charts instead of tables")
 	jsonOut := fs.Bool("json", false, "emit the full study as a JSON document")
 	scenarioPath := fs.String("scenario", "", "JSON experiment specification (overrides -n/-apps)")
+	parallelism := fs.Int("parallelism", 0, "max concurrent study tasks (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report per-task study progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +77,11 @@ func run(out io.Writer, args []string) error {
 			fmt.Fprintf(out, "  %s\n", spec.Description)
 		}
 	}
-	res, err := ramp.RunStudy(cfg, profiles, techs)
+	opts := ramp.StudyOptions{Parallelism: *parallelism}
+	if *progress {
+		opts.OnProgress = progressPrinter(os.Stderr)
+	}
+	res, err := ramp.RunStudyContext(ctx, cfg, profiles, techs, opts)
 	if err != nil {
 		return err
 	}
@@ -155,6 +173,20 @@ func run(out io.Writer, args []string) error {
 		return printFigure(*figure)
 	default:
 		return printSummary(out, res)
+	}
+}
+
+// progressPrinter returns a study progress callback that writes one line
+// per finished task. The callback runs on worker goroutines; each write is
+// a single Fprintf so lines never interleave mid-row.
+func progressPrinter(w io.Writer) func(ramp.StudyProgress) {
+	return func(p ramp.StudyProgress) {
+		status := ""
+		if p.Err != nil {
+			status = "  FAILED: " + p.Err.Error()
+		}
+		fmt.Fprintf(w, "[%3d/%3d] %-7s %-3d/%-3d %s%s\n",
+			p.Done, p.Total, p.Stage, p.StageDone, p.StageTotal, p.Task, status)
 	}
 }
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -25,17 +26,18 @@ func run() error {
 	cfg := ramp.DefaultConfig()
 	cfg.Instructions = 2_000_000
 
-	var traces []*ramp.ActivityTrace
+	var profiles []ramp.Profile
 	for _, name := range []string{"ammp", "crafty"} { // coolest + hottest
 		prof, err := ramp.ProfileByName(name)
 		if err != nil {
 			return err
 		}
-		tr, err := ramp.RunTiming(cfg, prof)
-		if err != nil {
-			return err
-		}
-		traces = append(traces, tr)
+		profiles = append(profiles, prof)
+	}
+	// Both timing runs execute concurrently on the bounded pool.
+	traces, err := ramp.RunTimings(context.Background(), cfg, profiles, ramp.StudyOptions{})
+	if err != nil {
+		return err
 	}
 	tech, err := ramp.TechnologyByName("65nm (1.0V)")
 	if err != nil {

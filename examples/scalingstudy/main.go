@@ -4,25 +4,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 
 	ramp "github.com/ramp-sim/ramp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "scalingstudy:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	cfg := ramp.DefaultConfig()
 	cfg.Instructions = 1_000_000
 
 	fmt.Println("Running the scaling study (16 benchmarks x 5 technology points)...")
-	res, err := ramp.RunStudy(cfg, ramp.Profiles(), ramp.Technologies())
+	// The study runs as a pipelined task graph on a bounded worker pool;
+	// the progress callback ticks as each (profile × technology) task
+	// lands, and Ctrl-C cancels the remaining work promptly.
+	res, err := ramp.RunStudyContext(ctx, cfg, ramp.Profiles(), ramp.Technologies(),
+		ramp.StudyOptions{OnProgress: func(p ramp.StudyProgress) {
+			fmt.Fprintf(os.Stderr, "\r%3d/%3d tasks", p.Done, p.Total)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}})
 	if err != nil {
 		return err
 	}

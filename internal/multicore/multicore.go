@@ -14,6 +14,7 @@
 package multicore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -146,6 +147,14 @@ func (r *Result) ChipFIT(consts core.Constants) float64 {
 // appPowerScales mirror sim.EvaluateTech (scales may be nil for 1.0).
 func Evaluate(cfg Config, traces []*sim.ActivityTrace, tech scaling.Technology,
 	sinkTempTargetK float64, appPowerScales []float64) (Result, error) {
+	return EvaluateContext(context.Background(), cfg, traces, tech, sinkTempTargetK, appPowerScales)
+}
+
+// EvaluateContext is Evaluate with cancellation: the interval loop polls
+// ctx every few hundred intervals and aborts with ctx.Err(), so long CMP
+// runs started from a study scheduler or a CLI unwind promptly.
+func EvaluateContext(ctx context.Context, cfg Config, traces []*sim.ActivityTrace, tech scaling.Technology,
+	sinkTempTargetK float64, appPowerScales []float64) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -276,6 +285,11 @@ func Evaluate(cfg Config, traces []*sim.ActivityTrace, tech scaling.Technology,
 	params := cfg.Base.RAMP
 	cyclesPerUs := float64(cfg.Base.Machine.CyclesPerMicrosecond())
 	for iv := 0; iv < nIntervals; iv++ {
+		if iv&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		// Activity migration: rotate the assignment.
 		if cfg.MigrateIntervals > 0 && iv > 0 && iv%cfg.MigrateIntervals == 0 {
 			first := assignment[0]

@@ -1,0 +1,354 @@
+// Package sched is a bounded, cancellable task-graph scheduler. A study is
+// expressed as a directed acyclic graph of named tasks; Run executes it on
+// a fixed-size worker pool (default GOMAXPROCS), starting each task the
+// moment its dependencies finish rather than barriering whole stages. The
+// first task error cancels all outstanding work, panics are recovered into
+// errors, and an optional progress callback reports per-stage completion
+// counters as the graph drains.
+//
+// The scheduler adds no synchronisation around task *results*: tasks must
+// write to disjoint storage (typically their own slice slot), which also
+// guarantees that the output is independent of worker count and scheduling
+// order — a property internal/sim's determinism tests pin down.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Task is one node of the graph.
+type Task struct {
+	// ID names the task; it must be unique within a graph.
+	ID string
+	// Stage groups tasks for progress reporting (e.g. "timing", "base").
+	// It has no scheduling meaning: only Deps order execution.
+	Stage string
+	// Deps lists the IDs of tasks that must complete before this one runs.
+	Deps []string
+	// Run does the work. It receives a context that is cancelled as soon
+	// as any task fails or the caller's context is cancelled; long-running
+	// tasks should poll it.
+	Run func(ctx context.Context) error
+}
+
+// Progress is a snapshot of graph completion, delivered to the callback
+// after each task finishes. Counters are consistent with each other but the
+// callback may observe them out of completion order under parallelism.
+type Progress struct {
+	// Task and Stage identify the task that just finished.
+	Task, Stage string
+	// Err is the task's error, nil on success.
+	Err error
+	// Done and Total count finished and scheduled tasks graph-wide.
+	Done, Total int
+	// StageDone and StageTotal count finished and scheduled tasks within
+	// the finished task's stage.
+	StageDone, StageTotal int
+}
+
+// Options configures a Run.
+type Options struct {
+	// Parallelism bounds the number of concurrently running tasks.
+	// Values < 1 default to runtime.GOMAXPROCS(0).
+	Parallelism int
+	// OnProgress, when non-nil, is invoked after every task completion
+	// (including failures). It is called from worker goroutines and must
+	// be safe for concurrent use.
+	OnProgress func(Progress)
+}
+
+// PanicError wraps a panic recovered from a task.
+type PanicError struct {
+	// Task is the panicking task's ID.
+	Task string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error describes the panic without the stack (retrieve it from the field).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task %s panicked: %v", e.Task, e.Value)
+}
+
+// MultiError aggregates the errors of independently failed tasks, ordered
+// by task submission order for reproducible messages.
+type MultiError struct {
+	Errs []error
+}
+
+// Error joins the individual messages.
+func (e *MultiError) Error() string {
+	msgs := make([]string, len(e.Errs))
+	for i, err := range e.Errs {
+		msgs[i] = err.Error()
+	}
+	return fmt.Sprintf("sched: %d tasks failed: %s", len(e.Errs), strings.Join(msgs, "; "))
+}
+
+// Unwrap exposes the individual errors to errors.Is / errors.As.
+func (e *MultiError) Unwrap() []error { return e.Errs }
+
+// Graph accumulates tasks and runs them. The zero value is not usable;
+// create with NewGraph. A Graph is single-use: Run may be called once.
+type Graph struct {
+	tasks []Task
+	index map[string]int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{index: make(map[string]int)}
+}
+
+// Add appends a task, rejecting duplicate or empty IDs and nil Run funcs.
+// Dependencies may name tasks added later; they are resolved at Run.
+func (g *Graph) Add(t Task) error {
+	if t.ID == "" {
+		return errors.New("sched: task needs an ID")
+	}
+	if t.Run == nil {
+		return fmt.Errorf("sched: task %s has no Run func", t.ID)
+	}
+	if _, dup := g.index[t.ID]; dup {
+		return fmt.Errorf("sched: duplicate task %s", t.ID)
+	}
+	g.index[t.ID] = len(g.tasks)
+	g.tasks = append(g.tasks, t)
+	return nil
+}
+
+// MustAdd is Add for programmatically generated, known-unique IDs.
+func (g *Graph) MustAdd(t Task) {
+	if err := g.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tasks added.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// taskErr pairs an error with the failing task's submission index so the
+// aggregate error is ordered deterministically.
+type taskErr struct {
+	idx int
+	err error
+}
+
+// Run executes the graph and blocks until every task has finished, failed,
+// or been abandoned after cancellation. It returns nil on full success; the
+// single task error if exactly one task failed; a *MultiError if several
+// failed independently; or ctx.Err() if the caller's context was cancelled
+// before any task failed. Secondary context.Canceled errors from tasks
+// interrupted by the first failure are suppressed.
+func (g *Graph) Run(ctx context.Context, opts Options) error {
+	n := len(g.tasks)
+	if n == 0 {
+		return nil
+	}
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Resolve dependencies into in-degrees and dependent lists.
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		for _, d := range t.Deps {
+			j, ok := g.index[d]
+			if !ok {
+				return fmt.Errorf("sched: task %s depends on unknown task %q", t.ID, d)
+			}
+			if j == i {
+				return fmt.Errorf("sched: task %s depends on itself", t.ID)
+			}
+			indeg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	if err := checkAcyclic(g.tasks, indeg, dependents); err != nil {
+		return err
+	}
+
+	stageTotal := make(map[string]int)
+	for i := range g.tasks {
+		stageTotal[g.tasks[i].Stage]++
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// ready is buffered for the whole graph so completing workers never
+	// block while enqueueing newly unblocked dependents.
+	ready := make(chan int, n)
+	var (
+		mu        sync.Mutex
+		errs      []taskErr
+		done      int
+		stageDone = make(map[string]int, len(stageTotal))
+	)
+	for i := range g.tasks {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case i, ok := <-ready:
+					if !ok {
+						return
+					}
+					if ctx.Err() != nil {
+						return
+					}
+					t := &g.tasks[i]
+					err := runTask(ctx, t)
+
+					mu.Lock()
+					done++
+					stageDone[t.Stage]++
+					if err != nil {
+						errs = append(errs, taskErr{i, err})
+					}
+					p := Progress{
+						Task: t.ID, Stage: t.Stage, Err: err,
+						Done: done, Total: n,
+						StageDone: stageDone[t.Stage], StageTotal: stageTotal[t.Stage],
+					}
+					var unblocked []int
+					if err == nil {
+						for _, d := range dependents[i] {
+							indeg[d]--
+							if indeg[d] == 0 {
+								unblocked = append(unblocked, d)
+							}
+						}
+					}
+					finished := done == n
+					mu.Unlock()
+
+					if err != nil {
+						cancel()
+					}
+					for _, d := range unblocked {
+						ready <- d
+					}
+					if opts.OnProgress != nil {
+						opts.OnProgress(p)
+					}
+					if finished {
+						// The final task enqueues nothing, so no sends can
+						// follow; closing releases the idle workers.
+						close(ready)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(errs, func(a, b int) bool { return errs[a].idx < errs[b].idx })
+	var real []error
+	for _, te := range errs {
+		if !errors.Is(te.err, context.Canceled) {
+			real = append(real, fmt.Errorf("%s: %w", g.tasks[te.idx].ID, te.err))
+		}
+	}
+	switch {
+	case len(real) == 1:
+		return real[0]
+	case len(real) > 1:
+		return &MultiError{Errs: real}
+	case parent.Err() != nil:
+		return parent.Err()
+	case len(errs) > 0:
+		// Only context.Canceled task errors without external cancellation:
+		// surface the first rather than swallowing it.
+		return fmt.Errorf("%s: %w", g.tasks[errs[0].idx].ID, errs[0].err)
+	default:
+		return nil
+	}
+}
+
+// runTask invokes the task, converting panics to *PanicError.
+func runTask(ctx context.Context, t *Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Task: t.ID, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return t.Run(ctx)
+}
+
+// checkAcyclic runs Kahn's algorithm on a scratch copy of the in-degrees,
+// naming the cycle participants on failure.
+func checkAcyclic(tasks []Task, indeg []int, dependents [][]int) error {
+	deg := make([]int, len(indeg))
+	copy(deg, indeg)
+	queue := make([]int, 0, len(tasks))
+	for i, d := range deg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, d := range dependents[i] {
+			deg[d]--
+			if deg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen == len(tasks) {
+		return nil
+	}
+	var cyclic []string
+	for i, d := range deg {
+		if d > 0 {
+			cyclic = append(cyclic, tasks[i].ID)
+		}
+	}
+	return fmt.Errorf("sched: dependency cycle through %s", strings.Join(cyclic, ", "))
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) as n independent tasks on a
+// bounded pool — the degenerate graph for embarrassingly parallel loops.
+// stage labels the tasks in progress callbacks.
+func Map(ctx context.Context, n int, opts Options, stage string, fn func(ctx context.Context, i int) error) error {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		i := i
+		g.MustAdd(Task{
+			ID:    fmt.Sprintf("%s/%d", stage, i),
+			Stage: stage,
+			Run:   func(ctx context.Context) error { return fn(ctx, i) },
+		})
+	}
+	return g.Run(ctx, opts)
+}

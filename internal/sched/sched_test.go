@@ -1,0 +1,299 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunRespectsDependencies(t *testing.T) {
+	g := NewGraph()
+	var mu sync.Mutex
+	order := make(map[string]int)
+	seq := 0
+	record := func(id string) func(context.Context) error {
+		return func(context.Context) error {
+			mu.Lock()
+			defer mu.Unlock()
+			seq++
+			order[id] = seq
+			return nil
+		}
+	}
+	mustAdd(t, g, Task{ID: "c", Deps: []string{"a", "b"}, Run: record("c")})
+	mustAdd(t, g, Task{ID: "a", Run: record("a")})
+	mustAdd(t, g, Task{ID: "b", Deps: []string{"a"}, Run: record("b")})
+	mustAdd(t, g, Task{ID: "d", Deps: []string{"c"}, Run: record("d")})
+	if err := g.Run(context.Background(), Options{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !(order["a"] < order["b"] && order["b"] < order["c"] && order["c"] < order["d"]) {
+		t.Fatalf("dependency order violated: %v", order)
+	}
+}
+
+func TestRunBoundsParallelism(t *testing.T) {
+	const limit = 3
+	g := NewGraph()
+	var cur, peak atomic.Int64
+	for i := 0; i < 24; i++ {
+		mustAdd(t, g, Task{ID: fmt.Sprintf("t%d", i), Run: func(context.Context) error {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		}})
+	}
+	if err := g.Run(context.Background(), Options{Parallelism: limit}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", p, limit)
+	}
+}
+
+func TestRunFirstErrorCancelsRest(t *testing.T) {
+	g := NewGraph()
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	mustAdd(t, g, Task{ID: "fail", Run: func(context.Context) error { return boom }})
+	mustAdd(t, g, Task{ID: "after", Deps: []string{"fail"}, Run: func(context.Context) error {
+		ran.Add(1)
+		return nil
+	}})
+	err := g.Run(context.Background(), Options{Parallelism: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("dependent of a failed task ran")
+	}
+}
+
+func TestRunErrorCancelsInFlightTasks(t *testing.T) {
+	g := NewGraph()
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	sawCancel := make(chan struct{}, 1)
+	mustAdd(t, g, Task{ID: "slow", Run: func(ctx context.Context) error {
+		close(started)
+		select {
+		case <-ctx.Done():
+			sawCancel <- struct{}{}
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return errors.New("never cancelled")
+		}
+	}})
+	mustAdd(t, g, Task{ID: "fail", Run: func(context.Context) error {
+		<-started
+		return boom
+	}})
+	err := g.Run(context.Background(), Options{Parallelism: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	select {
+	case <-sawCancel:
+	default:
+		t.Fatal("in-flight task did not observe cancellation")
+	}
+}
+
+func TestRunAggregatesIndependentErrors(t *testing.T) {
+	g := NewGraph()
+	e1, e2 := errors.New("first"), errors.New("second")
+	var gate sync.WaitGroup
+	gate.Add(2)
+	failAfterBoth := func(e error) func(context.Context) error {
+		return func(context.Context) error {
+			// Both tasks pass the gate before either returns, so both
+			// errors are recorded regardless of scheduling.
+			gate.Done()
+			gate.Wait()
+			return e
+		}
+	}
+	mustAdd(t, g, Task{ID: "a", Run: failAfterBoth(e1)})
+	mustAdd(t, g, Task{ID: "b", Run: failAfterBoth(e2)})
+	err := g.Run(context.Background(), Options{Parallelism: 2})
+	var multi *MultiError
+	if !errors.As(err, &multi) {
+		t.Fatalf("got %T (%v), want *MultiError", err, err)
+	}
+	if len(multi.Errs) != 2 {
+		t.Fatalf("aggregated %d errors, want 2", len(multi.Errs))
+	}
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("MultiError does not unwrap to both causes: %v", err)
+	}
+	// Submission order, not completion order.
+	if !errors.Is(multi.Errs[0], e1) || !errors.Is(multi.Errs[1], e2) {
+		t.Fatalf("errors not in submission order: %v", multi.Errs)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g, Task{ID: "explode", Run: func(context.Context) error {
+		panic("kaboom")
+	}})
+	err := g.Run(context.Background(), Options{Parallelism: 2})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *PanicError", err, err)
+	}
+	if pe.Task != "explode" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic details lost: %+v", pe)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGraph()
+	release := make(chan struct{})
+	mustAdd(t, g, Task{ID: "first", Run: func(context.Context) error {
+		cancel()
+		close(release)
+		return nil
+	}})
+	for i := 0; i < 8; i++ {
+		mustAdd(t, g, Task{ID: fmt.Sprintf("later%d", i), Deps: []string{"first"},
+			Run: func(context.Context) error {
+				<-release
+				return nil
+			}})
+	}
+	err := g.Run(ctx, Options{Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestRunRejectsBadGraphs(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add(Task{ID: "", Run: func(context.Context) error { return nil }}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := g.Add(Task{ID: "norun"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	mustAdd(t, g, Task{ID: "a", Run: func(context.Context) error { return nil }})
+	if err := g.Add(Task{ID: "a", Run: func(context.Context) error { return nil }}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+
+	g2 := NewGraph()
+	mustAdd(t, g2, Task{ID: "x", Deps: []string{"ghost"}, Run: func(context.Context) error { return nil }})
+	if err := g2.Run(context.Background(), Options{}); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+
+	g3 := NewGraph()
+	mustAdd(t, g3, Task{ID: "x", Deps: []string{"y"}, Run: func(context.Context) error { return nil }})
+	mustAdd(t, g3, Task{ID: "y", Deps: []string{"x"}, Run: func(context.Context) error { return nil }})
+	if err := g3.Run(context.Background(), Options{}); err == nil {
+		t.Error("dependency cycle accepted")
+	}
+
+	g4 := NewGraph()
+	mustAdd(t, g4, Task{ID: "x", Deps: []string{"x"}, Run: func(context.Context) error { return nil }})
+	if err := g4.Run(context.Background(), Options{}); err == nil {
+		t.Error("self-dependency accepted")
+	}
+}
+
+func TestRunEmptyGraph(t *testing.T) {
+	if err := NewGraph().Run(context.Background(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProgressCounters(t *testing.T) {
+	g := NewGraph()
+	const perStage = 5
+	for i := 0; i < perStage; i++ {
+		id := fmt.Sprintf("load%d", i)
+		mustAdd(t, g, Task{ID: id, Stage: "load", Run: func(context.Context) error { return nil }})
+		mustAdd(t, g, Task{ID: fmt.Sprintf("eval%d", i), Stage: "eval", Deps: []string{id},
+			Run: func(context.Context) error { return nil }})
+	}
+	var mu sync.Mutex
+	var events []Progress
+	err := g.Run(context.Background(), Options{
+		Parallelism: 4,
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			events = append(events, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2*perStage {
+		t.Fatalf("got %d progress events, want %d", len(events), 2*perStage)
+	}
+	maxDone := 0
+	stageMax := map[string]int{}
+	for _, p := range events {
+		if p.Total != 2*perStage {
+			t.Fatalf("Total = %d, want %d", p.Total, 2*perStage)
+		}
+		if p.StageTotal != perStage {
+			t.Fatalf("StageTotal = %d, want %d", p.StageTotal, perStage)
+		}
+		if p.Done > maxDone {
+			maxDone = p.Done
+		}
+		if p.StageDone > stageMax[p.Stage] {
+			stageMax[p.Stage] = p.StageDone
+		}
+	}
+	if maxDone != 2*perStage || stageMax["load"] != perStage || stageMax["eval"] != perStage {
+		t.Fatalf("counters never reached totals: done %d, stages %v", maxDone, stageMax)
+	}
+}
+
+func TestMap(t *testing.T) {
+	var sum atomic.Int64
+	err := Map(context.Background(), 100, Options{Parallelism: 8}, "add",
+		func(_ context.Context, i int) error {
+			sum.Add(int64(i))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+	boom := errors.New("boom")
+	err = Map(context.Background(), 4, Options{Parallelism: 1}, "fail",
+		func(_ context.Context, i int) error {
+			if i == 2 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, task Task) {
+	t.Helper()
+	if err := g.Add(task); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// FuzzConfigValidate perturbs the numeric knobs of Config around the
+// default machine. Validation must never panic, and a configuration it
+// accepts must survive a short timing run — errors allowed, panics not.
+func FuzzConfigValidate(f *testing.F) {
+	d := DefaultConfig()
+	f.Add(d.Instructions, d.QualFITPerMechanism,
+		d.Machine.ROBSize, d.Machine.FetchWidth, d.Machine.IssueWidth,
+		d.Machine.MemQueueSize, d.Machine.L2Lat)
+	f.Add(int64(2000), 1000.0, 64, 4, 6, 16, 12)
+	// Hostile numerics: zero/negative sizes, NaN and Inf targets.
+	f.Add(int64(0), math.NaN(), 0, -1, 0, -8, 0)
+	f.Add(int64(-5), math.Inf(1), 152, 8, 8, 32, 12)
+	f.Add(int64(1000), -1000.0, 1, 1, 1, 1, 1)
+
+	f.Fuzz(func(t *testing.T, instructions int64, qualFIT float64,
+		robSize, fetchWidth, issueWidth, memQueue, l2Lat int) {
+		cfg := DefaultConfig()
+		cfg.Instructions = instructions
+		cfg.QualFITPerMechanism = qualFIT
+		cfg.Machine.ROBSize = robSize
+		cfg.Machine.FetchWidth = fetchWidth
+		cfg.Machine.IssueWidth = issueWidth
+		cfg.Machine.MemQueueSize = memQueue
+		cfg.Machine.L2Lat = l2Lat
+		if err := cfg.Validate(); err != nil {
+			if err2 := cfg.Validate(); err2 == nil {
+				t.Fatal("Validate not deterministic: error then nil")
+			}
+			return
+		}
+		// Smoke-run accepted configurations that stay small enough for a
+		// fuzz iteration; oversized-but-valid machines are legal, just slow.
+		if instructions > 5000 || robSize > 4096 || fetchWidth > 64 ||
+			issueWidth > 64 || memQueue > 4096 || l2Lat > 1000 {
+			return
+		}
+		prof, err := workload.ByName("gzip")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunTiming(cfg, prof); err != nil {
+			t.Fatalf("accepted config failed to simulate: %v", err)
+		}
+	})
+}

@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -79,8 +80,10 @@ func (c Config) Validate() error {
 	if c.Instructions <= 0 {
 		return fmt.Errorf("sim: instructions must be positive, got %d", c.Instructions)
 	}
-	if c.QualFITPerMechanism <= 0 {
-		return fmt.Errorf("sim: qualification FIT must be positive")
+	// Inverted comparison so a NaN target (which compares false both ways)
+	// is rejected rather than flowing into the calibration solve.
+	if !(c.QualFITPerMechanism > 0) || math.IsInf(c.QualFITPerMechanism, 0) {
+		return fmt.Errorf("sim: qualification FIT must be positive and finite")
 	}
 	return nil
 }
@@ -95,6 +98,12 @@ type ActivityTrace struct {
 
 // RunTiming executes the timing stage for one workload profile.
 func RunTiming(cfg Config, prof workload.Profile) (*ActivityTrace, error) {
+	return RunTimingContext(context.Background(), cfg, prof)
+}
+
+// RunTimingContext is RunTiming with cancellation: the simulation aborts
+// with ctx.Err() shortly after ctx is cancelled.
+func RunTimingContext(ctx context.Context, cfg Config, prof workload.Profile) (*ActivityTrace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -102,7 +111,7 @@ func RunTiming(cfg Config, prof workload.Profile) (*ActivityTrace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", prof.Name, err)
 	}
-	return RunTimingStream(cfg, prof, gen)
+	return RunTimingStreamContext(ctx, cfg, prof, gen)
 }
 
 // RunTimingStream executes the timing stage over an arbitrary instruction
@@ -110,6 +119,13 @@ func RunTiming(cfg Config, prof workload.Profile) (*ActivityTrace, error) {
 // (trace.NewSystematicSampler), or any other trace.Stream. prof supplies
 // the workload's identity (name, suite, Table 3 targets) for reporting.
 func RunTimingStream(cfg Config, prof workload.Profile, stream trace.Stream) (*ActivityTrace, error) {
+	return RunTimingStreamContext(context.Background(), cfg, prof, stream)
+}
+
+// RunTimingStreamContext is RunTimingStream with cancellation, polled
+// between instructions at a granularity that keeps the overhead invisible.
+func RunTimingStreamContext(ctx context.Context, cfg Config, prof workload.Profile,
+	stream trace.Stream) (*ActivityTrace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,7 +136,7 @@ func RunTimingStream(cfg Config, prof workload.Profile, stream trace.Stream) (*A
 	if err != nil {
 		return nil, err
 	}
-	res, err := ms.Run(stream)
+	res, err := ms.Run(&cancellableStream{ctx: ctx, src: stream})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: timing: %w", prof.Name, err)
 	}
@@ -128,6 +144,26 @@ func RunTimingStream(cfg Config, prof workload.Profile, stream trace.Stream) (*A
 		return nil, fmt.Errorf("sim: %s: timing produced no activity samples", prof.Name)
 	}
 	return &ActivityTrace{Profile: prof, Timing: res}, nil
+}
+
+// cancellableStream forwards a trace.Stream, surfacing ctx cancellation as
+// a stream error every 4096 instructions. The microarch simulator stops on
+// the first stream error, so a cancelled timing run unwinds promptly and
+// errors.Is(err, context.Canceled) holds through the wrapping.
+type cancellableStream struct {
+	ctx context.Context
+	src trace.Stream
+	n   uint
+}
+
+func (s *cancellableStream) Next() (trace.Instruction, error) {
+	if s.n&4095 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return trace.Instruction{}, err
+		}
+	}
+	s.n++
+	return s.src.Next()
 }
 
 // AppRun is the evaluation of one application at one technology point. FIT
@@ -177,7 +213,20 @@ type AppRun struct {
 // (1 to disable).
 func EvaluateTech(cfg Config, tr *ActivityTrace, tech scaling.Technology,
 	sinkTempTargetK, appPowerScale float64) (AppRun, error) {
+	return EvaluateTechContext(context.Background(), cfg, tr, tech, sinkTempTargetK, appPowerScale)
+}
+
+// EvaluateTechContext is EvaluateTech with cancellation: the transient loop
+// polls ctx every few hundred intervals and aborts with ctx.Err(). The
+// evaluation is pure with respect to the trace (the trace is only read), so
+// any number of EvaluateTechContext calls may share one ActivityTrace
+// concurrently.
+func EvaluateTechContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech scaling.Technology,
+	sinkTempTargetK, appPowerScale float64) (AppRun, error) {
 	if err := cfg.Validate(); err != nil {
+		return AppRun{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return AppRun{}, err
 	}
 	if tr == nil || len(tr.Timing.Samples) == 0 {
@@ -226,6 +275,11 @@ func EvaluateTech(cfg Config, tr *ActivityTrace, tech scaling.Technology,
 	}
 	var twDyn, twLeak, twSink, twDieAvg, twMaxT stats.TimeWeighted
 	for i := range tr.Timing.Samples {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return AppRun{}, err
+			}
+		}
 		s := &tr.Timing.Samples[i]
 		dur := float64(s.Cycles) / float64(cfg.Machine.CyclesPerMicrosecond()) // µs
 		if dur <= 0 {

@@ -1,13 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/microarch"
 	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sched"
 	"github.com/ramp-sim/ramp/internal/workload"
 )
 
@@ -68,13 +69,51 @@ func applyConstants(b core.Breakdown, c core.Constants) core.Breakdown {
 	return b.Calibrated(c)
 }
 
-// RunStudy executes the complete study: timing for every profile (in
-// parallel), base-technology evaluation (per-application power calibration
-// and sink-temperature capture), reliability qualification, then every
-// scaled technology point, and the worst-case analysis per technology.
+// Stage labels of the study's task graph, as reported through
+// StudyOptions.OnProgress.
+const (
+	// StageTiming is the per-profile timing simulation.
+	StageTiming = "timing"
+	// StageBase is the per-profile 180nm evaluation with power calibration.
+	StageBase = "base"
+	// StageQualify is the single reliability-qualification solve (§4.4).
+	StageQualify = "qualify"
+	// StageScaled is one (profile × non-base technology) evaluation.
+	StageScaled = "scaled"
+	// StageWorst is the per-technology worst-case analysis (§5.2).
+	StageWorst = "worst"
+)
+
+// StudyOptions tunes the execution of a study without affecting its
+// numerics: any parallelism produces bit-identical results.
+type StudyOptions struct {
+	// Parallelism bounds the number of concurrently evaluated tasks;
+	// values < 1 default to runtime.GOMAXPROCS(0).
+	Parallelism int
+	// OnProgress, when non-nil, receives a completion event per finished
+	// task. It is called from worker goroutines and must be safe for
+	// concurrent use.
+	OnProgress func(sched.Progress)
+}
+
+// RunStudy executes the complete study: timing for every profile,
+// base-technology evaluation (per-application power calibration and
+// sink-temperature capture), reliability qualification, every scaled
+// technology point, and the worst-case analysis per technology.
 //
 // techs must start with the base (180nm) technology.
 func RunStudy(cfg Config, profiles []workload.Profile, techs []scaling.Technology) (*StudyResult, error) {
+	return RunStudyContext(context.Background(), cfg, profiles, techs, StudyOptions{})
+}
+
+// RunStudyContext is RunStudy with cancellation, bounded parallelism, and
+// progress reporting. The study runs as a dependency graph on a worker
+// pool: a profile's scaled-technology evaluations start the moment its own
+// base calibration finishes instead of waiting for the slowest profile of
+// each stage. Cancelling ctx aborts outstanding work promptly and returns
+// ctx.Err(); the first task failure cancels the rest of the study.
+func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profile,
+	techs []scaling.Technology, opts StudyOptions) (*StudyResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -90,114 +129,199 @@ func RunStudy(cfg Config, profiles []workload.Profile, techs []scaling.Technolog
 			base.Name, techs[0].Name)
 	}
 
-	// ---- Stage 1: timing simulations, in parallel.
-	traces := make([]*ActivityTrace, len(profiles))
-	errs := make([]error, len(profiles))
-	var wg sync.WaitGroup
-	for i := range profiles {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			traces[i], errs[i] = RunTiming(cfg, profiles[i])
-		}(i)
+	// Task results land in index-addressed slots, so the assembled result
+	// is identical for every parallelism level and scheduling order.
+	n := len(profiles)
+	traces := make([]*ActivityTrace, n)
+	baseRuns := make([]AppRun, n)
+	scales := make([]float64, n)
+	scaled := make([][]AppRun, len(techs)) // scaled[ti][i], ti >= 1
+	for ti := 1; ti < len(techs); ti++ {
+		scaled[ti] = make([]AppRun, n)
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: timing %s: %w", profiles[i].Name, err)
+	worst := make([]WorstCase, len(techs))
+	var consts core.Constants
+
+	timingID := func(i int) string { return fmt.Sprintf("%s/%d/%s", StageTiming, i, profiles[i].Name) }
+	baseID := func(i int) string { return fmt.Sprintf("%s/%d/%s", StageBase, i, profiles[i].Name) }
+	scaledID := func(i, ti int) string {
+		return fmt.Sprintf("%s/%d/%s@%s", StageScaled, i, profiles[i].Name, techs[ti].Name)
+	}
+	baseIDs := make([]string, n)
+	for i := range profiles {
+		baseIDs[i] = baseID(i)
+	}
+
+	g := sched.NewGraph()
+	for i := range profiles {
+		i := i
+		g.MustAdd(sched.Task{
+			ID:    timingID(i),
+			Stage: StageTiming,
+			Run: func(ctx context.Context) error {
+				tr, err := RunTimingContext(ctx, cfg, profiles[i])
+				if err != nil {
+					return fmt.Errorf("sim: timing %s: %w", profiles[i].Name, err)
+				}
+				traces[i] = tr
+				return nil
+			},
+		})
+		g.MustAdd(sched.Task{
+			ID:    baseIDs[i],
+			Stage: StageBase,
+			Deps:  []string{timingID(i)},
+			Run: func(ctx context.Context) error {
+				run, scale, err := evaluateBase(ctx, cfg, traces[i], profiles[i])
+				if err != nil {
+					return fmt.Errorf("sim: base eval %s: %w", profiles[i].Name, err)
+				}
+				baseRuns[i], scales[i] = run, scale
+				return nil
+			},
+		})
+		for ti := 1; ti < len(techs); ti++ {
+			i, ti := i, ti
+			tech := techs[ti]
+			g.MustAdd(sched.Task{
+				ID:    scaledID(i, ti),
+				Stage: StageScaled,
+				Deps:  []string{baseIDs[i]},
+				Run: func(ctx context.Context) error {
+					run, err := EvaluateTechContext(ctx, cfg, traces[i], tech,
+						baseRuns[i].SinkTempK, scales[i])
+					if err != nil {
+						return fmt.Errorf("sim: %s @ %s: %w", profiles[i].Name, tech.Name, err)
+					}
+					scaled[ti][i] = run
+					return nil
+				},
+			})
 		}
 	}
 
-	// ---- Stage 2: base technology — solve per-app power scale and
-	// capture per-app sink temperatures.
-	baseRuns := make([]AppRun, len(profiles))
-	scales := make([]float64, len(profiles))
-	for i := range profiles {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			scale := 1.0
-			run, err := EvaluateTech(cfg, traces[i], base, 0, scale)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if cfg.CalibrateAppPower && profiles[i].TargetPowerW > 0 {
-				// Two refinement passes: scale dynamic power toward the
-				// Table 3 target, letting leakage re-settle each time.
-				for pass := 0; pass < 2; pass++ {
-					want := profiles[i].TargetPowerW - run.AvgLeakageW
-					if want <= 0 || run.AvgDynamicW <= 0 {
-						break
-					}
-					scale *= want / run.AvgDynamicW
-					run, err = EvaluateTech(cfg, traces[i], base, 0, scale)
-					if err != nil {
-						errs[i] = err
-						return
-					}
+	// Reliability qualification at the base point (§4.4) needs every base
+	// run, but nothing downstream waits on it: scaled evaluations proceed
+	// concurrently and the constants are only attached at assembly.
+	g.MustAdd(sched.Task{
+		ID:    StageQualify,
+		Stage: StageQualify,
+		Deps:  baseIDs,
+		Run: func(ctx context.Context) error {
+			var rawAvg [core.NumMechanisms]float64
+			for i := range baseRuns {
+				mech := baseRuns[i].RawFIT.ByMechanism()
+				for m := range rawAvg {
+					rawAvg[m] += mech[m] / float64(n)
 				}
 			}
-			baseRuns[i], scales[i] = run, scale
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: base eval %s: %w", profiles[i].Name, err)
+			c, err := core.Calibrate(rawAvg, cfg.QualFITPerMechanism)
+			if err != nil {
+				return fmt.Errorf("sim: qualification: %w", err)
+			}
+			consts = c
+			return nil
+		},
+	})
+
+	for ti := range techs {
+		ti := ti
+		tech := techs[ti]
+		deps := baseIDs
+		if ti > 0 {
+			deps = make([]string, n)
+			for i := range profiles {
+				deps[i] = scaledID(i, ti)
+			}
 		}
+		g.MustAdd(sched.Task{
+			ID:    fmt.Sprintf("%s/%d/%s", StageWorst, ti, tech.Name),
+			Stage: StageWorst,
+			Deps:  deps,
+			Run: func(ctx context.Context) error {
+				runs := baseRuns
+				if ti > 0 {
+					runs = scaled[ti]
+				}
+				wc, err := worstCaseFor(cfg, runs, tech)
+				if err != nil {
+					return err
+				}
+				worst[ti] = wc
+				return nil
+			},
+		})
 	}
 
-	// ---- Stage 3: reliability qualification at the base point (§4.4).
-	var rawAvg [core.NumMechanisms]float64
-	for _, run := range baseRuns {
-		mech := run.RawFIT.ByMechanism()
-		for m := range rawAvg {
-			rawAvg[m] += mech[m] / float64(len(baseRuns))
-		}
-	}
-	consts, err := core.Calibrate(rawAvg, cfg.QualFITPerMechanism)
-	if err != nil {
-		return nil, fmt.Errorf("sim: qualification: %w", err)
+	if err := g.Run(ctx, sched.Options{
+		Parallelism: opts.Parallelism,
+		OnProgress:  opts.OnProgress,
+	}); err != nil {
+		return nil, err
 	}
 
-	// ---- Stage 4: scaled technology points, holding each application's
-	// sink temperature at its base-technology value (§4.3).
 	result := &StudyResult{
 		Config:    cfg,
 		Techs:     techs,
 		Constants: consts,
-		Apps:      make([]AppRun, 0, len(profiles)*len(techs)),
+		Apps:      make([]AppRun, 0, n*len(techs)),
+		Worst:     worst,
 	}
 	result.Apps = append(result.Apps, baseRuns...)
-	for _, tech := range techs[1:] {
-		runs := make([]AppRun, len(profiles))
-		for i := range profiles {
-			wg.Add(1)
-			go func(i int, tech scaling.Technology) {
-				defer wg.Done()
-				runs[i], errs[i] = EvaluateTech(cfg, traces[i], tech, baseRuns[i].SinkTempK, scales[i])
-			}(i, tech)
-		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("sim: %s @ %s: %w", profiles[i].Name, tech.Name, err)
-			}
-		}
-		result.Apps = append(result.Apps, runs...)
-	}
-
-	// ---- Stage 5: worst-case ("max") per technology (§5.2).
-	result.Worst = make([]WorstCase, len(techs))
-	for ti, tech := range techs {
-		wc, err := worstCaseFor(cfg, result.AppsAt(ti), tech)
-		if err != nil {
-			return nil, err
-		}
-		result.Worst[ti] = wc
+	for ti := 1; ti < len(techs); ti++ {
+		result.Apps = append(result.Apps, scaled[ti]...)
 	}
 	return result, nil
+}
+
+// RunTimings executes the timing stage for several profiles on a bounded
+// worker pool, returning the traces in input order. opts mirrors
+// RunStudyContext (progress events carry the StageTiming label).
+func RunTimings(ctx context.Context, cfg Config, profiles []workload.Profile,
+	opts StudyOptions) ([]*ActivityTrace, error) {
+	out := make([]*ActivityTrace, len(profiles))
+	err := sched.Map(ctx, len(profiles),
+		sched.Options{Parallelism: opts.Parallelism, OnProgress: opts.OnProgress},
+		StageTiming,
+		func(ctx context.Context, i int) error {
+			tr, err := RunTimingContext(ctx, cfg, profiles[i])
+			if err != nil {
+				return fmt.Errorf("sim: timing %s: %w", profiles[i].Name, err)
+			}
+			out[i] = tr
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evaluateBase runs one profile's base-technology evaluation, solving the
+// per-application dynamic-power factor toward the Table 3 target when
+// configured (two refinement passes, letting leakage re-settle each time).
+func evaluateBase(ctx context.Context, cfg Config, tr *ActivityTrace,
+	prof workload.Profile) (AppRun, float64, error) {
+	base := scaling.Base()
+	scale := 1.0
+	run, err := EvaluateTechContext(ctx, cfg, tr, base, 0, scale)
+	if err != nil {
+		return AppRun{}, 0, err
+	}
+	if cfg.CalibrateAppPower && prof.TargetPowerW > 0 {
+		for pass := 0; pass < 2; pass++ {
+			want := prof.TargetPowerW - run.AvgLeakageW
+			if want <= 0 || run.AvgDynamicW <= 0 {
+				break
+			}
+			scale *= want / run.AvgDynamicW
+			run, err = EvaluateTechContext(ctx, cfg, tr, base, 0, scale)
+			if err != nil {
+				return AppRun{}, 0, err
+			}
+		}
+	}
+	return run, scale, nil
 }
 
 // worstCaseFor evaluates the steady worst-case operating point over a set

@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"github.com/ramp-sim/ramp/internal/trace"
@@ -67,6 +68,11 @@ func (m Mix) Validate() error {
 		m.Load, m.Store, m.Branch, m.LCR,
 	}
 	for _, f := range fracs {
+		// The explicit non-finite check matters: NaN compares false against
+		// every bound below and would otherwise slip through.
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("workload: non-finite mix fraction %v", f)
+		}
 		if f < 0 {
 			return fmt.Errorf("workload: negative mix fraction %v", f)
 		}
@@ -142,33 +148,46 @@ func (p Profile) Validate() error {
 	if err := p.Mix.Validate(); err != nil {
 		return fmt.Errorf("workload: profile %q: %w", p.Name, err)
 	}
-	if p.DepDist < 1 {
-		return fmt.Errorf("workload: profile %q: DepDist %v < 1", p.Name, p.DepDist)
+	// NaN parameters compare false against every range bound, so every
+	// bracketed field is checked with the accepting comparison inverted:
+	// !(lo <= v && v <= hi) rejects NaN along with out-of-range values.
+	if !(p.DepDist >= 1) || math.IsInf(p.DepDist, 0) {
+		return fmt.Errorf("workload: profile %q: DepDist %v not a finite value >= 1", p.Name, p.DepDist)
 	}
-	if p.NearDepProb < 0 || p.NearDepProb > 1 {
+	if !(p.NearDepProb >= 0 && p.NearDepProb <= 1) {
 		return fmt.Errorf("workload: profile %q: NearDepProb out of [0,1]", p.Name)
 	}
-	if p.WarmProb < 0 || p.ColdProb < 0 || p.WarmProb+p.ColdProb > 1 {
+	if !(p.WarmProb >= 0 && p.ColdProb >= 0 && p.WarmProb+p.ColdProb <= 1) {
 		return fmt.Errorf("workload: profile %q: invalid warm/cold probabilities", p.Name)
 	}
+	// Working-set sizes feed rand.Int63n, which panics on non-positive
+	// arguments: sizes above MaxInt64 would wrap negative.
 	if p.HotBytes == 0 || p.WarmBytes == 0 {
 		return fmt.Errorf("workload: profile %q: working-set sizes must be positive", p.Name)
+	}
+	if p.HotBytes > math.MaxInt64 || p.WarmBytes > math.MaxInt64 {
+		return fmt.Errorf("workload: profile %q: working-set sizes exceed 2^63-1 bytes", p.Name)
 	}
 	if p.CodeBlocks < 2 {
 		return fmt.Errorf("workload: profile %q: need at least 2 code blocks", p.Name)
 	}
-	if p.BranchPredictability < 0.5 || p.BranchPredictability > 1 {
+	// The CFG is materialised per block; cap the footprint so a corrupt
+	// profile cannot demand an unbounded allocation.
+	if p.CodeBlocks > 1<<22 {
+		return fmt.Errorf("workload: profile %q: %d code blocks exceeds the 2^22 cap", p.Name, p.CodeBlocks)
+	}
+	if !(p.BranchPredictability >= 0.5 && p.BranchPredictability <= 1) {
 		return fmt.Errorf("workload: profile %q: predictability out of [0.5,1]", p.Name)
 	}
-	if p.LoopProb < 0 || p.LoopProb > 1 {
+	if !(p.LoopProb >= 0 && p.LoopProb <= 1) {
 		return fmt.Errorf("workload: profile %q: LoopProb out of [0,1]", p.Name)
 	}
 	if p.PhaseInstrs < 0 {
 		return fmt.Errorf("workload: profile %q: negative PhaseInstrs", p.Name)
 	}
 	if p.PhaseInstrs > 0 {
-		if p.PhaseMemScale <= 1 {
-			return fmt.Errorf("workload: profile %q: PhaseMemScale must exceed 1 with phases on", p.Name)
+		if !(p.PhaseMemScale > 1) || math.IsInf(p.PhaseMemScale, 0) {
+			return fmt.Errorf("workload: profile %q: PhaseMemScale must be a finite value above 1 with phases on", p.Name)
 		}
 		if (p.WarmProb+p.ColdProb)*p.PhaseMemScale > 1 {
 			return fmt.Errorf("workload: profile %q: memory-phase probabilities exceed 1", p.Name)

@@ -30,6 +30,7 @@
 package ramp
 
 import (
+	"context"
 	"io"
 
 	"github.com/ramp-sim/ramp/internal/aging"
@@ -41,6 +42,7 @@ import (
 	"github.com/ramp-sim/ramp/internal/report"
 	"github.com/ramp-sim/ramp/internal/scaling"
 	"github.com/ramp-sim/ramp/internal/scenario"
+	"github.com/ramp-sim/ramp/internal/sched"
 	"github.com/ramp-sim/ramp/internal/sim"
 	"github.com/ramp-sim/ramp/internal/trace"
 	"github.com/ramp-sim/ramp/internal/workload"
@@ -57,6 +59,11 @@ type (
 	AppRun = sim.AppRun
 	// ActivityTrace is the timing-simulation output for one application.
 	ActivityTrace = sim.ActivityTrace
+	// StudyOptions tunes study execution (parallelism bound, progress
+	// callback) without affecting numerics.
+	StudyOptions = sim.StudyOptions
+	// StudyProgress is one task-completion event of a running study.
+	StudyProgress = sched.Progress
 	// WorstCase is the worst-case ("max") operating-point evaluation.
 	WorstCase = sim.WorstCase
 	// Technology is one Table 4 technology generation/operating point.
@@ -225,10 +232,32 @@ func RunStudy(cfg Config, profiles []Profile, techs []Technology) (*StudyResult,
 	return sim.RunStudy(cfg, profiles, techs)
 }
 
+// RunStudyContext is RunStudy with cancellation, a bounded worker pool,
+// and progress reporting. The study executes as a dependency graph —
+// timing(profile) → base(profile) → scaled(profile, tech) — so each
+// profile's scaled evaluations start as soon as its own base calibration
+// finishes. Results are bit-identical at every parallelism level.
+func RunStudyContext(ctx context.Context, cfg Config, profiles []Profile,
+	techs []Technology, opts StudyOptions) (*StudyResult, error) {
+	return sim.RunStudyContext(ctx, cfg, profiles, techs, opts)
+}
+
 // RunTiming executes only the timing stage for one profile; the returned
 // trace can be evaluated at several technology points with EvaluateTech.
 func RunTiming(cfg Config, prof Profile) (*ActivityTrace, error) {
 	return sim.RunTiming(cfg, prof)
+}
+
+// RunTimingContext is RunTiming with cancellation.
+func RunTimingContext(ctx context.Context, cfg Config, prof Profile) (*ActivityTrace, error) {
+	return sim.RunTimingContext(ctx, cfg, prof)
+}
+
+// RunTimings executes the timing stage for several profiles on a bounded
+// worker pool, returning traces in input order.
+func RunTimings(ctx context.Context, cfg Config, profiles []Profile,
+	opts StudyOptions) ([]*ActivityTrace, error) {
+	return sim.RunTimings(ctx, cfg, profiles, opts)
 }
 
 // RunTimingStream executes the timing stage over an arbitrary instruction
@@ -265,6 +294,13 @@ func NewWorkloadStream(prof Profile, n int64) (Stream, error) {
 func EvaluateTech(cfg Config, tr *ActivityTrace, tech Technology,
 	sinkTempTargetK, appPowerScale float64) (AppRun, error) {
 	return sim.EvaluateTech(cfg, tr, tech, sinkTempTargetK, appPowerScale)
+}
+
+// EvaluateTechContext is EvaluateTech with cancellation. Evaluations only
+// read the trace, so any number may share one ActivityTrace concurrently.
+func EvaluateTechContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech Technology,
+	sinkTempTargetK, appPowerScale float64) (AppRun, error) {
+	return sim.EvaluateTechContext(ctx, cfg, tr, tech, sinkTempTargetK, appPowerScale)
 }
 
 // Report builders for the paper's artifacts.
@@ -404,4 +440,10 @@ func AdviseRemap(cfg Config, tr *ActivityTrace, techs []Technology, consts Const
 func EvaluateCMP(cfg CMPConfig, traces []*ActivityTrace, tech Technology,
 	sinkTempTargetK float64, appPowerScales []float64) (CMPResult, error) {
 	return multicore.Evaluate(cfg, traces, tech, sinkTempTargetK, appPowerScales)
+}
+
+// EvaluateCMPContext is EvaluateCMP with cancellation.
+func EvaluateCMPContext(ctx context.Context, cfg CMPConfig, traces []*ActivityTrace, tech Technology,
+	sinkTempTargetK float64, appPowerScales []float64) (CMPResult, error) {
+	return multicore.EvaluateContext(ctx, cfg, traces, tech, sinkTempTargetK, appPowerScales)
 }
