@@ -1,0 +1,67 @@
+#!/bin/sh
+# bench/serve.sh — cold vs warm /v1/study latency for rampd.
+#
+# Starts rampd on an ephemeral port, times one cold request (full
+# simulation), the same request again (cache hit), and a distinct request
+# issued twice concurrently (coalesced), then writes BENCH_serve.json in
+# the repo root.
+#
+# Usage: ./bench/serve.sh [instructions]   (default 100000)
+set -eu
+
+N="${1:-100000}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/BENCH_serve.json"
+ADDR="127.0.0.1:18080"
+LOG="$(mktemp)"
+
+cd "$ROOT"
+go build -o "$ROOT/bench/.rampd" ./cmd/rampd
+
+"$ROOT/bench/.rampd" -addr "$ADDR" -n "$N" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null; wait "$PID" 2>/dev/null || true; rm -f "$ROOT/bench/.rampd" "$LOG"' EXIT
+
+# Wait for the listener.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "rampd did not come up:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+
+Q="http://$ADDR/v1/study?apps=bzip2,gcc&techs=130nm,90nm"
+
+# curl's %{time_total} is seconds with microsecond resolution.
+COLD=$(curl -fsS -o /dev/null -w '%{time_total}' "$Q")
+WARM=$(curl -fsS -o /dev/null -w '%{time_total}' "$Q")
+
+# A distinct study, requested twice at once: the second should coalesce.
+Q2="http://$ADDR/v1/study?apps=mesa&techs=90nm"
+curl -fsS -o /dev/null "$Q2" &
+C1=$!
+COAL=$(curl -fsS -o /dev/null -w '%{time_total}' "$Q2")
+wait "$C1"
+
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+
+jq -n \
+    --arg n "$N" \
+    --arg cold "$COLD" \
+    --arg warm "$WARM" \
+    --arg coal "$COAL" \
+    --argjson metrics "$METRICS" \
+    '{
+        benchmark: "rampd /v1/study cold vs warm",
+        instructions: ($n | tonumber),
+        cold_s: ($cold | tonumber),
+        warm_s: ($warm | tonumber),
+        concurrent_duplicate_s: ($coal | tonumber),
+        speedup_warm: (($cold | tonumber) / (($warm | tonumber) + 1e-9) | floor),
+        cache: $metrics.cache,
+        coalesced_total: $metrics.coalesced_total,
+        studies_total: $metrics.studies_total
+    }' >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

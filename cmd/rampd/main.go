@@ -1,0 +1,119 @@
+// Command rampd serves reliability studies over HTTP: the scaling study
+// of the paper as a JSON API with result caching, request coalescing, and
+// load shedding, so many clients can query (profile × technology)
+// lifetime numbers without each paying a cold simulation.
+//
+// Usage:
+//
+//	rampd [-addr :8080] [-n 200000] [-max-n 2000000] [-cache-size 64]
+//	      [-cache-ttl 1h] [-queue 4] [-timeout 5m] [-drain 30s]
+//	      [-parallelism N]
+//
+// Endpoints:
+//
+//	GET/POST /v1/study     full study document  (?apps=a,b&techs=x,y&instructions=n)
+//	GET/POST /v1/mttf      lifetime summary     (same parameters, same cache)
+//	GET      /v1/profiles  the benchmark registry
+//	GET      /healthz      liveness; 503 while draining
+//	GET      /metrics      request/cache/coalescing/scheduler counters
+//
+// SIGINT/SIGTERM starts a graceful shutdown: /healthz flips to 503, the
+// listener stops accepting, in-flight requests (and the simulations they
+// wait on) finish within -drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/ramp-sim/ramp/internal/cli"
+	"github.com/ramp-sim/ramp/internal/server"
+	"github.com/ramp-sim/ramp/internal/sim"
+)
+
+func main() {
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	if err := runCtx(ctx, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rampd:", err)
+		os.Exit(1)
+	}
+}
+
+func runCtx(ctx context.Context, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rampd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8080", "listen address")
+	n := fs.Int64("n", 200_000, "default instructions per application per request")
+	maxN := fs.Int64("max-n", 2_000_000, "per-request instruction cap")
+	cacheSize := fs.Int("cache-size", 64, "result cache entries (LRU bound)")
+	cacheTTL := fs.Duration("cache-ttl", time.Hour, "result cache TTL (0 = no expiry)")
+	queue := fs.Int("queue", 4, "admission bound: concurrent distinct studies before shedding 429s")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-study compute deadline (0 = none)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+	parallelism := fs.Int("parallelism", 0, "scheduler pool bound per study (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	simCfg := sim.DefaultConfig()
+	simCfg.Instructions = *n
+	srv, err := server.New(server.Config{
+		Sim:                 simCfg,
+		DefaultInstructions: *n,
+		MaxInstructions:     *maxN,
+		CacheSize:           *cacheSize,
+		CacheTTL:            *cacheTTL,
+		MaxQueue:            *queue,
+		ComputeTimeout:      *timeout,
+		Parallelism:         *parallelism,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Publish("rampd")
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(out, "rampd: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop advertising health, stop accepting, let
+	// in-flight requests and their simulations finish, then cancel the
+	// base context in case anything overran the drain deadline.
+	fmt.Fprintf(out, "rampd: draining (deadline %s)\n", *drain)
+	srv.BeginDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = httpSrv.Shutdown(sctx)
+	srv.Close()
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	fmt.Fprintln(out, "rampd: drained, bye")
+	return nil
+}

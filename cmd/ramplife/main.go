@@ -17,15 +17,14 @@ import (
 	"io"
 	"math"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	ramp "github.com/ramp-sim/ramp"
+	"github.com/ramp-sim/ramp/internal/cli"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	if err := runCtx(ctx, os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ramplife:", err)
@@ -70,9 +69,7 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	}
 	s := session{ctx: ctx, opts: ramp.StudyOptions{Parallelism: *parallelism}}
 	if *progress {
-		s.opts.OnProgress = func(p ramp.StudyProgress) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s done\n", p.Done, p.Total, p.Task)
-		}
+		s.opts.OnProgress = cli.StderrProgress()
 	}
 	switch *mode {
 	case "mc":

@@ -17,15 +17,14 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	ramp "github.com/ramp-sim/ramp"
+	"github.com/ramp-sim/ramp/internal/cli"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	if err := runCtx(ctx, os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rampsim:", err)
@@ -79,7 +78,7 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	}
 	opts := ramp.StudyOptions{Parallelism: *parallelism}
 	if *progress {
-		opts.OnProgress = progressPrinter(os.Stderr)
+		opts.OnProgress = cli.StderrProgress()
 	}
 	res, err := ramp.RunStudyContext(ctx, cfg, profiles, techs, opts)
 	if err != nil {
@@ -173,20 +172,6 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 		return printFigure(*figure)
 	default:
 		return printSummary(out, res)
-	}
-}
-
-// progressPrinter returns a study progress callback that writes one line
-// per finished task. The callback runs on worker goroutines; each write is
-// a single Fprintf so lines never interleave mid-row.
-func progressPrinter(w io.Writer) func(ramp.StudyProgress) {
-	return func(p ramp.StudyProgress) {
-		status := ""
-		if p.Err != nil {
-			status = "  FAILED: " + p.Err.Error()
-		}
-		fmt.Fprintf(w, "[%3d/%3d] %-7s %-3d/%-3d %s%s\n",
-			p.Done, p.Total, p.Stage, p.StageDone, p.StageTotal, p.Task, status)
 	}
 }
 

@@ -1,0 +1,42 @@
+// Package cli holds the execution wiring every ramp command shares:
+// signal-driven cancellation and scheduler progress reporting. rampsim,
+// ramplife, and rampd all build on it so the behaviour (which signals
+// cancel, what a progress line looks like) stays identical across tools.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/ramp-sim/ramp/internal/sched"
+)
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM, and the
+// stop function releasing the signal registration. A second signal after
+// cancellation kills the process via Go's default disposition, so a hung
+// drain can always be escalated interactively.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// ProgressPrinter returns a sched progress callback writing one line per
+// finished task. The callback runs on worker goroutines; each line is a
+// single Fprintf so concurrent writes never interleave mid-row.
+func ProgressPrinter(w io.Writer) func(sched.Progress) {
+	return func(p sched.Progress) {
+		status := ""
+		if p.Err != nil {
+			status = "  FAILED: " + p.Err.Error()
+		}
+		fmt.Fprintf(w, "[%3d/%3d] %-7s %-3d/%-3d %s%s\n",
+			p.Done, p.Total, p.Stage, p.StageDone, p.StageTotal, p.Task, status)
+	}
+}
+
+// StderrProgress is ProgressPrinter(os.Stderr), the flag-enabled default
+// sink of every command.
+func StderrProgress() func(sched.Progress) { return ProgressPrinter(os.Stderr) }

@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/sched"
+)
+
+func TestSignalContextCancelStops(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh signal context already cancelled: %v", err)
+	}
+	stop()
+	<-ctx.Done()
+}
+
+func TestProgressPrinterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p := ProgressPrinter(&buf)
+	p(sched.Progress{Task: "timing/0/gcc", Stage: "timing", Done: 1, Total: 4, StageDone: 1, StageTotal: 2})
+	p(sched.Progress{Task: "base/0/gcc", Stage: "base", Err: errors.New("boom"), Done: 2, Total: 4, StageDone: 1, StageTotal: 2})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "timing/0/gcc") || strings.Contains(lines[0], "FAILED") {
+		t.Errorf("success line malformed: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "FAILED: boom") {
+		t.Errorf("failure line malformed: %q", lines[1])
+	}
+}

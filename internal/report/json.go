@@ -7,6 +7,7 @@ import (
 
 	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/phys"
 	"github.com/ramp-sim/ramp/internal/sim"
 )
 
@@ -128,6 +129,63 @@ func structMap(v [microarch.NumStructures]float64) map[string]float64 {
 		out[microarch.StructureID(s).String()] = x
 	}
 	return out
+}
+
+// MTTFSummary is the compact lifetime view of a study — the answer to
+// "how long does this part last per technology generation" without the
+// full per-run detail of Document. rampd's /v1/mttf endpoint serves it.
+type MTTFSummary struct {
+	// Schema versions the summary layout.
+	Schema int `json:"schema"`
+	// Technologies holds one lifetime record per technology, in study order.
+	Technologies []MTTFTech `json:"technologies"`
+}
+
+// MTTFTech is the lifetime summary at one technology point.
+type MTTFTech struct {
+	Tech string `json:"tech"`
+	// SuiteAvgFIT and SuiteAvgMTTFYears describe the suite-average
+	// operating point (the paper's headline quantity).
+	SuiteAvgFIT       float64 `json:"suite_avg_fit"`
+	SuiteAvgMTTFYears float64 `json:"suite_avg_mttf_years"`
+	// WorstCaseFIT and WorstCaseMTTFYears describe the §5.2 worst-case
+	// qualification point.
+	WorstCaseFIT       float64 `json:"worst_case_fit"`
+	WorstCaseMTTFYears float64 `json:"worst_case_mttf_years"`
+	// Apps lists each application's calibrated lifetime.
+	Apps []MTTFApp `json:"apps"`
+}
+
+// MTTFApp is one application's calibrated lifetime at one technology.
+type MTTFApp struct {
+	App       string  `json:"app"`
+	TotalFIT  float64 `json:"total_fit"`
+	MTTFYears float64 `json:"mttf_years"`
+}
+
+// BuildMTTFSummary converts a study result into its lifetime summary.
+func BuildMTTFSummary(res *sim.StudyResult) MTTFSummary {
+	sum := MTTFSummary{Schema: 1, Technologies: make([]MTTFTech, 0, len(res.Techs))}
+	for ti := range res.Techs {
+		wfit := res.WorstFIT(ti)
+		tech := MTTFTech{
+			Tech:               res.Techs[ti].Name,
+			SuiteAvgFIT:        res.SuiteAverageFIT(ti, 0),
+			WorstCaseFIT:       wfit.Total(),
+			WorstCaseMTTFYears: wfit.MTTFYears(),
+		}
+		tech.SuiteAvgMTTFYears = phys.MTTFYearsFromFIT(tech.SuiteAvgFIT)
+		for _, a := range res.AppsAt(ti) {
+			fit := res.FIT(a)
+			tech.Apps = append(tech.Apps, MTTFApp{
+				App:       a.App,
+				TotalFIT:  fit.Total(),
+				MTTFYears: fit.MTTFYears(),
+			})
+		}
+		sum.Technologies = append(sum.Technologies, tech)
+	}
+	return sum
 }
 
 // WriteJSON encodes the study result as indented JSON.

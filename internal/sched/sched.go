@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Task is one node of the graph.
@@ -62,6 +63,11 @@ type Options struct {
 	// (including failures). It is called from worker goroutines and must
 	// be safe for concurrent use.
 	OnProgress func(Progress)
+	// Metrics, when non-nil, receives task lifecycle events (queued,
+	// started, finished, abandoned). A shared *Counters here gives
+	// long-lived observers — rampd's /metrics, the CLIs — a live view of
+	// queue depth and in-flight work across every concurrent Run.
+	Metrics Recorder
 }
 
 // PanicError wraps a panic recovered from a task.
@@ -200,10 +206,21 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 		errs      []taskErr
 		done      int
 		stageDone = make(map[string]int, len(stageTotal))
+		// enqueued/started reconcile the Metrics queue gauge after a
+		// cancelled run: tasks sent to ready but never picked up are
+		// reported as abandoned once the workers drain.
+		enqueued, started atomic.Int64
 	)
+	enqueue := func(i int) {
+		if opts.Metrics != nil {
+			enqueued.Add(1)
+			opts.Metrics.TaskQueued()
+		}
+		ready <- i
+	}
 	for i := range g.tasks {
 		if indeg[i] == 0 {
-			ready <- i
+			enqueue(i)
 		}
 	}
 
@@ -224,7 +241,14 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 						return
 					}
 					t := &g.tasks[i]
+					if opts.Metrics != nil {
+						started.Add(1)
+						opts.Metrics.TaskStarted()
+					}
 					err := runTask(ctx, t)
+					if opts.Metrics != nil {
+						opts.Metrics.TaskFinished(err)
+					}
 
 					mu.Lock()
 					done++
@@ -253,7 +277,7 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 						cancel()
 					}
 					for _, d := range unblocked {
-						ready <- d
+						enqueue(d)
 					}
 					if opts.OnProgress != nil {
 						opts.OnProgress(p)
@@ -268,6 +292,11 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 		}()
 	}
 	wg.Wait()
+	if opts.Metrics != nil {
+		for k := started.Load(); k < enqueued.Load(); k++ {
+			opts.Metrics.TaskAbandoned()
+		}
+	}
 
 	sort.Slice(errs, func(a, b int) bool { return errs[a].idx < errs[b].idx })
 	var real []error

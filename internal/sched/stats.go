@@ -1,0 +1,88 @@
+package sched
+
+import "sync/atomic"
+
+// Recorder receives task lifecycle events from a running graph. All methods
+// are called from worker goroutines and must be safe for concurrent use. A
+// single Recorder may be shared by any number of concurrent Runs (rampd
+// attaches one to every study it serves), so implementations should treat
+// the events as global aggregates, not per-graph state.
+type Recorder interface {
+	// TaskQueued fires when a task becomes ready (its dependencies are
+	// satisfied and it is waiting for a worker).
+	TaskQueued()
+	// TaskStarted fires when a worker picks the task up and begins Run.
+	TaskStarted()
+	// TaskFinished fires when the task's Run returns; err is its error.
+	TaskFinished(err error)
+	// TaskAbandoned fires once per task that was queued but never started
+	// because the run was cancelled; it rebalances the queue-depth gauge.
+	TaskAbandoned()
+}
+
+// Stats is the read side of the scheduler's observability counters: the
+// current queue depth and in-flight gauge plus cumulative completion
+// counters. Both rampd's /metrics endpoint and the CLIs' progress wiring
+// report from this one source.
+type Stats interface {
+	// QueueDepth is the number of ready tasks waiting for a worker.
+	QueueDepth() int64
+	// InFlight is the number of tasks currently executing.
+	InFlight() int64
+	// Completed is the cumulative count of tasks that finished without error.
+	Completed() int64
+	// Failed is the cumulative count of tasks that finished with an error.
+	Failed() int64
+}
+
+// Counters is the standard Recorder and Stats implementation: four atomic
+// counters with no locks, cheap enough to leave attached permanently. The
+// zero value is ready to use; NewCounters exists for symmetry.
+type Counters struct {
+	queued    atomic.Int64
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// NewCounters returns a zeroed counter set.
+func NewCounters() *Counters { return &Counters{} }
+
+// TaskQueued implements Recorder.
+func (c *Counters) TaskQueued() { c.queued.Add(1) }
+
+// TaskStarted implements Recorder.
+func (c *Counters) TaskStarted() {
+	c.queued.Add(-1)
+	c.inFlight.Add(1)
+}
+
+// TaskFinished implements Recorder.
+func (c *Counters) TaskFinished(err error) {
+	c.inFlight.Add(-1)
+	if err != nil {
+		c.failed.Add(1)
+	} else {
+		c.completed.Add(1)
+	}
+}
+
+// TaskAbandoned implements Recorder.
+func (c *Counters) TaskAbandoned() { c.queued.Add(-1) }
+
+// QueueDepth implements Stats.
+func (c *Counters) QueueDepth() int64 { return c.queued.Load() }
+
+// InFlight implements Stats.
+func (c *Counters) InFlight() int64 { return c.inFlight.Load() }
+
+// Completed implements Stats.
+func (c *Counters) Completed() int64 { return c.completed.Load() }
+
+// Failed implements Stats.
+func (c *Counters) Failed() int64 { return c.failed.Load() }
+
+var (
+	_ Recorder = (*Counters)(nil)
+	_ Stats    = (*Counters)(nil)
+)

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCountersLifecycle checks that a successful run settles the gauges to
+// zero and the cumulative counters to the task count.
+func TestCountersLifecycle(t *testing.T) {
+	c := NewCounters()
+	g := NewGraph()
+	const n = 8
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("t%d", i)
+		var deps []string
+		if i > 0 {
+			deps = []string{fmt.Sprintf("t%d", i-1)}
+		}
+		g.MustAdd(Task{ID: id, Deps: deps, Run: func(context.Context) error { return nil }})
+	}
+	if err := g.Run(context.Background(), Options{Parallelism: 3, Metrics: c}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.QueueDepth(); got != 0 {
+		t.Errorf("queue depth after run = %d, want 0", got)
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Errorf("in-flight after run = %d, want 0", got)
+	}
+	if got := c.Completed(); got != n {
+		t.Errorf("completed = %d, want %d", got, n)
+	}
+	if got := c.Failed(); got != 0 {
+		t.Errorf("failed = %d, want 0", got)
+	}
+}
+
+// TestCountersFailureAndAbandonment checks that a failing graph counts the
+// failure and rebalances the queue gauge for tasks that never ran.
+func TestCountersFailureAndAbandonment(t *testing.T) {
+	c := NewCounters()
+	g := NewGraph()
+	boom := errors.New("boom")
+	g.MustAdd(Task{ID: "fail", Run: func(context.Context) error { return boom }})
+	// A long dependent chain behind the failure: never started.
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("after%d", i)
+		dep := "fail"
+		if i > 0 {
+			dep = fmt.Sprintf("after%d", i-1)
+		}
+		g.MustAdd(Task{ID: id, Deps: []string{dep}, Run: func(context.Context) error { return nil }})
+	}
+	if err := g.Run(context.Background(), Options{Parallelism: 2, Metrics: c}); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	if got := c.Failed(); got != 1 {
+		t.Errorf("failed = %d, want 1", got)
+	}
+	if got := c.QueueDepth(); got != 0 {
+		t.Errorf("queue depth after failed run = %d, want 0", got)
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Errorf("in-flight after failed run = %d, want 0", got)
+	}
+}
+
+// TestCountersSharedAcrossRuns runs several graphs concurrently against one
+// Counters (the rampd usage pattern) and checks the aggregate.
+func TestCountersSharedAcrossRuns(t *testing.T) {
+	c := NewCounters()
+	const runs, tasks = 6, 10
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := Map(context.Background(), tasks, Options{Parallelism: 2, Metrics: c}, "stage",
+				func(context.Context, int) error { return nil })
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Completed(); got != runs*tasks {
+		t.Errorf("completed = %d, want %d", got, runs*tasks)
+	}
+	if got := c.QueueDepth() + c.InFlight(); got != 0 {
+		t.Errorf("gauges after all runs = %d, want 0", got)
+	}
+}

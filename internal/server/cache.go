@@ -1,0 +1,150 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Cache is a content-addressed result cache with LRU eviction and TTL
+// expiry. Keys are the canonical study hashes from sim.StudyKey, so a hit
+// is by construction the exact result of the requested computation; only
+// successful results are ever stored, which keeps deadline-exceeded and
+// cancelled runs from poisoning the cache.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	now     func() time.Time
+	hits    int64
+	misses  int64
+	evicted int64
+	expired int64
+}
+
+// cacheEntry is one resident result.
+type cacheEntry struct {
+	key     string
+	val     any
+	expires time.Time // zero = no expiry
+}
+
+// NewCache returns a cache bounded to max entries (min 1) with the given
+// TTL; a non-positive TTL disables expiry. now overrides the clock for
+// tests; nil uses time.Now.
+func NewCache(max int, ttl time.Duration, now func() time.Time) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache{
+		max:   max,
+		ttl:   ttl,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		now:   now,
+	}
+}
+
+// Get returns the cached value for key, promoting it to most recently
+// used. Expired entries are removed and reported as misses.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && !c.now().Before(ent.expires) {
+		c.removeLocked(el)
+		c.expired++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.val, true
+}
+
+// peek returns the live value for key without touching the hit/miss
+// counters or the LRU order. The flight leader's double-check uses it so
+// each served request counts exactly one lookup in the hit-ratio metric.
+func (c *Cache) peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && !c.now().Before(ent.expires) {
+		return nil, false
+	}
+	return ent.val, true
+}
+
+// Put stores the value under key, evicting the least recently used entry
+// when the bound is exceeded. Re-putting an existing key refreshes its
+// value and TTL.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.val, ent.expires = val, expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+		c.evicted++
+	}
+}
+
+// removeLocked drops an element; the caller holds c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	delete(c.items, ent.key)
+	c.ll.Remove(el)
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a consistent snapshot of the cache counters.
+type CacheStats struct {
+	Entries                        int
+	Hits, Misses, Evicted, Expired int64
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: c.ll.Len(),
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Evicted: c.evicted,
+		Expired: c.expired,
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+// TestCacheLRUEviction proves the entry bound holds and eviction is
+// least-recently-used, counting Get promotions as use.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3, 0, nil)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	// Touch k0 so k1 becomes the eviction candidate.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put("k3", 3)
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", c.Len())
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", st.Evicted)
+	}
+}
+
+// TestCacheTTLExpiry proves entries expire on the TTL boundary and are
+// reported as expired misses.
+func TestCacheTTLExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCache(8, time.Minute, clk.now)
+	c.Put("k", "v")
+	clk.advance(59 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	clk.advance(2 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	st := c.Stats()
+	if st.Expired != 1 {
+		t.Errorf("expired = %d, want 1", st.Expired)
+	}
+	if st.Entries != 0 {
+		t.Errorf("entries = %d, want 0", st.Entries)
+	}
+	// Re-putting restarts the TTL.
+	c.Put("k", "v2")
+	clk.advance(30 * time.Second)
+	if v, ok := c.Get("k"); !ok || v != "v2" {
+		t.Error("refreshed entry not served")
+	}
+}
+
+// TestCacheHitRatioCounters checks hit/miss accounting.
+func TestCacheHitRatioCounters(t *testing.T) {
+	c := NewCache(4, 0, nil)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("b")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+}

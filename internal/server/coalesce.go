@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical computations: the first
+// request for a key becomes the leader and runs fn exactly once; followers
+// arriving while the flight is open wait for the leader's result instead
+// of starting their own simulation.
+//
+// The flight's context is detached from any single request and derived
+// from a base (server-lifetime) context, so one impatient caller cannot
+// cancel a simulation other callers are still waiting on. Waiters are
+// reference-counted: when the last waiter abandons the flight — every
+// request timed out or disconnected — the flight context is cancelled and
+// the in-progress simulation unwinds promptly instead of burning the pool
+// for a result nobody wants.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flight
+	// onCoalesce, when non-nil, fires at the moment a follower joins an
+	// open flight (not when the flight resolves), so observability sees
+	// coalescing as it happens.
+	onCoalesce func()
+}
+
+// flight is one in-progress computation.
+type flight struct {
+	key     string
+	cancel  context.CancelFunc
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flight)}
+}
+
+// Do returns fn's result for key, running fn at most once per open flight.
+// base parents the flight context handed to fn; ctx only governs this
+// caller's wait. coalesced reports whether the caller joined an existing
+// flight rather than leading a new one.
+func (g *flightGroup) Do(ctx, base context.Context, key string,
+	fn func(context.Context) (any, error)) (val any, err error, coalesced bool) {
+	g.mu.Lock()
+	c, ok := g.calls[key]
+	if ok {
+		c.waiters++
+		g.mu.Unlock()
+		coalesced = true
+		if g.onCoalesce != nil {
+			g.onCoalesce()
+		}
+	} else {
+		fctx, cancel := context.WithCancel(base)
+		c = &flight{key: key, cancel: cancel, done: make(chan struct{}), waiters: 1}
+		g.calls[key] = c
+		g.mu.Unlock()
+		go func() {
+			v, e := fn(fctx)
+			g.mu.Lock()
+			c.val, c.err = v, e
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+			g.mu.Unlock()
+			close(c.done)
+		}()
+	}
+
+	select {
+	case <-c.done:
+		g.leave(c)
+		return c.val, c.err, coalesced
+	case <-ctx.Done():
+		g.leave(c)
+		return nil, ctx.Err(), coalesced
+	}
+}
+
+// leave unregisters a waiter. The last waiter to leave cancels the flight
+// context — a no-op if fn already returned, an abort if everyone gave up —
+// and detaches a still-running flight from the key so the next request
+// starts fresh instead of inheriting a cancelled computation.
+func (g *flightGroup) leave(c *flight) {
+	g.mu.Lock()
+	c.waiters--
+	if c.waiters == 0 {
+		select {
+		case <-c.done:
+		default:
+			if g.calls[c.key] == c {
+				delete(g.calls, c.key)
+			}
+		}
+		c.cancel()
+	}
+	g.mu.Unlock()
+}

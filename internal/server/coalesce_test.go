@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupDedup runs 100 concurrent identical requests and proves
+// exactly one execution happens, with 99 coalesced followers. Run under
+// -race this also exercises the result-sharing paths.
+func TestFlightGroupDedup(t *testing.T) {
+	g := newFlightGroup()
+	var calls, coalesced atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const n = 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, joined := g.Do(context.Background(), context.Background(), "key",
+				func(context.Context) (any, error) {
+					calls.Add(1)
+					<-release
+					return "result", nil
+				})
+			if err != nil {
+				t.Error(err)
+			}
+			if v != "result" {
+				t.Errorf("got %v, want result", v)
+			}
+			if joined {
+				coalesced.Add(1)
+			}
+		}()
+	}
+	// Let followers pile onto the open flight before releasing the leader.
+	deadline := time.After(5 * time.Second)
+	for calls.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("leader never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	if got := coalesced.Load(); got != n-1 {
+		t.Errorf("coalesced = %d, want %d", got, n-1)
+	}
+}
+
+// TestFlightGroupSequentialReruns proves closed flights do not leak: a
+// request after completion starts a fresh execution.
+func TestFlightGroupSequentialReruns(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, err, joined := g.Do(context.Background(), context.Background(), "key",
+			func(context.Context) (any, error) {
+				calls.Add(1)
+				return nil, nil
+			})
+		if err != nil || joined {
+			t.Fatalf("iteration %d: err=%v joined=%v", i, err, joined)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("fn ran %d times, want 3", calls.Load())
+	}
+}
+
+// TestFlightGroupAbandonCancelsFlight proves that when every waiter gives
+// up, the flight context is cancelled and the key is released for fresh
+// computation.
+func TestFlightGroupAbandonCancelsFlight(t *testing.T) {
+	g := newFlightGroup()
+	flightCancelled := make(chan struct{})
+	started := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, context.Background(), "key",
+			func(fctx context.Context) (any, error) {
+				close(started)
+				<-fctx.Done()
+				close(flightCancelled)
+				return nil, fctx.Err()
+			})
+		errc <- err
+	}()
+	<-started
+	cancel() // the only waiter gives up
+	select {
+	case <-flightCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned flight was not cancelled")
+	}
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter error = %v, want context.Canceled", err)
+	}
+	// The key must be free for a fresh run that succeeds.
+	v, err, joined := g.Do(context.Background(), context.Background(), "key",
+		func(context.Context) (any, error) { return "fresh", nil })
+	if err != nil || joined || v != "fresh" {
+		t.Errorf("fresh run after abandonment: v=%v err=%v joined=%v", v, err, joined)
+	}
+}
+
+// TestFlightGroupWaiterSurvivesOtherWaiterTimeout proves one caller's
+// deadline does not cancel a flight another caller still wants.
+func TestFlightGroupWaiterSurvivesOtherWaiterTimeout(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	patientErr := make(chan error, 1)
+	patientVal := make(chan any, 1)
+	go func() {
+		v, err, _ := g.Do(context.Background(), context.Background(), "key",
+			func(fctx context.Context) (any, error) {
+				close(started)
+				select {
+				case <-release:
+					return "done", nil
+				case <-fctx.Done():
+					return nil, fctx.Err()
+				}
+			})
+		patientErr <- err
+		patientVal <- v
+	}()
+	<-started
+	// An impatient follower joins, then times out.
+	impatient, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err, joined := g.Do(impatient, context.Background(), "key",
+		func(context.Context) (any, error) { t.Error("follower must not run fn"); return nil, nil })
+	if !joined || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("impatient follower: joined=%v err=%v", joined, err)
+	}
+	close(release)
+	if err := <-patientErr; err != nil {
+		t.Errorf("patient waiter failed: %v", err)
+	}
+	if v := <-patientVal; v != "done" {
+		t.Errorf("patient waiter got %v, want done", v)
+	}
+}

@@ -1,0 +1,499 @@
+// Package server implements rampd, the reliability-evaluation service: an
+// HTTP JSON API over the sim/workload/scaling layers that serves scaling
+// studies and lifetime summaries to many concurrent clients without paying
+// a cold simulation per query.
+//
+// Three mechanisms carry the load:
+//
+//   - a content-addressed result cache (LRU + TTL) keyed by the canonical
+//     hash of (Config, profile set, technology nodes) — sim.StudyKey — so a
+//     repeated request is served from memory in microseconds;
+//   - singleflight request coalescing, so N concurrent identical requests
+//     trigger exactly one simulation on the scheduler pool and share its
+//     result;
+//   - a bounded admission queue that sheds excess load with 429 +
+//     Retry-After instead of queueing without bound, plus a per-study
+//     compute deadline propagated into sim.RunStudyContext.
+//
+// Every request observes the shared sched.Counters, the cache counters,
+// and the request/latency/coalescing metrics exported at /metrics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ramp-sim/ramp/internal/report"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sched"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// errOverloaded marks an admission-queue rejection; handlers translate it
+// to 429 + Retry-After.
+var errOverloaded = errors.New("server: admission queue full")
+
+// Config parameterises a Server.
+type Config struct {
+	// Sim is the base simulation configuration; per-request instruction
+	// budgets override Sim.Instructions within [1, MaxInstructions].
+	Sim sim.Config
+	// Registry resolves benchmark names; nil uses the Table 3 default set.
+	Registry *workload.Registry
+	// DefaultInstructions is the per-request budget when the request
+	// leaves it unset; 0 falls back to Sim.Instructions.
+	DefaultInstructions int64
+	// MaxInstructions caps the per-request budget; 0 means 10× the
+	// default. Requests above the cap are rejected with 400.
+	MaxInstructions int64
+	// CacheSize bounds the result cache entry count (default 64).
+	CacheSize int
+	// CacheTTL expires cached results; 0 disables expiry.
+	CacheTTL time.Duration
+	// MaxQueue bounds concurrently admitted studies (queued + running);
+	// excess distinct requests are shed with 429 (default 4).
+	MaxQueue int
+	// ComputeTimeout is the per-study deadline enforced on the simulation
+	// context; 0 disables it.
+	ComputeTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Parallelism bounds each study's scheduler pool (0 = GOMAXPROCS).
+	Parallelism int
+	// Now overrides the clock for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+// Server is the rampd request handler set. Create with New; the zero
+// value is not usable.
+type Server struct {
+	cfg        Config
+	registry   *workload.Registry
+	cache      *Cache
+	flights    *flightGroup
+	metrics    *Metrics
+	schedStats *sched.Counters
+	admission  chan struct{}
+	mux        *http.ServeMux
+	now        func() time.Time
+	draining   chan struct{} // closed by BeginDrain
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// runStudy indirects the simulation entry point so tests can count
+	// and stub invocations.
+	runStudy func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error)
+}
+
+// New validates cfg, applies defaults, and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Sim.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = workload.DefaultRegistry()
+	}
+	if cfg.DefaultInstructions <= 0 {
+		cfg.DefaultInstructions = cfg.Sim.Instructions
+	}
+	if cfg.MaxInstructions <= 0 {
+		cfg.MaxInstructions = 10 * cfg.DefaultInstructions
+	}
+	if cfg.DefaultInstructions > cfg.MaxInstructions {
+		return nil, fmt.Errorf("server: default instruction budget %d exceeds cap %d",
+			cfg.DefaultInstructions, cfg.MaxInstructions)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		registry:   cfg.Registry,
+		cache:      NewCache(cfg.CacheSize, cfg.CacheTTL, now),
+		flights:    newFlightGroup(),
+		metrics:    NewMetrics(),
+		schedStats: sched.NewCounters(),
+		admission:  make(chan struct{}, cfg.MaxQueue),
+		mux:        http.NewServeMux(),
+		now:        now,
+		draining:   make(chan struct{}),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		runStudy:   sim.RunStudyContext,
+	}
+	s.flights.onCoalesce = func() { s.metrics.Coalesced.Add(1) }
+	s.mux.Handle("/v1/study", s.instrument("/v1/study", s.handleStudy))
+	s.mux.Handle("/v1/mttf", s.instrument("/v1/mttf", s.handleMTTF))
+	s.mux.Handle("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
+	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
+	return s, nil
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (read-only use).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// SchedStats exposes the shared scheduler counters.
+func (s *Server) SchedStats() sched.Stats { return s.schedStats }
+
+// BeginDrain flips /healthz to 503 so load balancers stop routing new
+// work while the HTTP server drains in-flight requests. Idempotent.
+func (s *Server) BeginDrain() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+// Close cancels the base context underlying all in-flight simulations.
+// Call only after the HTTP server has finished draining: cancelling early
+// would abort simulations that admitted requests are still waiting on.
+func (s *Server) Close() { s.baseCancel() }
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting, in-flight gauging,
+// status accounting, and the latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		s.metrics.Requests.Add(endpoint, 1)
+		s.metrics.InFlightHTTP.Add(1)
+		defer s.metrics.InFlightHTTP.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.Status.Add(strconv.Itoa(sw.status), 1)
+		s.metrics.ObserveLatency(s.now().Sub(start))
+	})
+}
+
+// StudyRequest is the wire form of a study query. Zero values mean "the
+// default": all benchmarks, all Table 4 technologies, the server's
+// instruction budget.
+type StudyRequest struct {
+	// Apps lists benchmark names from /v1/profiles; empty = all.
+	Apps []string `json:"apps"`
+	// Techs lists technology names (e.g. "65nm (1.0V)"); empty = all.
+	// The 180nm calibration anchor always runs and is always first.
+	Techs []string `json:"techs"`
+	// Instructions overrides the per-application trace length.
+	Instructions int64 `json:"instructions"`
+}
+
+// StudyMeta describes how a response was produced.
+type StudyMeta struct {
+	// Key is the content-addressed cache key of the request.
+	Key string `json:"key"`
+	// Cache is "hit" or "miss".
+	Cache string `json:"cache"`
+	// Coalesced reports whether this request joined another request's
+	// in-flight simulation instead of starting its own.
+	Coalesced bool `json:"coalesced"`
+	// ComputeMS is the simulation time this request actually waited on;
+	// ~0 for cache hits.
+	ComputeMS float64 `json:"compute_ms"`
+}
+
+// StudyResponse is the /v1/study payload.
+type StudyResponse struct {
+	Meta  StudyMeta       `json:"meta"`
+	Study report.Document `json:"study"`
+}
+
+// MTTFResponse is the /v1/mttf payload.
+type MTTFResponse struct {
+	Meta StudyMeta          `json:"meta"`
+	MTTF report.MTTFSummary `json:"mttf"`
+}
+
+// handleStudy serves the full study document.
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	req, err := parseStudyRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, meta, err := s.study(r.Context(), req)
+	if err != nil {
+		s.writeStudyError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, StudyResponse{Meta: meta, Study: report.BuildDocument(res)})
+}
+
+// handleMTTF serves the compact lifetime summary; it shares the study
+// cache and coalescer with /v1/study, so either endpoint warms the other.
+func (s *Server) handleMTTF(w http.ResponseWriter, r *http.Request) {
+	req, err := parseStudyRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, meta, err := s.study(r.Context(), req)
+	if err != nil {
+		s.writeStudyError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, MTTFResponse{Meta: meta, MTTF: report.BuildMTTFSummary(res)})
+}
+
+// handleProfiles lists the registered benchmark profiles.
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	type profileDoc struct {
+		Name         string  `json:"name"`
+		Suite        string  `json:"suite"`
+		TargetIPC    float64 `json:"target_ipc"`
+		TargetPowerW float64 `json:"target_power_w"`
+	}
+	all := s.registry.All()
+	out := struct {
+		Profiles []profileDoc `json:"profiles"`
+	}{Profiles: make([]profileDoc, 0, len(all))}
+	for _, p := range all {
+		out.Profiles = append(out.Profiles, profileDoc{
+			Name:         p.Name,
+			Suite:        p.Suite.String(),
+			TargetIPC:    p.TargetIPC,
+			TargetPowerW: p.TargetPowerW,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz reports ok until BeginDrain, then 503 so balancers stop
+// sending new work while in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.draining:
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+}
+
+// handleMetrics serves the expvar-backed metric snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.schedStats))
+}
+
+// parseStudyRequest accepts POST application/json bodies and GET query
+// parameters (?apps=a,b&techs=x,y&instructions=n).
+func parseStudyRequest(r *http.Request) (StudyRequest, error) {
+	var req StudyRequest
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("bad request body: %w", err)
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Apps = splitList(q.Get("apps"))
+		req.Techs = splitList(q.Get("techs"))
+		if v := q.Get("instructions"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return req, fmt.Errorf("bad instructions %q", v)
+			}
+			req.Instructions = n
+		}
+	default:
+		return req, errors.New("use GET or POST")
+	}
+	return req, nil
+}
+
+// splitList parses a comma-separated query value into trimmed names.
+func splitList(v string) []string {
+	if v == "" {
+		return nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// resolve turns a wire request into concrete study inputs: profiles via
+// the registry, technologies via the Table 4 set with the 180nm anchor
+// always first, and the instruction budget clamped to the server's cap.
+func (s *Server) resolve(req StudyRequest) (sim.Config, []workload.Profile, []scaling.Technology, error) {
+	cfg := s.cfg.Sim
+	switch {
+	case req.Instructions < 0:
+		return cfg, nil, nil, fmt.Errorf("instructions must be positive, got %d", req.Instructions)
+	case req.Instructions == 0:
+		cfg.Instructions = s.cfg.DefaultInstructions
+	case req.Instructions > s.cfg.MaxInstructions:
+		return cfg, nil, nil, fmt.Errorf("instructions %d exceeds the server cap %d",
+			req.Instructions, s.cfg.MaxInstructions)
+	default:
+		cfg.Instructions = req.Instructions
+	}
+
+	profiles, err := s.registry.Resolve(req.Apps)
+	if err != nil {
+		return cfg, nil, nil, err
+	}
+
+	base := scaling.Base()
+	techs := []scaling.Technology{base}
+	if len(req.Techs) == 0 {
+		techs = scaling.Generations()
+	} else {
+		seen := map[string]bool{base.Name: true}
+		for _, name := range req.Techs {
+			t, err := scaling.ByName(name)
+			if err != nil {
+				return cfg, nil, nil, err
+			}
+			if seen[t.Name] {
+				continue
+			}
+			seen[t.Name] = true
+			techs = append(techs, t)
+		}
+	}
+	return cfg, profiles, techs, nil
+}
+
+// study returns the result for a request, consulting the cache, then
+// coalescing with any identical in-flight computation, then — as the
+// flight leader — running the simulation under admission control and the
+// compute deadline.
+func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult, StudyMeta, error) {
+	cfg, profiles, techs, err := s.resolve(req)
+	if err != nil {
+		return nil, StudyMeta{}, &badRequestError{err}
+	}
+	key, err := sim.StudyKey(cfg, profiles, techs)
+	if err != nil {
+		return nil, StudyMeta{}, err
+	}
+	meta := StudyMeta{Key: key, Cache: "hit"}
+	if v, ok := s.cache.Get(key); ok {
+		return v.(*sim.StudyResult), meta, nil
+	}
+
+	start := s.now()
+	v, err, coalesced := s.flights.Do(ctx, s.baseCtx, key, func(fctx context.Context) (any, error) {
+		// Double-check the cache: a flight that completed between our
+		// lookup and this leadership election already has the answer.
+		if v, ok := s.cache.peek(key); ok {
+			return v, nil
+		}
+		select {
+		case s.admission <- struct{}{}:
+			defer func() { <-s.admission }()
+		default:
+			return nil, errOverloaded
+		}
+		if s.cfg.ComputeTimeout > 0 {
+			var cancel context.CancelFunc
+			fctx, cancel = context.WithTimeout(fctx, s.cfg.ComputeTimeout)
+			defer cancel()
+		}
+		s.metrics.Studies.Add(1)
+		res, err := s.runStudy(fctx, cfg, profiles, techs, sim.StudyOptions{
+			Parallelism: s.cfg.Parallelism,
+			Metrics:     s.schedStats,
+		})
+		if err != nil {
+			// Failed runs — deadline exceeded, cancelled, model errors —
+			// are never cached, so a transient failure cannot poison
+			// later requests.
+			return nil, err
+		}
+		s.cache.Put(key, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, StudyMeta{}, err
+	}
+	meta.Cache = "miss"
+	meta.Coalesced = coalesced
+	meta.ComputeMS = float64(s.now().Sub(start)) / float64(time.Millisecond)
+	return v.(*sim.StudyResult), meta, nil
+}
+
+// badRequestError marks client-side input errors for status mapping.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// writeStudyError maps a study error to its HTTP status.
+func (s *Server) writeStudyError(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	switch {
+	case errors.As(err, &bad):
+		s.writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.metrics.Shed.Add(1)
+		s.writeError(w, http.StatusTooManyRequests, errors.New("server overloaded, retry later"))
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// The client is gone or the server is shutting down; 503 is the
+		// least-wrong answer for anyone still listening.
+		s.writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// writeJSON writes an indented JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// CanonicalJSON encodes v as canonical JSON: object keys sorted
+// lexicographically at every nesting level, no insignificant whitespace,
+// numbers preserved exactly as encoding/json first rendered them. Two
+// values that marshal to the same JSON object — regardless of struct field
+// declaration order, or whether one side is a struct and the other a
+// decoded map — produce byte-identical output, which makes the encoding
+// safe to hash as a cache key.
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("sim: canonical: %w", err)
+	}
+	// Round-trip through the generic form: maps re-marshal with sorted
+	// keys, and json.Number keeps each numeric literal's original text so
+	// no float precision is disturbed along the way.
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var generic any
+	if err := dec.Decode(&generic); err != nil {
+		return nil, fmt.Errorf("sim: canonical: %w", err)
+	}
+	out, err := json.Marshal(generic)
+	if err != nil {
+		return nil, fmt.Errorf("sim: canonical: %w", err)
+	}
+	return out, nil
+}
+
+// studyRequest is the hashed identity of a study: everything that can
+// change its numbers. Serving layers key result caches on StudyKey, so any
+// field influencing StudyResult must reach the hash through here.
+type studyRequest struct {
+	Config   Config               `json:"config"`
+	Profiles []workload.Profile   `json:"profiles"`
+	Techs    []scaling.Technology `json:"techs"`
+}
+
+// StudyKey returns a stable content-addressed key for a study request: the
+// hex SHA-256 of the canonical JSON encoding of (Config, profile set,
+// technology nodes). Identical inputs always map to the same key across
+// processes and releases that keep the field set unchanged; any change to
+// an input — an instruction budget, a profile parameter, a technology
+// point — changes the key.
+func StudyKey(cfg Config, profiles []workload.Profile, techs []scaling.Technology) (string, error) {
+	b, err := CanonicalJSON(studyRequest{Config: cfg, Profiles: profiles, Techs: techs})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// TestCanonicalJSONFieldOrderStability proves that struct field declaration
+// order does not leak into the canonical encoding: two types carrying the
+// same JSON object in different field orders encode identically.
+func TestCanonicalJSONFieldOrderStability(t *testing.T) {
+	type ab struct {
+		Alpha float64 `json:"alpha"`
+		Beta  string  `json:"beta"`
+		Gamma int     `json:"gamma"`
+	}
+	type ba struct {
+		Gamma int     `json:"gamma"`
+		Beta  string  `json:"beta"`
+		Alpha float64 `json:"alpha"`
+	}
+	x, err := CanonicalJSON(ab{Alpha: 0.1, Beta: "b", Gamma: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := CanonicalJSON(ba{Alpha: 0.1, Beta: "b", Gamma: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x, y) {
+		t.Errorf("field order changed the canonical encoding:\n%s\n%s", x, y)
+	}
+	// Keys must come out sorted regardless of either declaration order.
+	want := `{"alpha":0.1,"beta":"b","gamma":7}`
+	if string(x) != want {
+		t.Errorf("canonical form = %s, want %s", x, want)
+	}
+}
+
+// TestCanonicalJSONRoundTripStability checks that decoding a canonical
+// encoding into a generic map and re-canonicalising is a fixed point, for
+// the real study inputs (Config, Profile, Technology) with their float
+// parameters.
+func TestCanonicalJSONRoundTripStability(t *testing.T) {
+	for _, v := range []any{
+		DefaultConfig(),
+		workload.Profiles(),
+		scaling.Generations(),
+	} {
+		first, err := CanonicalJSON(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var generic any
+		if err := json.Unmarshal(first, &generic); err != nil {
+			t.Fatal(err)
+		}
+		second, err := CanonicalJSON(generic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("canonical encoding is not a round-trip fixed point:\n%s\n%s", first, second)
+		}
+	}
+}
+
+// TestStudyKeyStability pins key determinism and input sensitivity.
+func TestStudyKeyStability(t *testing.T) {
+	cfg := DefaultConfig()
+	profiles := workload.Profiles()[:2]
+	techs := scaling.Generations()[:2]
+
+	k1, err := StudyKey(cfg, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := StudyKey(cfg, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("identical requests hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Errorf("key %q is not a hex SHA-256", k1)
+	}
+
+	cfg2 := cfg
+	cfg2.Instructions++
+	kCfg, err := StudyKey(cfg2, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kCfg == k1 {
+		t.Error("changing Config.Instructions did not change the key")
+	}
+
+	kProf, err := StudyKey(cfg, profiles[:1], techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kProf == k1 {
+		t.Error("changing the profile set did not change the key")
+	}
+
+	kTech, err := StudyKey(cfg, profiles, techs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kTech == k1 {
+		t.Error("changing the technology set did not change the key")
+	}
+}

@@ -94,6 +94,10 @@ type StudyOptions struct {
 	// task. It is called from worker goroutines and must be safe for
 	// concurrent use.
 	OnProgress func(sched.Progress)
+	// Metrics, when non-nil, receives scheduler lifecycle events. A
+	// shared *sched.Counters lets a long-lived observer (rampd's /metrics)
+	// track queue depth and in-flight tasks across concurrent studies.
+	Metrics sched.Recorder
 }
 
 // RunStudy executes the complete study: timing for every profile,
@@ -256,6 +260,7 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 	if err := g.Run(ctx, sched.Options{
 		Parallelism: opts.Parallelism,
 		OnProgress:  opts.OnProgress,
+		Metrics:     opts.Metrics,
 	}); err != nil {
 		return nil, err
 	}
@@ -281,7 +286,7 @@ func RunTimings(ctx context.Context, cfg Config, profiles []workload.Profile,
 	opts StudyOptions) ([]*ActivityTrace, error) {
 	out := make([]*ActivityTrace, len(profiles))
 	err := sched.Map(ctx, len(profiles),
-		sched.Options{Parallelism: opts.Parallelism, OnProgress: opts.OnProgress},
+		sched.Options{Parallelism: opts.Parallelism, OnProgress: opts.OnProgress, Metrics: opts.Metrics},
 		StageTiming,
 		func(ctx context.Context, i int) error {
 			tr, err := RunTimingContext(ctx, cfg, profiles[i])

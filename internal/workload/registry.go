@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is a concurrency-safe named-profile lookup table. The serving
+// layer resolves request benchmark names through one of these instead of
+// re-scanning Profiles() per request, and embedders can register custom
+// profiles alongside the paper's sixteen.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]Profile
+	order  []string
+}
+
+// NewRegistry returns a registry seeded with the given profiles, which
+// must validate and carry distinct names.
+func NewRegistry(profiles ...Profile) (*Registry, error) {
+	r := &Registry{byName: make(map[string]Profile, len(profiles))}
+	for _, p := range profiles {
+		if err := r.Register(p); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// DefaultRegistry returns a registry holding the paper's Table 3 profiles
+// in suite order.
+func DefaultRegistry() *Registry {
+	r, err := NewRegistry(Profiles()...)
+	if err != nil {
+		// Profiles() is the package's own calibrated table; it cannot fail
+		// validation without a programming error.
+		panic(err)
+	}
+	return r
+}
+
+// Register adds a profile, rejecting invalid profiles and duplicate names.
+func (r *Registry) Register(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[p.Name]; dup {
+		return fmt.Errorf("workload: profile %q already registered", p.Name)
+	}
+	r.byName[p.Name] = p
+	r.order = append(r.order, p.Name)
+	return nil
+}
+
+// Lookup returns the profile registered under name.
+func (r *Registry) Lookup(name string) (Profile, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byName[name]
+	return p, ok
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// All returns every registered profile in registration order.
+func (r *Registry) All() []Profile {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Profile, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byName[name])
+	}
+	return out
+}
+
+// Resolve maps benchmark names to profiles, preserving request order. An
+// empty name list resolves to every registered profile; an unknown name
+// fails the whole resolution with an error naming it.
+func (r *Registry) Resolve(names []string) ([]Profile, error) {
+	if len(names) == 0 {
+		return r.All(), nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Profile, 0, len(names))
+	for _, name := range names {
+		p, ok := r.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDefaultRegistry(t *testing.T) {
+	r := DefaultRegistry()
+	want := Names()
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry holds %d names, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("name[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	p, ok := r.Lookup("crafty")
+	if !ok || p.Name != "crafty" || p.Suite != SuiteInt {
+		t.Errorf("Lookup(crafty) = %+v, %v", p, ok)
+	}
+	if _, ok := r.Lookup("nonesuch"); ok {
+		t.Error("Lookup(nonesuch) succeeded")
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	r := DefaultRegistry()
+	all, err := r.Resolve(nil)
+	if err != nil || len(all) != len(Profiles()) {
+		t.Fatalf("Resolve(nil) = %d profiles, err %v", len(all), err)
+	}
+	subset, err := r.Resolve([]string{"gcc", "ammp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 || subset[0].Name != "gcc" || subset[1].Name != "ammp" {
+		t.Errorf("Resolve order not preserved: %v", []string{subset[0].Name, subset[1].Name})
+	}
+	if _, err := r.Resolve([]string{"gcc", "nonesuch"}); err == nil {
+		t.Error("Resolve with unknown name did not fail")
+	}
+}
+
+func TestRegistryRegisterRejects(t *testing.T) {
+	r := DefaultRegistry()
+	if err := r.Register(Profiles()[0]); err == nil {
+		t.Error("duplicate registration did not fail")
+	}
+	if err := r.Register(Profile{Name: "bad"}); err == nil {
+		t.Error("invalid profile registration did not fail")
+	}
+	custom := Profiles()[0]
+	custom.Name = "custom"
+	if err := r.Register(custom); err != nil {
+		t.Errorf("valid custom profile rejected: %v", err)
+	}
+	if _, ok := r.Lookup("custom"); !ok {
+		t.Error("registered custom profile not found")
+	}
+}
+
+// TestRegistryConcurrency exercises the lock paths under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := DefaultRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Lookup("gcc")
+				r.Names()
+				r.Resolve([]string{"ammp"})
+			}
+		}()
+	}
+	wg.Wait()
+}
