@@ -1,0 +1,18 @@
+#!/bin/sh
+# bench/stagecache.sh — cold vs warm sweep latency through the stage cache.
+#
+# Runs one cold scaling study, then four warm sweeps that change only
+# reliability-model constants (EM activation energy, EM current exponent,
+# TDDB voltage acceleration, TC Coffin-Manson exponent) against the warm
+# cache, and writes BENCH_stagecache.json in the repo root. The warm runs
+# skip the timing and thermal stages, so the recorded speedup is the value
+# of the incremental-study machinery.
+#
+# Usage: ./bench/stagecache.sh [instructions]   (default 200000)
+set -eu
+
+N="${1:-200000}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+go run ./bench/stagecache -n "$N" -out "$ROOT/BENCH_stagecache.json"

@@ -1,0 +1,124 @@
+// Command stagecache benchmarks the incremental-study machinery: one cold
+// scaling study populates the stage cache, then a series of warm sweeps —
+// each changing only reliability-model constants — replays through it. The
+// warm runs skip the timing and thermal stages entirely (only the cheap
+// FIT accumulation re-runs), which is the speedup this benchmark records.
+//
+// Usage: stagecache [-n instructions] [-apps 4] [-out BENCH_stagecache.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+// warmScenario is one reliability-constants-only variation.
+type warmScenario struct {
+	name   string
+	mutate func(*ramp.Config)
+}
+
+var warmScenarios = []warmScenario{
+	{"em_activation_energy", func(c *ramp.Config) { c.RAMP.EM.ActivationEnergyEV += 0.05 }},
+	{"em_current_exponent", func(c *ramp.Config) { c.RAMP.EM.N += 0.1 }},
+	{"tddb_voltage_accel", func(c *ramp.Config) { c.RAMP.TDDB.A += 2 }},
+	{"tc_coffin_manson", func(c *ramp.Config) { c.RAMP.TC.Q += 0.15 }},
+}
+
+type result struct {
+	Instructions int64   `json:"instructions"`
+	Apps         int     `json:"apps"`
+	Techs        int     `json:"techs"`
+	ColdS        float64 `json:"cold_s"`
+	Warm         []struct {
+		Name    string  `json:"name"`
+		Seconds float64 `json:"seconds"`
+		Speedup float64 `json:"speedup"`
+	} `json:"warm"`
+	MinSpeedup float64              `json:"min_speedup"`
+	Cache      ramp.StageCacheStats `json:"stage_cache"`
+}
+
+func main() {
+	n := flag.Int64("n", 200_000, "instructions per application")
+	apps := flag.Int("apps", 4, "number of benchmark profiles")
+	out := flag.String("out", "BENCH_stagecache.json", "output JSON path")
+	flag.Parse()
+	if err := run(*n, *apps, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "stagecache:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int64, apps int, out string) error {
+	cfg := ramp.DefaultConfig()
+	cfg.Instructions = n
+	profiles := ramp.Profiles()
+	if apps > 0 && apps < len(profiles) {
+		profiles = profiles[:apps]
+	}
+	techs := ramp.Technologies()
+
+	runner, err := ramp.New(ramp.WithCache(ramp.CacheOptions{}))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	fmt.Printf("cold: %d apps × %d techs, %d instructions\n", len(profiles), len(techs), n)
+	start := time.Now()
+	cold, err := runner.Study(ctx, cfg, profiles, techs)
+	if err != nil {
+		return err
+	}
+	res := result{Instructions: n, Apps: len(profiles), Techs: len(techs),
+		ColdS: time.Since(start).Seconds()}
+	fmt.Printf("  %.3fs (suite-avg FIT @%s: %.0f)\n",
+		res.ColdS, cold.Techs[0].Name, cold.SuiteAverageFIT(0, 0))
+
+	res.MinSpeedup = -1
+	for _, sc := range warmScenarios {
+		wcfg := cfg
+		sc.mutate(&wcfg)
+		start = time.Now()
+		if _, err := runner.Study(ctx, wcfg, profiles, techs); err != nil {
+			return fmt.Errorf("warm %s: %w", sc.name, err)
+		}
+		secs := time.Since(start).Seconds()
+		speedup := res.ColdS / secs
+		fmt.Printf("warm %-22s %.3fs  (%.1fx)\n", sc.name, secs, speedup)
+		res.Warm = append(res.Warm, struct {
+			Name    string  `json:"name"`
+			Seconds float64 `json:"seconds"`
+			Speedup float64 `json:"speedup"`
+		}{sc.name, secs, speedup})
+		if res.MinSpeedup < 0 || speedup < res.MinSpeedup {
+			res.MinSpeedup = speedup
+		}
+	}
+	if stats, ok := runner.CacheStats(); ok {
+		res.Cache = stats
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("min warm speedup %.1fx → %s\n", res.MinSpeedup, out)
+	return nil
+}

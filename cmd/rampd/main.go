@@ -7,15 +7,23 @@
 //
 //	rampd [-addr :8080] [-n 200000] [-max-n 2000000] [-cache-size 64]
 //	      [-cache-ttl 1h] [-queue 4] [-timeout 5m] [-drain 30s]
-//	      [-parallelism N]
+//	      [-parallelism N] [-cache-dir DIR] [-stage-cache 256] [-heartbeat 10s]
 //
 // Endpoints:
 //
-//	GET/POST /v1/study     full study document  (?apps=a,b&techs=x,y&instructions=n)
-//	GET/POST /v1/mttf      lifetime summary     (same parameters, same cache)
-//	GET      /v1/profiles  the benchmark registry
-//	GET      /healthz      liveness; 503 while draining
-//	GET      /metrics      request/cache/coalescing/scheduler counters
+//	GET/POST /v1/study         full study document  (?apps=a,b&techs=x,y&instructions=n)
+//	GET/POST /v1/study/stream  the same study as NDJSON, one event per
+//	                           completed (app × tech) cell, then the document
+//	GET/POST /v1/mttf          lifetime summary     (same parameters, same cache)
+//	GET      /v1/profiles      the benchmark registry
+//	GET      /healthz          liveness; 503 while draining
+//	GET      /metrics          request/cache/coalescing/scheduler/stage-cache counters
+//
+// Every JSON response carries "schema_version"; errors use the stable
+// envelope {"schema_version":1,"error":{"code","message"}}. Studies run
+// through a content-addressed stage cache (timing / thermal / reliability
+// artifacts), so requests differing only in downstream parameters replay
+// the cheap stages; -cache-dir persists those artifacts across restarts.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: /healthz flips to 503, the
 // listener stops accepting, in-flight requests (and the simulations they
@@ -59,6 +67,9 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-study compute deadline (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
 	parallelism := fs.Int("parallelism", 0, "scheduler pool bound per study (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "persist stage artifacts (timing/thermal/fit) under this directory")
+	stageCache := fs.Int("stage-cache", 0, "in-memory stage-cache entries per stage (0 = default 256)")
+	heartbeat := fs.Duration("heartbeat", 10*time.Second, "idle heartbeat interval on /v1/study/stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +85,9 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 		MaxQueue:            *queue,
 		ComputeTimeout:      *timeout,
 		Parallelism:         *parallelism,
+		CacheDir:            *cacheDir,
+		StageCacheEntries:   *stageCache,
+		StreamHeartbeat:     *heartbeat,
 	})
 	if err != nil {
 		return err

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	rampsim [-n instructions] [-apps ammp,gcc] [-csv] [-figure 2|3|4|5] [-headline] [-all]
-//	        [-parallelism N] [-progress]
+//	        [-parallelism N] [-progress] [-cache-dir DIR]
+//
+// With -cache-dir the study's stage artifacts (timing, thermal,
+// reliability) persist on disk, so a re-run that changes only downstream
+// parameters — e.g. a reliability constant via -scenario — replays from
+// the cache instead of re-simulating.
 //
 // Without -figure/-headline/-all it prints the per-run summary lines.
 // Interrupting the process (Ctrl-C) cancels the study promptly.
@@ -51,6 +56,7 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	scenarioPath := fs.String("scenario", "", "JSON experiment specification (overrides -n/-apps)")
 	parallelism := fs.Int("parallelism", 0, "max concurrent study tasks (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "report per-task study progress on stderr")
+	cacheDir := fs.String("cache-dir", "", "persist stage artifacts under this directory for incremental re-runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,11 +82,18 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 			fmt.Fprintf(out, "  %s\n", spec.Description)
 		}
 	}
-	opts := ramp.StudyOptions{Parallelism: *parallelism}
+	ropts := []ramp.Option{ramp.WithParallelism(*parallelism)}
 	if *progress {
-		opts.OnProgress = cli.StderrProgress()
+		ropts = append(ropts, ramp.WithProgress(cli.StderrProgress()))
 	}
-	res, err := ramp.RunStudyContext(ctx, cfg, profiles, techs, opts)
+	if *cacheDir != "" {
+		ropts = append(ropts, ramp.WithCache(ramp.CacheOptions{Dir: *cacheDir}))
+	}
+	runner, err := ramp.New(ropts...)
+	if err != nil {
+		return err
+	}
+	res, err := runner.Study(ctx, cfg, profiles, techs)
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,11 @@
 // Quickstart: evaluate one benchmark on the base 180nm machine and print
 // its failure-rate breakdown, then remap it to 65nm and show the scaling
-// penalty. Demonstrates the two-step API (RunTiming + EvaluateTech) on a
-// single application without running the full study.
+// penalty. Demonstrates the Runner facade's two-step path (Runner.Timing +
+// EvaluateTech) on a single application without running the full study.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -12,23 +13,27 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	cfg := ramp.DefaultConfig()
 	cfg.Instructions = 500_000
 
+	runner, err := ramp.New()
+	if err != nil {
+		return err
+	}
 	prof, err := ramp.ProfileByName("gzip")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Timing-simulating %s (%v), %d instructions...\n",
 		prof.Name, prof.Suite, cfg.Instructions)
-	tr, err := ramp.RunTiming(cfg, prof)
+	tr, err := runner.Timing(ctx, cfg, prof)
 	if err != nil {
 		return err
 	}

@@ -28,14 +28,22 @@ func run(ctx context.Context) error {
 	fmt.Println("Running the scaling study (16 benchmarks x 5 technology points)...")
 	// The study runs as a pipelined task graph on a bounded worker pool;
 	// the progress callback ticks as each (profile × technology) task
-	// lands, and Ctrl-C cancels the remaining work promptly.
-	res, err := ramp.RunStudyContext(ctx, cfg, ramp.Profiles(), ramp.Technologies(),
-		ramp.StudyOptions{OnProgress: func(p ramp.StudyProgress) {
+	// lands, and Ctrl-C cancels the remaining work promptly. The stage
+	// cache makes an immediate re-run (e.g. after tweaking a reliability
+	// constant) nearly instant.
+	runner, err := ramp.New(
+		ramp.WithProgress(func(p ramp.StudyProgress) {
 			fmt.Fprintf(os.Stderr, "\r%3d/%3d tasks", p.Done, p.Total)
 			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}
-		}})
+		}),
+		ramp.WithCache(ramp.CacheOptions{}),
+	)
+	if err != nil {
+		return err
+	}
+	res, err := runner.Study(ctx, cfg, ramp.Profiles(), ramp.Technologies())
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"github.com/ramp-sim/ramp/internal/sched"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/store"
 )
 
 // latencyBucketsMS are the upper bounds of the request-latency histogram
@@ -38,6 +40,9 @@ type Metrics struct {
 	InFlightHTTP expvar.Int
 	// Studies counts simulations actually started on the scheduler pool.
 	Studies expvar.Int
+	// Streams counts /v1/study/stream responses that began streaming
+	// (cache replays included; admission rejections excluded).
+	Streams expvar.Int
 }
 
 // NewMetrics returns a zeroed metric set.
@@ -61,11 +66,13 @@ func (m *Metrics) ObserveLatency(d time.Duration) {
 	m.Latency.Add("overflow", 1)
 }
 
-// Snapshot flattens the metrics — plus the cache and scheduler views — to
-// a JSON-marshalable map, the /metrics payload. ratio fields are computed
-// at snapshot time so readers need no client-side arithmetic.
-func (m *Metrics) Snapshot(cache *Cache, stats sched.Stats) map[string]any {
+// Snapshot flattens the metrics — plus the cache, scheduler, and
+// stage-cache views — to a JSON-marshalable map, the /metrics payload.
+// ratio fields are computed at snapshot time so readers need no
+// client-side arithmetic.
+func (m *Metrics) Snapshot(cache *Cache, stats sched.Stats, stage *sim.StageCache) map[string]any {
 	out := map[string]any{
+		"schema_version":  SchemaVersion,
 		"requests_total":  mapSnapshot(m.Requests),
 		"status_total":    mapSnapshot(m.Status),
 		"latency_ms":      mapSnapshot(m.Latency),
@@ -73,6 +80,7 @@ func (m *Metrics) Snapshot(cache *Cache, stats sched.Stats) map[string]any {
 		"shed_total":      m.Shed.Value(),
 		"inflight_http":   m.InFlightHTTP.Value(),
 		"studies_total":   m.Studies.Value(),
+		"streams_total":   m.Streams.Value(),
 	}
 	if cache != nil {
 		cs := cache.Stats()
@@ -97,7 +105,28 @@ func (m *Metrics) Snapshot(cache *Cache, stats sched.Stats) map[string]any {
 			"failed":      stats.Failed(),
 		}
 	}
+	if stage != nil {
+		ss := stage.Stats()
+		out["stage_cache"] = map[string]any{
+			"timing":  storeSnapshot(ss.Timing),
+			"thermal": storeSnapshot(ss.Thermal),
+			"fit":     storeSnapshot(ss.FIT),
+		}
+	}
 	return out
+}
+
+// storeSnapshot flattens one stage store's counters.
+func storeSnapshot(s store.Stats) map[string]any {
+	return map[string]any{
+		"entries":       s.Entries,
+		"mem_hits":      s.MemHits,
+		"disk_hits":     s.DiskHits,
+		"misses":        s.Misses,
+		"puts":          s.Puts,
+		"evicted":       s.Evicted,
+		"disk_failures": s.DiskFailures,
+	}
 }
 
 // mapSnapshot copies an expvar.Map into a plain map with sorted iteration
@@ -137,7 +166,7 @@ func (s *Server) Publish(name string) {
 			if srv == nil {
 				return nil
 			}
-			return srv.metrics.Snapshot(srv.cache, srv.schedStats)
+			return srv.metrics.Snapshot(srv.cache, srv.schedStats, srv.stageCache)
 		}))
 	}
 	p.Store(s)

@@ -40,6 +40,51 @@ import (
 // to 429 + Retry-After.
 var errOverloaded = errors.New("server: admission queue full")
 
+// SchemaVersion is the wire-format version carried by every JSON response
+// (and by the first event of every NDJSON stream) as "schema_version".
+//
+// Versioning policy: additive changes — new fields, new endpoints, new
+// event types — keep the version unchanged; clients must ignore unknown
+// fields. The version increments only when an existing field's meaning,
+// type, or presence changes incompatibly, and rampd then serves the new
+// number on every endpoint simultaneously.
+const SchemaVersion = 1
+
+// Error codes carried in the error envelope's "code" field. The set is
+// closed under the current schema version: clients may switch on it.
+const (
+	// CodeBadRequest: the request itself is invalid (unknown benchmark,
+	// bad budget, malformed body).
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded: the admission queue is full; retry after the
+	// Retry-After hint.
+	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded: the study hit the server's compute deadline.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeUnavailable: the client went away or the server is shutting
+	// down mid-computation.
+	CodeUnavailable = "unavailable"
+	// CodeInternal: everything else.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the machine-readable error payload of the envelope.
+type ErrorBody struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the stable error envelope every non-2xx JSON response
+// uses: {"schema_version":1,"error":{"code":"...","message":"..."}}.
+type ErrorResponse struct {
+	SchemaVersion int       `json:"schema_version"`
+	Error         ErrorBody `json:"error"`
+}
+
 // Config parameterises a Server.
 type Config struct {
 	// Sim is the base simulation configuration; per-request instruction
@@ -67,6 +112,16 @@ type Config struct {
 	RetryAfter time.Duration
 	// Parallelism bounds each study's scheduler pool (0 = GOMAXPROCS).
 	Parallelism int
+	// CacheDir, when non-empty, spills the stage cache's artifacts
+	// (timing traces, thermal series, finished cells) to disk so a
+	// restarted rampd starts warm.
+	CacheDir string
+	// StageCacheEntries bounds each stage store's in-memory LRU
+	// (default 256 per stage).
+	StageCacheEntries int
+	// StreamHeartbeat is the idle-connection heartbeat interval of
+	// /v1/study/stream (default 10s).
+	StreamHeartbeat time.Duration
 	// Now overrides the clock for tests; nil uses time.Now.
 	Now func() time.Time
 }
@@ -77,6 +132,7 @@ type Server struct {
 	cfg        Config
 	registry   *workload.Registry
 	cache      *Cache
+	stageCache *sim.StageCache
 	flights    *flightGroup
 	metrics    *Metrics
 	schedStats *sched.Counters
@@ -119,15 +175,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 10 * time.Second
+	}
 	now := cfg.Now
 	if now == nil {
 		now = time.Now
+	}
+	stageCache, err := sim.NewStageCache(sim.StageCacheOptions{
+		MaxEntries: cfg.StageCacheEntries,
+		Dir:        cfg.CacheDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: stage cache: %w", err)
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		registry:   cfg.Registry,
 		cache:      NewCache(cfg.CacheSize, cfg.CacheTTL, now),
+		stageCache: stageCache,
 		flights:    newFlightGroup(),
 		metrics:    NewMetrics(),
 		schedStats: sched.NewCounters(),
@@ -141,6 +208,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.flights.onCoalesce = func() { s.metrics.Coalesced.Add(1) }
 	s.mux.Handle("/v1/study", s.instrument("/v1/study", s.handleStudy))
+	s.mux.Handle("/v1/study/stream", s.instrument("/v1/study/stream", s.handleStudyStream))
 	s.mux.Handle("/v1/mttf", s.instrument("/v1/mttf", s.handleMTTF))
 	s.mux.Handle("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
@@ -181,6 +249,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers still see an
+// http.Flusher through the instrumentation layer; a no-op when the
+// underlying connection cannot flush.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with request counting, in-flight gauging,
@@ -227,21 +304,23 @@ type StudyMeta struct {
 
 // StudyResponse is the /v1/study payload.
 type StudyResponse struct {
-	Meta  StudyMeta       `json:"meta"`
-	Study report.Document `json:"study"`
+	SchemaVersion int             `json:"schema_version"`
+	Meta          StudyMeta       `json:"meta"`
+	Study         report.Document `json:"study"`
 }
 
 // MTTFResponse is the /v1/mttf payload.
 type MTTFResponse struct {
-	Meta StudyMeta          `json:"meta"`
-	MTTF report.MTTFSummary `json:"mttf"`
+	SchemaVersion int                `json:"schema_version"`
+	Meta          StudyMeta          `json:"meta"`
+	MTTF          report.MTTFSummary `json:"mttf"`
 }
 
 // handleStudy serves the full study document.
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	req, err := parseStudyRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	res, meta, err := s.study(r.Context(), req)
@@ -249,7 +328,8 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		s.writeStudyError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, StudyResponse{Meta: meta, Study: report.BuildDocument(res)})
+	s.writeJSON(w, http.StatusOK, StudyResponse{
+		SchemaVersion: SchemaVersion, Meta: meta, Study: report.BuildDocument(res)})
 }
 
 // handleMTTF serves the compact lifetime summary; it shares the study
@@ -257,7 +337,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMTTF(w http.ResponseWriter, r *http.Request) {
 	req, err := parseStudyRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	res, meta, err := s.study(r.Context(), req)
@@ -265,13 +345,14 @@ func (s *Server) handleMTTF(w http.ResponseWriter, r *http.Request) {
 		s.writeStudyError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, MTTFResponse{Meta: meta, MTTF: report.BuildMTTFSummary(res)})
+	s.writeJSON(w, http.StatusOK, MTTFResponse{
+		SchemaVersion: SchemaVersion, Meta: meta, MTTF: report.BuildMTTFSummary(res)})
 }
 
 // handleProfiles lists the registered benchmark profiles.
 func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, errors.New("use GET"))
 		return
 	}
 	type profileDoc struct {
@@ -282,8 +363,9 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	}
 	all := s.registry.All()
 	out := struct {
-		Profiles []profileDoc `json:"profiles"`
-	}{Profiles: make([]profileDoc, 0, len(all))}
+		SchemaVersion int          `json:"schema_version"`
+		Profiles      []profileDoc `json:"profiles"`
+	}{SchemaVersion: SchemaVersion, Profiles: make([]profileDoc, 0, len(all))}
 	for _, p := range all {
 		out.Profiles = append(out.Profiles, profileDoc{
 			Name:         p.Name,
@@ -298,17 +380,21 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 // handleHealthz reports ok until BeginDrain, then 503 so balancers stop
 // sending new work while in-flight requests finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		SchemaVersion int    `json:"schema_version"`
+		Status        string `json:"status"`
+	}
 	select {
 	case <-s.draining:
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		s.writeJSON(w, http.StatusServiceUnavailable, health{SchemaVersion, "draining"})
 	default:
-		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, health{SchemaVersion, "ok"})
 	}
 }
 
 // handleMetrics serves the expvar-backed metric snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.schedStats))
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.schedStats, s.stageCache))
 }
 
 // parseStudyRequest accepts POST application/json bodies and GET query
@@ -437,6 +523,7 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 		res, err := s.runStudy(fctx, cfg, profiles, techs, sim.StudyOptions{
 			Parallelism: s.cfg.Parallelism,
 			Metrics:     s.schedStats,
+			Cache:       s.stageCache,
 		})
 		if err != nil {
 			// Failed runs — deadline exceeded, cancelled, model errors —
@@ -462,26 +549,35 @@ type badRequestError struct{ err error }
 func (e *badRequestError) Error() string { return e.err.Error() }
 func (e *badRequestError) Unwrap() error { return e.err }
 
-// writeStudyError maps a study error to its HTTP status.
-func (s *Server) writeStudyError(w http.ResponseWriter, err error) {
+// studyErrorStatus maps a study error to its HTTP status and envelope
+// code. Shared by the blocking handlers and the stream's error events.
+func (s *Server) studyErrorStatus(err error) (status int, code string, msg error) {
 	var bad *badRequestError
 	switch {
 	case errors.As(err, &bad):
-		s.writeError(w, http.StatusBadRequest, err)
+		return http.StatusBadRequest, CodeBadRequest, err
 	case errors.Is(err, errOverloaded):
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.metrics.Shed.Add(1)
-		s.writeError(w, http.StatusTooManyRequests, errors.New("server overloaded, retry later"))
+		return http.StatusTooManyRequests, CodeOverloaded, errors.New("server overloaded, retry later")
 	case errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, http.StatusGatewayTimeout, err)
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded, err
 	case errors.Is(err, context.Canceled):
 		// The client is gone or the server is shutting down; 503 is the
 		// least-wrong answer for anyone still listening.
-		s.writeError(w, http.StatusServiceUnavailable, err)
+		return http.StatusServiceUnavailable, CodeUnavailable, err
 	default:
-		s.writeError(w, http.StatusInternalServerError, err)
+		return http.StatusInternalServerError, CodeInternal, err
 	}
+}
+
+// writeStudyError maps a study error to its HTTP status.
+func (s *Server) writeStudyError(w http.ResponseWriter, err error) {
+	status, code, msg := s.studyErrorStatus(err)
+	if code == CodeOverloaded {
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.metrics.Shed.Add(1)
+	}
+	s.writeError(w, status, code, msg)
 }
 
 // writeJSON writes an indented JSON response.
@@ -493,7 +589,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes a JSON error envelope.
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError writes the stable error envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
+	s.writeJSON(w, status, ErrorResponse{
+		SchemaVersion: SchemaVersion,
+		Error:         ErrorBody{Code: code, Message: err.Error()},
+	})
 }

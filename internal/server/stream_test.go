@@ -1,0 +1,409 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// streamEvent is the decoded superset of every NDJSON event type.
+type streamEvent struct {
+	SchemaVersion int             `json:"schema_version"`
+	Event         string          `json:"event"`
+	Key           string          `json:"key"`
+	CellsTotal    int             `json:"cells_total"`
+	Cache         string          `json:"cache"`
+	Done          int             `json:"done"`
+	Total         int             `json:"total"`
+	Source        string          `json:"source"`
+	App           json.RawMessage `json:"app"`
+	Study         json.RawMessage `json:"study"`
+	Error         *ErrorBody      `json:"error"`
+}
+
+// openStream issues a real HTTP request against ts and returns a
+// line-decoder over the NDJSON body.
+func openStream(t *testing.T, ts *httptest.Server, target string) (*http.Response, *bufio.Scanner) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	return resp, sc
+}
+
+func decodeEvent(t *testing.T, line []byte) streamEvent {
+	t.Helper()
+	var ev streamEvent
+	if err := json.Unmarshal(line, &ev); err != nil {
+		t.Fatalf("bad stream line %q: %v", line, err)
+	}
+	return ev
+}
+
+// TestStreamOrderingAgainstStub pins the protocol with a fully controlled
+// simulation: the handler must deliver a cell event to the client while
+// the study is still running — the stub refuses to finish until the test
+// has observed the first event on the wire.
+func TestStreamOrderingAgainstStub(t *testing.T) {
+	s := newTestServer(t, nil)
+	observed := make(chan struct{})
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		opts.OnApp(sim.AppEvent{
+			Run:       sim.AppRun{App: profiles[0].Name, Tech: techs[0]},
+			Source:    sim.CellComputed,
+			CellsDone: 1, CellsTotal: len(profiles) * len(techs),
+		})
+		select {
+		case <-observed: // the client has read the first event
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return stubResult(cfg, techs), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, sc := openStream(t, ts, "/v1/study/stream?apps=ammp&techs=130nm")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	if !sc.Scan() {
+		t.Fatal("no meta event")
+	}
+	metaEv := decodeEvent(t, sc.Bytes())
+	if metaEv.Event != "meta" || metaEv.SchemaVersion != SchemaVersion ||
+		metaEv.Key == "" || metaEv.CellsTotal != 2 || metaEv.Cache != "miss" {
+		t.Fatalf("bad meta event: %+v", metaEv)
+	}
+
+	if !sc.Scan() {
+		t.Fatal("no first cell event")
+	}
+	appEv := decodeEvent(t, sc.Bytes())
+	if appEv.Event != "app" || appEv.Done != 1 || appEv.Total != 2 || appEv.Source != sim.CellComputed {
+		t.Fatalf("bad app event: %+v", appEv)
+	}
+	// Only now may the simulation complete: the cell demonstrably reached
+	// the client before the study finished.
+	close(observed)
+
+	if !sc.Scan() {
+		t.Fatal("no terminal event")
+	}
+	study := decodeEvent(t, sc.Bytes())
+	if study.Event != "study" || study.Study == nil {
+		t.Fatalf("bad terminal event: %+v", study)
+	}
+	if sc.Scan() {
+		t.Fatalf("unexpected trailing line %q", sc.Text())
+	}
+}
+
+// TestStreamCancelMidwayFreesAdmission aborts a stream after its first
+// cell event and requires that (a) the simulation context is cancelled
+// and (b) the admission slot is returned, so the next request computes.
+func TestStreamCancelMidwayFreesAdmission(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxQueue = 1 })
+	sawCancel := make(chan error, 1)
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		opts.OnApp(sim.AppEvent{
+			Run:       sim.AppRun{App: profiles[0].Name, Tech: techs[0]},
+			Source:    sim.CellComputed,
+			CellsDone: 1, CellsTotal: len(profiles) * len(techs),
+		})
+		<-ctx.Done() // only a client disconnect can release the stub
+		sawCancel <- ctx.Err()
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/v1/study/stream?apps=ammp&techs=130nm", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 2; i++ { // meta + first app event
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d events", i)
+		}
+	}
+	cancel() // drop the connection mid-stream
+
+	select {
+	case err := <-sawCancel:
+		if err == nil {
+			t.Fatal("simulation context not cancelled")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client disconnect never cancelled the simulation")
+	}
+
+	// The admission slot (MaxQueue=1) must come back for the next request.
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		return stubResult(cfg, techs), nil
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec,
+			httptest.NewRequest(http.MethodGet, "/v1/study?apps=gcc&techs=130nm", nil))
+		if rec.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission slot never freed: last status %d", rec.Code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamResultCacheReplay: once the result cache holds the study, a
+// stream replays every cell (source "result-cache") and the document
+// without taking an admission slot or running the simulation.
+func TestStreamResultCacheReplay(t *testing.T) {
+	s := newTestServer(t, nil)
+	var calls int
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		calls++
+		res := stubResult(cfg, techs)
+		for _, p := range profiles {
+			for _, tech := range techs {
+				res.Apps = append(res.Apps, sim.AppRun{App: p.Name, Suite: p.Suite, Tech: tech})
+			}
+		}
+		return res, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm the result cache through the blocking endpoint.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest(http.MethodGet, "/v1/study?apps=ammp,gcc&techs=130nm", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warmup status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	resp, sc := openStream(t, ts, "/v1/study/stream?apps=ammp,gcc&techs=130nm")
+	defer resp.Body.Close()
+	var events []streamEvent
+	for sc.Scan() {
+		events = append(events, decodeEvent(t, sc.Bytes()))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("cache replay ran the simulation again (%d calls)", calls)
+	}
+	// meta + 4 cells (2 apps × 2 techs: 180nm anchor + 130nm) + study.
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6: %+v", len(events), events)
+	}
+	if events[0].Event != "meta" || events[0].Cache != "hit" {
+		t.Fatalf("bad meta event: %+v", events[0])
+	}
+	for _, ev := range events[1:5] {
+		if ev.Event != "app" || ev.Source != streamSourceResultCache || ev.Total != 4 {
+			t.Fatalf("bad replayed cell: %+v", ev)
+		}
+	}
+	if events[5].Event != "study" {
+		t.Fatalf("bad terminal event: %+v", events[5])
+	}
+}
+
+// TestStreamOverloadedAndBadRequest: admission rejections and invalid
+// requests use the standard error envelope before any NDJSON is written.
+func TestStreamOverloadedAndBadRequest(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxQueue = 1 })
+	block := make(chan struct{})
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		<-block
+		return stubResult(cfg, techs), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the only admission slot with a blocking stream.
+	resp, sc := openStream(t, ts, "/v1/study/stream?apps=ammp&techs=130nm")
+	defer resp.Body.Close()
+	defer close(block)
+	if !sc.Scan() {
+		t.Fatal("no meta event from the occupying stream")
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest(http.MethodGet, "/v1/study/stream?apps=gcc&techs=130nm", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded stream status = %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After")
+	}
+	var envelope ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.SchemaVersion != SchemaVersion || envelope.Error.Code != CodeOverloaded {
+		t.Errorf("bad overload envelope: %+v", envelope)
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest(http.MethodGet, "/v1/study/stream?apps=nonexistent", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad-request stream status = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeBadRequest || envelope.Error.Message == "" {
+		t.Errorf("bad bad-request envelope: %+v", envelope)
+	}
+}
+
+// TestStreamHeartbeat: an idle computation produces heartbeat events at
+// the configured interval so proxies keep the connection open.
+func TestStreamHeartbeat(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.StreamHeartbeat = 10 * time.Millisecond })
+	release := make(chan struct{})
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return stubResult(cfg, techs), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, sc := openStream(t, ts, "/v1/study/stream?apps=ammp&techs=130nm")
+	defer resp.Body.Close()
+	if !sc.Scan() {
+		t.Fatal("no meta event")
+	}
+	if !sc.Scan() {
+		t.Fatal("no heartbeat")
+	}
+	hb := decodeEvent(t, sc.Bytes())
+	if hb.Event != "heartbeat" {
+		t.Fatalf("expected heartbeat, got %+v", hb)
+	}
+	close(release)
+	for sc.Scan() {
+		last := decodeEvent(t, sc.Bytes())
+		if last.Event == "study" {
+			return
+		}
+	}
+	t.Fatal("stream ended without a terminal study event")
+}
+
+// TestStreamRealStudy is the end-to-end acceptance path: a real (small)
+// simulation streamed over a real connection must deliver its first cell
+// event strictly before the study completes — done < total on the first
+// app event — and terminate with the calibrated document. A repeated
+// stream must then replay from the result cache without recomputing.
+func TestStreamRealStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation in -short mode")
+	}
+	s := newTestServer(t, func(c *Config) {
+		c.Sim.Instructions = 30_000
+		c.DefaultInstructions = 30_000
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const target = "/v1/study/stream?apps=ammp,gcc&techs=130nm,90nm"
+	resp, sc := openStream(t, ts, target)
+	defer resp.Body.Close()
+	if !sc.Scan() {
+		t.Fatal("no meta event")
+	}
+	metaEv := decodeEvent(t, sc.Bytes())
+	if metaEv.Event != "meta" || metaEv.CellsTotal != 6 {
+		t.Fatalf("bad meta event: %+v", metaEv)
+	}
+	var apps, studies int
+	firstDone, firstTotal := -1, -1
+	for sc.Scan() {
+		ev := decodeEvent(t, sc.Bytes())
+		switch ev.Event {
+		case "app":
+			if studies != 0 {
+				t.Errorf("app event after the terminal study event")
+			}
+			if apps == 0 {
+				firstDone, firstTotal = ev.Done, ev.Total
+			}
+			apps++
+		case "study":
+			studies++
+		case "heartbeat":
+		default:
+			t.Fatalf("unknown event %+v", ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if apps != 6 || studies != 1 {
+		t.Fatalf("streamed %d cells and %d terminals, want 6 and 1", apps, studies)
+	}
+	if firstDone >= firstTotal {
+		t.Errorf("first cell event arrived with done=%d total=%d — not before completion",
+			firstDone, firstTotal)
+	}
+
+	// An identical repeat replays the whole grid from the result cache.
+	resp2, sc2 := openStream(t, ts, target)
+	defer resp2.Body.Close()
+	warmSources := map[string]int{}
+	for sc2.Scan() {
+		ev := decodeEvent(t, sc2.Bytes())
+		if ev.Event == "app" {
+			warmSources[ev.Source]++
+		}
+	}
+	if warmSources[streamSourceResultCache] != 6 {
+		t.Errorf("identical repeat was not a whole-result replay: %v", warmSources)
+	}
+}

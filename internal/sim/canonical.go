@@ -7,7 +7,11 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/power"
 	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/thermal"
 	"github.com/ramp-sim/ramp/internal/workload"
 )
 
@@ -55,10 +59,100 @@ type studyRequest struct {
 // an input — an instruction budget, a profile parameter, a technology
 // point — changes the key.
 func StudyKey(cfg Config, profiles []workload.Profile, techs []scaling.Technology) (string, error) {
-	b, err := CanonicalJSON(studyRequest{Config: cfg, Profiles: profiles, Techs: techs})
+	return hashKey(studyRequest{Config: cfg, Profiles: profiles, Techs: techs})
+}
+
+// hashKey is the shared canonical-JSON → hex SHA-256 key derivation.
+func hashKey(v any) (string, error) {
+	b, err := CanonicalJSON(v)
 	if err != nil {
 		return "", err
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// Per-stage key derivation. Where StudyKey hashes the entire request —
+// so any change invalidates everything — each stage key hashes only the
+// inputs that stage actually reads. That is the contract the stage cache
+// relies on: a reliability-constant change must leave the timing and
+// thermal keys untouched (their artifacts are reusable), while a trace
+// length or machine change must invalidate all three.
+
+// timingStageInputs are the fields the timing stage reads: the simulated
+// machine, the trace length, and the workload itself. Technology, power,
+// thermal, and reliability parameters deliberately do not appear — the
+// paper keeps the microarchitecture (and hence the activity behaviour)
+// fixed across technology points (§1.3).
+type timingStageInputs struct {
+	Machine      microarch.Config `json:"machine"`
+	Instructions int64            `json:"instructions"`
+	Profile      workload.Profile `json:"profile"`
+}
+
+// TimingKey returns the content-addressed key of the timing stage for one
+// profile.
+func TimingKey(cfg Config, prof workload.Profile) (string, error) {
+	return hashKey(timingStageInputs{
+		Machine:      cfg.Machine,
+		Instructions: cfg.Instructions,
+		Profile:      prof,
+	})
+}
+
+// thermalStageInputs are the fields the power+thermal stage reads on top
+// of the timing artifact: the power and thermal constants, the calibration
+// policy, the evaluated technology point, and the base (anchor) technology
+// — the latter because a scaled cell's sink-temperature target and
+// app-power scale are functions of the base cell, which these same inputs
+// determine. Config.RAMP deliberately does not appear.
+type thermalStageInputs struct {
+	TimingKey string             `json:"timing_key"`
+	Power     power.Params       `json:"power"`
+	Thermal   thermal.Params     `json:"thermal"`
+	Calibrate bool               `json:"calibrate_app_power"`
+	Base      scaling.Technology `json:"base"`
+	Tech      scaling.Technology `json:"tech"`
+}
+
+// ThermalKey returns the content-addressed key of the power+thermal stage
+// for one (profile × technology) cell.
+func ThermalKey(cfg Config, prof workload.Profile, tech scaling.Technology) (string, error) {
+	tk, err := TimingKey(cfg, prof)
+	if err != nil {
+		return "", err
+	}
+	return hashKey(thermalStageInputs{
+		TimingKey: tk,
+		Power:     cfg.Power,
+		Thermal:   cfg.Thermal,
+		Calibrate: cfg.CalibrateAppPower,
+		Base:      scaling.Base(),
+		Tech:      tech,
+	})
+}
+
+// fitStageInputs are the fields the reliability stage reads on top of the
+// thermal artifact: the RAMP failure-model constants and the
+// thermal-trace recording policy (it changes the assembled AppRun).
+// QualFITPerMechanism does not appear — qualification scales raw FIT at
+// study assembly and never reaches the per-cell artifacts.
+type fitStageInputs struct {
+	ThermalKey  string      `json:"thermal_key"`
+	RAMP        core.Params `json:"ramp"`
+	RecordTrace bool        `json:"record_thermal_trace"`
+}
+
+// FITKey returns the content-addressed key of the reliability stage for
+// one (profile × technology) cell.
+func FITKey(cfg Config, prof workload.Profile, tech scaling.Technology) (string, error) {
+	tk, err := ThermalKey(cfg, prof, tech)
+	if err != nil {
+		return "", err
+	}
+	return hashKey(fitStageInputs{
+		ThermalKey:  tk,
+		RAMP:        cfg.RAMP,
+		RecordTrace: cfg.RecordThermalTrace,
+	})
 }

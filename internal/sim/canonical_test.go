@@ -116,3 +116,102 @@ func TestStudyKeyStability(t *testing.T) {
 		t.Error("changing the technology set did not change the key")
 	}
 }
+
+// TestStageKeyInvalidation pins the stage-cache contract of the staged
+// pipeline: a reliability-only constant change (EM activation energy) must
+// leave the timing and thermal stage keys untouched — those artifacts are
+// reusable — while invalidating the reliability key and the whole-study
+// key; a trace-length change must invalidate every stage.
+func TestStageKeyInvalidation(t *testing.T) {
+	cfg := DefaultConfig()
+	prof := workload.Profiles()[0]
+	tech := scaling.Generations()[1]
+
+	keys := func(c Config) (timing, thermal, fit string) {
+		var err error
+		if timing, err = TimingKey(c, prof); err != nil {
+			t.Fatal(err)
+		}
+		if thermal, err = ThermalKey(c, prof, tech); err != nil {
+			t.Fatal(err)
+		}
+		if fit, err = FITKey(c, prof, tech); err != nil {
+			t.Fatal(err)
+		}
+		return timing, thermal, fit
+	}
+	baseTiming, baseThermal, baseFIT := keys(cfg)
+
+	// Reliability-only change: EM activation energy.
+	em := cfg
+	em.RAMP.EM.ActivationEnergyEV += 0.05
+	emTiming, emThermal, emFIT := keys(em)
+	if emTiming != baseTiming {
+		t.Errorf("EM constant change invalidated the timing key")
+	}
+	if emThermal != baseThermal {
+		t.Errorf("EM constant change invalidated the thermal key")
+	}
+	if emFIT == baseFIT {
+		t.Errorf("EM constant change did not invalidate the reliability key")
+	}
+	k0, err := StudyKey(cfg, []workload.Profile{prof}, scaling.Generations()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := StudyKey(em, []workload.Profile{prof}, scaling.Generations()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 == k1 {
+		t.Errorf("EM constant change did not invalidate the study key")
+	}
+
+	// Trace-length change: everything must move.
+	longer := cfg
+	longer.Instructions *= 2
+	lTiming, lThermal, lFIT := keys(longer)
+	if lTiming == baseTiming || lThermal == baseThermal || lFIT == baseFIT {
+		t.Errorf("trace-length change left a stage key unchanged: timing %v thermal %v fit %v",
+			lTiming == baseTiming, lThermal == baseThermal, lFIT == baseFIT)
+	}
+
+	// Qualification budget: applied at assembly, part of no per-cell stage.
+	qual := cfg
+	qual.QualFITPerMechanism *= 2
+	qTiming, qThermal, qFIT := keys(qual)
+	if qTiming != baseTiming || qThermal != baseThermal || qFIT != baseFIT {
+		t.Errorf("qualification budget leaked into a per-cell stage key")
+	}
+}
+
+// TestStageKeyTechSensitivity: the thermal and reliability keys are
+// per-cell, so a different technology point must produce different keys
+// while the shared timing key stays put.
+func TestStageKeyTechSensitivity(t *testing.T) {
+	cfg := DefaultConfig()
+	prof := workload.Profiles()[0]
+	gens := scaling.Generations()
+	th0, err := ThermalKey(cfg, prof, gens[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	th1, err := ThermalKey(cfg, prof, gens[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th0 == th1 {
+		t.Errorf("thermal key identical across technology points")
+	}
+	f0, err := FITKey(cfg, prof, gens[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := FITKey(cfg, prof, gens[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0 == f1 {
+		t.Errorf("reliability key identical across technology points")
+	}
+}

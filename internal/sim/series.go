@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/power"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/stats"
+	"github.com/ramp-sim/ramp/internal/thermal"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// ThermalInterval is one 1µs-granularity step of the transient thermal
+// run: everything the reliability stage needs to evaluate the instant
+// failure rates of that interval.
+type ThermalInterval struct {
+	// DurUS is the interval length in microseconds.
+	DurUS float64
+	// AF is the per-structure activity factor driving the interval.
+	AF [microarch.NumStructures]float64
+	// TempK is the per-structure temperature after the thermal step.
+	TempK [microarch.NumStructures]float64
+	// DieAvgTempK is the area-weighted die temperature of the interval.
+	DieAvgTempK float64
+}
+
+// ThermalSeries is the power+thermal stage artifact for one
+// (application × technology) cell: the full transient temperature series
+// plus every run-level aggregate that does not depend on the reliability
+// constants. It is deliberately independent of Config.RAMP — the
+// reliability stage consumes it, so changing a failure-model constant
+// re-runs only the cheap FIT accumulation, never the thermal transient.
+type ThermalSeries struct {
+	// App and Suite identify the workload; TechName names the technology
+	// point (scaling.ByName resolves it back).
+	App      string         `json:"app"`
+	Suite    workload.Suite `json:"suite"`
+	TechName string         `json:"tech"`
+	// IPC is the timing result.
+	IPC float64 `json:"ipc"`
+	// AppPowerScale is the per-application dynamic calibration factor the
+	// series was produced with (the solved factor for a calibrated base
+	// run).
+	AppPowerScale float64 `json:"app_power_scale"`
+	// Power and temperature aggregates, as defined on AppRun.
+	AvgDynamicW       float64                          `json:"avg_dynamic_w"`
+	AvgLeakageW       float64                          `json:"avg_leakage_w"`
+	SinkTempK         float64                          `json:"sink_temp_k"`
+	DieAvgTempK       float64                          `json:"die_avg_temp_k"`
+	AvgMaxStructTempK float64                          `json:"avg_max_struct_temp_k"`
+	MaxStructTempK    float64                          `json:"max_struct_temp_k"`
+	MaxDieAvgTempK    float64                          `json:"max_die_avg_temp_k"`
+	MaxAF             [microarch.NumStructures]float64 `json:"max_af"`
+	MaxTempK          [microarch.NumStructures]float64 `json:"max_temp_k"`
+	// Intervals is the transient series in time order.
+	Intervals []ThermalInterval `json:"intervals"`
+}
+
+// RunThermal is RunThermalContext without cancellation.
+func RunThermal(cfg Config, tr *ActivityTrace, tech scaling.Technology,
+	sinkTempTargetK, appPowerScale float64) (*ThermalSeries, error) {
+	return RunThermalContext(context.Background(), cfg, tr, tech, sinkTempTargetK, appPowerScale)
+}
+
+// RunThermalContext executes the power+thermal stage for one activity
+// trace at one technology point: the §4.3 two-pass methodology (steady
+// heat-sink initialisation, then the 1µs transient), producing the
+// temperature series the reliability stage consumes. The output depends on
+// Config.Machine/Power/Thermal and the inputs — not on Config.RAMP — which
+// is what makes the series reusable across reliability-constant sweeps.
+func RunThermalContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech scaling.Technology,
+	sinkTempTargetK, appPowerScale float64) (*ThermalSeries, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if tr == nil || len(tr.Timing.Samples) == 0 {
+		return nil, fmt.Errorf("sim: empty activity trace")
+	}
+	fp, err := floorplanFor(tech)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.NewModel(cfg.Power, tech, fp.Areas())
+	if err != nil {
+		return nil, err
+	}
+	if appPowerScale > 0 && appPowerScale != 1 {
+		if err := pm.SetAppScale(appPowerScale); err != nil {
+			return nil, err
+		}
+	} else {
+		appPowerScale = 1
+	}
+	net, err := thermal.NewNetwork(fp, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Pass 1 (§4.3): solve the average-power steady state, adjusting
+	// the sink resistance to the target sink temperature if requested.
+	steady, err := SolveOperatingPoint(pm, net, tr.Timing.AvgAF, sinkTempTargetK)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s @ %s: %w", tr.Profile.Name, tech.Name, err)
+	}
+
+	// ---- Pass 2: transient run over the activity samples at 1µs
+	// granularity, recording the interval series and the power/temperature
+	// statistics.
+	net.Init(steady)
+	ts := &ThermalSeries{
+		App:           tr.Profile.Name,
+		Suite:         tr.Profile.Suite,
+		TechName:      tech.Name,
+		IPC:           tr.Timing.IPC(),
+		AppPowerScale: appPowerScale,
+		Intervals:     make([]ThermalInterval, 0, len(tr.Timing.Samples)),
+	}
+	var twDyn, twLeak, twSink, twDieAvg, twMaxT stats.TimeWeighted
+	for i := range tr.Timing.Samples {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		s := &tr.Timing.Samples[i]
+		dur := float64(s.Cycles) / float64(cfg.Machine.CyclesPerMicrosecond()) // µs
+		if dur <= 0 {
+			continue
+		}
+		cur := net.Current()
+		dyn := pm.Dynamic(s.AF)
+		var blockP [microarch.NumStructures]float64
+		var dynSum, leakSum float64
+		for b := range blockP {
+			leak := pm.LeakageActive(microarch.StructureID(b), cur.Blocks[b], s.AF[b])
+			blockP[b] = dyn[b] + leak
+			dynSum += dyn[b]
+			leakSum += leak
+		}
+		net.Step(blockP[:], dur*1e-6)
+		cur = net.Current()
+		dieAvg := net.DieAverage(cur)
+		iv := ThermalInterval{DurUS: dur, AF: s.AF, DieAvgTempK: dieAvg}
+		copy(iv.TempK[:], cur.Blocks)
+		ts.Intervals = append(ts.Intervals, iv)
+
+		// Statistics: time-weighted averages with extrema.
+		maxT := cur.MaxBlock()
+		twDyn.Add(dynSum, dur)
+		twLeak.Add(leakSum, dur)
+		twSink.Add(cur.Sink, dur)
+		twDieAvg.Add(dieAvg, dur)
+		twMaxT.Add(maxT, dur)
+		for b := range blockP {
+			if s.AF[b] > ts.MaxAF[b] {
+				ts.MaxAF[b] = s.AF[b]
+			}
+			if cur.Blocks[b] > ts.MaxTempK[b] {
+				ts.MaxTempK[b] = cur.Blocks[b]
+			}
+		}
+	}
+	if twMaxT.TotalTime() == 0 {
+		return nil, fmt.Errorf("sim: %s @ %s: no evaluable intervals", tr.Profile.Name, tech.Name)
+	}
+	ts.AvgDynamicW = twDyn.Mean()
+	ts.AvgLeakageW = twLeak.Mean()
+	ts.SinkTempK = twSink.Mean()
+	ts.DieAvgTempK = twDieAvg.Mean()
+	ts.AvgMaxStructTempK = twMaxT.Mean()
+	ts.MaxStructTempK = twMaxT.Max()
+	ts.MaxDieAvgTempK = twDieAvg.Max()
+	return ts, nil
+}
+
+// AccumulateFIT is AccumulateFITContext without cancellation.
+func AccumulateFIT(cfg Config, ts *ThermalSeries, tech scaling.Technology) (AppRun, error) {
+	return AccumulateFITContext(context.Background(), cfg, ts, tech)
+}
+
+// AccumulateFITContext executes the reliability stage: it replays a
+// thermal series through the RAMP failure models (Config.RAMP with unit
+// proportionality constants) and assembles the complete AppRun. tech must
+// be the technology point the series was produced at. The stage is orders
+// of magnitude cheaper than the timing and thermal stages it consumes,
+// which is what makes reliability-constant sweeps nearly free on a warm
+// stage cache.
+func AccumulateFITContext(ctx context.Context, cfg Config, ts *ThermalSeries,
+	tech scaling.Technology) (AppRun, error) {
+	if err := cfg.Validate(); err != nil {
+		return AppRun{}, err
+	}
+	if ts == nil || len(ts.Intervals) == 0 {
+		return AppRun{}, fmt.Errorf("sim: empty thermal series")
+	}
+	if ts.TechName != tech.Name {
+		return AppRun{}, fmt.Errorf("sim: thermal series is for %s, not %s", ts.TechName, tech.Name)
+	}
+	fp, err := floorplanFor(tech)
+	if err != nil {
+		return AppRun{}, err
+	}
+	eval, err := core.NewEvaluator(cfg.RAMP, core.UnitConstants(), tech, fp.Areas())
+	if err != nil {
+		return AppRun{}, err
+	}
+	run := AppRun{
+		App:               ts.App,
+		Suite:             ts.Suite,
+		Tech:              tech,
+		IPC:               ts.IPC,
+		AppPowerScale:     ts.AppPowerScale,
+		AvgDynamicW:       ts.AvgDynamicW,
+		AvgLeakageW:       ts.AvgLeakageW,
+		AvgTotalW:         ts.AvgDynamicW + ts.AvgLeakageW,
+		SinkTempK:         ts.SinkTempK,
+		DieAvgTempK:       ts.DieAvgTempK,
+		AvgMaxStructTempK: ts.AvgMaxStructTempK,
+		MaxStructTempK:    ts.MaxStructTempK,
+		MaxDieAvgTempK:    ts.MaxDieAvgTempK,
+		MaxAF:             ts.MaxAF,
+		MaxTempK:          ts.MaxTempK,
+	}
+	for i := range ts.Intervals {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return AppRun{}, err
+			}
+		}
+		iv := &ts.Intervals[i]
+		fit := eval.Instant(iv.AF, iv.TempK, tech.VddV, iv.DieAvgTempK)
+		eval.Accumulate(fit, iv.DurUS)
+		if cfg.RecordThermalTrace {
+			maxT := iv.TempK[0]
+			for _, t := range iv.TempK[1:] {
+				if t > maxT {
+					maxT = t
+				}
+			}
+			run.TempTraceK = append(run.TempTraceK, maxT)
+		}
+	}
+	run.RawFIT = eval.Average()
+	return run, nil
+}

@@ -18,7 +18,6 @@ import (
 	"github.com/ramp-sim/ramp/internal/microarch"
 	"github.com/ramp-sim/ramp/internal/power"
 	"github.com/ramp-sim/ramp/internal/scaling"
-	"github.com/ramp-sim/ramp/internal/stats"
 	"github.com/ramp-sim/ramp/internal/thermal"
 	"github.com/ramp-sim/ramp/internal/trace"
 	"github.com/ramp-sim/ramp/internal/workload"
@@ -221,120 +220,19 @@ func EvaluateTech(cfg Config, tr *ActivityTrace, tech scaling.Technology,
 // evaluation is pure with respect to the trace (the trace is only read), so
 // any number of EvaluateTechContext calls may share one ActivityTrace
 // concurrently.
+//
+// Internally the evaluation runs as two explicitly keyed stages — the
+// power+thermal transient (RunThermalContext) followed by the reliability
+// accumulation (AccumulateFITContext). Composing them here is numerically
+// identical to the historical fused loop; the split exists so the stage
+// cache can reuse each half independently.
 func EvaluateTechContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech scaling.Technology,
 	sinkTempTargetK, appPowerScale float64) (AppRun, error) {
-	if err := cfg.Validate(); err != nil {
-		return AppRun{}, err
-	}
-	if err := ctx.Err(); err != nil {
-		return AppRun{}, err
-	}
-	if tr == nil || len(tr.Timing.Samples) == 0 {
-		return AppRun{}, fmt.Errorf("sim: empty activity trace")
-	}
-	fp, err := floorplan.POWER4().Scaled(tech.RelArea)
+	ts, err := RunThermalContext(ctx, cfg, tr, tech, sinkTempTargetK, appPowerScale)
 	if err != nil {
 		return AppRun{}, err
 	}
-	pm, err := power.NewModel(cfg.Power, tech, fp.Areas())
-	if err != nil {
-		return AppRun{}, err
-	}
-	if appPowerScale > 0 && appPowerScale != 1 {
-		if err := pm.SetAppScale(appPowerScale); err != nil {
-			return AppRun{}, err
-		}
-	} else {
-		appPowerScale = 1
-	}
-	net, err := thermal.NewNetwork(fp, cfg.Thermal)
-	if err != nil {
-		return AppRun{}, err
-	}
-	eval, err := core.NewEvaluator(cfg.RAMP, core.UnitConstants(), tech, fp.Areas())
-	if err != nil {
-		return AppRun{}, err
-	}
-
-	// ---- Pass 1 (§4.3): solve the average-power steady state, adjusting
-	// the sink resistance to the target sink temperature if requested.
-	steady, err := SolveOperatingPoint(pm, net, tr.Timing.AvgAF, sinkTempTargetK)
-	if err != nil {
-		return AppRun{}, fmt.Errorf("sim: %s @ %s: %w", tr.Profile.Name, tech.Name, err)
-	}
-
-	// ---- Pass 2: transient run over the activity samples at 1µs
-	// granularity, accumulating power, temperature, and FIT statistics.
-	net.Init(steady)
-	run := AppRun{
-		App:           tr.Profile.Name,
-		Suite:         tr.Profile.Suite,
-		Tech:          tech,
-		IPC:           tr.Timing.IPC(),
-		AppPowerScale: appPowerScale,
-	}
-	var twDyn, twLeak, twSink, twDieAvg, twMaxT stats.TimeWeighted
-	for i := range tr.Timing.Samples {
-		if i&255 == 0 {
-			if err := ctx.Err(); err != nil {
-				return AppRun{}, err
-			}
-		}
-		s := &tr.Timing.Samples[i]
-		dur := float64(s.Cycles) / float64(cfg.Machine.CyclesPerMicrosecond()) // µs
-		if dur <= 0 {
-			continue
-		}
-		cur := net.Current()
-		dyn := pm.Dynamic(s.AF)
-		var blockP [microarch.NumStructures]float64
-		var dynSum, leakSum float64
-		for b := range blockP {
-			leak := pm.LeakageActive(microarch.StructureID(b), cur.Blocks[b], s.AF[b])
-			blockP[b] = dyn[b] + leak
-			dynSum += dyn[b]
-			leakSum += leak
-		}
-		net.Step(blockP[:], dur*1e-6)
-		cur = net.Current()
-		dieAvg := net.DieAverage(cur)
-		var blockT [microarch.NumStructures]float64
-		copy(blockT[:], cur.Blocks)
-		fit := eval.Instant(s.AF, blockT, tech.VddV, dieAvg)
-		eval.Accumulate(fit, dur)
-
-		// Statistics: time-weighted averages with extrema.
-		maxT := cur.MaxBlock()
-		twDyn.Add(dynSum, dur)
-		twLeak.Add(leakSum, dur)
-		twSink.Add(cur.Sink, dur)
-		twDieAvg.Add(dieAvg, dur)
-		twMaxT.Add(maxT, dur)
-		if cfg.RecordThermalTrace {
-			run.TempTraceK = append(run.TempTraceK, maxT)
-		}
-		for b := range blockP {
-			if s.AF[b] > run.MaxAF[b] {
-				run.MaxAF[b] = s.AF[b]
-			}
-			if cur.Blocks[b] > run.MaxTempK[b] {
-				run.MaxTempK[b] = cur.Blocks[b]
-			}
-		}
-	}
-	if twMaxT.TotalTime() == 0 {
-		return AppRun{}, fmt.Errorf("sim: %s @ %s: no evaluable intervals", tr.Profile.Name, tech.Name)
-	}
-	run.AvgDynamicW = twDyn.Mean()
-	run.AvgLeakageW = twLeak.Mean()
-	run.AvgTotalW = run.AvgDynamicW + run.AvgLeakageW
-	run.SinkTempK = twSink.Mean()
-	run.DieAvgTempK = twDieAvg.Mean()
-	run.AvgMaxStructTempK = twMaxT.Mean()
-	run.MaxStructTempK = twMaxT.Max()
-	run.MaxDieAvgTempK = twDieAvg.Max()
-	run.RawFIT = eval.Average()
-	return run, nil
+	return AccumulateFITContext(ctx, cfg, ts, tech)
 }
 
 // floorplanFor returns the POWER4 floorplan scaled to a technology point.

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"context"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/store"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// StageCacheOptions bounds a StageCache.
+type StageCacheOptions struct {
+	// MaxEntries bounds each stage's in-memory LRU (default 256 per
+	// stage). Thermal artifacts are the largest — roughly 130 bytes per
+	// simulated microsecond per cell.
+	MaxEntries int
+	// Dir, when non-empty, spills encoded artifacts under it
+	// (Dir/timing, Dir/thermal, Dir/fit) so later processes start warm.
+	Dir string
+}
+
+// StageCache is the content-addressed artifact cache of the staged study
+// pipeline: one store per stage, keyed by TimingKey / ThermalKey / FITKey.
+// A nil *StageCache disables caching everywhere it is accepted.
+//
+// Consistency is structural: artifacts are only ever inserted complete
+// (a cancelled stage returns an error and stores nothing), and a key
+// change in any upstream input changes the downstream keys, so stale
+// reuse is impossible without hash collision.
+type StageCache struct {
+	timing  *store.Store[*ActivityTrace]
+	thermal *store.Store[*ThermalSeries]
+	fit     *store.Store[*AppRun]
+}
+
+// NewStageCache builds the three per-stage stores.
+func NewStageCache(opts StageCacheOptions) (*StageCache, error) {
+	so := store.Options{MaxEntries: opts.MaxEntries, Dir: opts.Dir}
+	timing, err := store.New("timing", so, store.JSONCodec[*ActivityTrace]())
+	if err != nil {
+		return nil, err
+	}
+	thermal, err := store.New("thermal", so, store.JSONCodec[*ThermalSeries]())
+	if err != nil {
+		return nil, err
+	}
+	fit, err := store.New("fit", so, store.JSONCodec[*AppRun]())
+	if err != nil {
+		return nil, err
+	}
+	return &StageCache{timing: timing, thermal: thermal, fit: fit}, nil
+}
+
+// StageCacheStats snapshots all three stores.
+type StageCacheStats struct {
+	Timing, Thermal, FIT store.Stats
+}
+
+// Stats returns a consistent-enough snapshot for observability (each
+// store is snapshotted atomically; the three reads are not mutually
+// atomic).
+func (c *StageCache) Stats() StageCacheStats {
+	return StageCacheStats{
+		Timing:  c.timing.Stats(),
+		Thermal: c.thermal.Stats(),
+		FIT:     c.fit.Stats(),
+	}
+}
+
+// Cell provenance labels reported through StudyOptions.OnApp: how a
+// completed (profile × technology) cell was produced.
+const (
+	// CellFromFITCache means the finished AppRun was served whole.
+	CellFromFITCache = "fit-cache"
+	// CellFromThermalCache means the thermal series was reused and only
+	// the reliability stage ran.
+	CellFromThermalCache = "thermal-cache"
+	// CellComputed means the thermal (and possibly timing) stage ran.
+	CellComputed = "computed"
+)
+
+// RunTimingCachedContext is RunTimingContext through a stage cache: a hit
+// on the profile's timing key skips the simulation entirely. cache may be
+// nil.
+func RunTimingCachedContext(ctx context.Context, cfg Config, prof workload.Profile,
+	cache *StageCache) (*ActivityTrace, error) {
+	if cache == nil {
+		return RunTimingContext(ctx, cfg, prof)
+	}
+	key, err := TimingKey(cfg, prof)
+	if err != nil {
+		return nil, err
+	}
+	if tr, ok := cache.timing.Get(key); ok {
+		return tr, nil
+	}
+	tr, err := RunTimingContext(ctx, cfg, prof)
+	if err != nil {
+		return nil, err
+	}
+	cache.timing.Put(key, tr)
+	return tr, nil
+}
+
+// cellKeys derives both per-cell keys once.
+func cellKeys(cfg Config, prof workload.Profile, tech scaling.Technology) (thermalKey, fitKey string, err error) {
+	thermalKey, err = ThermalKey(cfg, prof, tech)
+	if err != nil {
+		return "", "", err
+	}
+	fitKey, err = hashKey(fitStageInputs{
+		ThermalKey:  thermalKey,
+		RAMP:        cfg.RAMP,
+		RecordTrace: cfg.RecordThermalTrace,
+	})
+	return thermalKey, fitKey, err
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+func testStageCache(t *testing.T) *StageCache {
+	t.Helper()
+	cache, err := NewStageCache(StageCacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cache
+}
+
+// TestStudyCachedMatchesUncached: running through a stage cache must be
+// invisible in the numbers — cold-cache, warm-cache, and cacheless runs of
+// the same study are deeply equal.
+func TestStudyCachedMatchesUncached(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 60_000
+	profiles := testProfiles(t)[:2]
+	techs := scaling.Generations()[:3]
+	ctx := context.Background()
+
+	plain, err := RunStudyContext(ctx, cfg, profiles, techs, StudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := testStageCache(t)
+	cold, err := RunStudyContext(ctx, cfg, profiles, techs, StudyOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunStudyContext(ctx, cfg, profiles, techs, StudyOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cold) {
+		t.Errorf("cold-cache study differs from cacheless study")
+	}
+	if !reflect.DeepEqual(plain, warm) {
+		t.Errorf("warm-cache study differs from cacheless study")
+	}
+	st := cache.Stats()
+	if st.FIT.MemHits == 0 {
+		t.Errorf("warm rerun hit no finished-cell artifacts: %+v", st.FIT)
+	}
+}
+
+// TestStudyWarmReliabilityChange is the incremental-study contract end to
+// end: after a cold run, changing only a reliability constant must (a)
+// produce numbers identical to a cold run of the changed config, (b) reuse
+// every thermal series (no new thermal puts), and (c) never re-run the
+// timing stage (no new timing puts).
+func TestStudyWarmReliabilityChange(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 60_000
+	profiles := testProfiles(t)[:2]
+	techs := scaling.Generations()[:3]
+	ctx := context.Background()
+
+	cache := testStageCache(t)
+	if _, err := RunStudyContext(ctx, cfg, profiles, techs, StudyOptions{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Stats()
+
+	changed := cfg
+	changed.RAMP.EM.ActivationEnergyEV += 0.05
+
+	var sources sync.Map
+	warm, err := RunStudyContext(ctx, changed, profiles, techs, StudyOptions{
+		Cache: cache,
+		OnApp: func(ev AppEvent) {
+			sources.Store(ev.Run.App+"@"+ev.Run.Tech.Name, ev.Source)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := RunStudyContext(ctx, changed, profiles, techs, StudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reference, warm) {
+		t.Errorf("warm run after reliability change differs from cold run of the changed config")
+	}
+
+	after := cache.Stats()
+	if after.Timing.Puts != before.Timing.Puts {
+		t.Errorf("reliability-only change re-ran the timing stage: %d -> %d puts",
+			before.Timing.Puts, after.Timing.Puts)
+	}
+	if after.Thermal.Puts != before.Thermal.Puts {
+		t.Errorf("reliability-only change re-ran the thermal stage: %d -> %d puts",
+			before.Thermal.Puts, after.Thermal.Puts)
+	}
+	sources.Range(func(cell, src any) bool {
+		if src != CellFromThermalCache {
+			t.Errorf("cell %v source = %v, want %v", cell, src, CellFromThermalCache)
+		}
+		return true
+	})
+}
+
+// TestStudyCancelledLeavesCacheConsistent cancels a study mid-grid (from
+// the first completed-cell callback) and then requires that (a) the
+// cancelled run reported ctx.Err(), (b) the cache only holds complete,
+// reusable artifacts — proven by a follow-up run through the same cache
+// matching a cacheless reference exactly.
+func TestStudyCancelledLeavesCacheConsistent(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 60_000
+	profiles := testProfiles(t)[:2]
+	techs := scaling.Generations()[:3]
+
+	cache := testStageCache(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	_, err := RunStudyContext(ctx, cfg, profiles, techs, StudyOptions{
+		Parallelism: 2,
+		Cache:       cache,
+		OnApp: func(AppEvent) {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled study returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled study returned %v, want context.Canceled", err)
+	}
+
+	resumed, err := RunStudyContext(context.Background(), cfg, profiles, techs,
+		StudyOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := RunStudyContext(context.Background(), cfg, profiles, techs, StudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reference, resumed) {
+		t.Errorf("run resumed from a cancelled study's cache differs from a clean run")
+	}
+}
+
+// TestStudyAppEventsCoverGrid: a full study must emit exactly one OnApp
+// event per (profile × technology) cell with a monotonically consistent
+// done counter and the advertised total.
+func TestStudyAppEventsCoverGrid(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 50_000
+	profiles := testProfiles(t)[:2]
+	techs := scaling.Generations()[:2]
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var events []AppEvent
+	_, err := RunStudyContext(context.Background(), cfg, profiles, techs, StudyOptions{
+		OnApp: func(ev AppEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			seen[ev.Run.App+"@"+ev.Run.Tech.Name]++
+			events = append(events, ev)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(profiles) * len(techs)
+	if len(events) != want {
+		t.Fatalf("got %d app events, want %d", len(events), want)
+	}
+	for cell, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %s emitted %d times", cell, n)
+		}
+	}
+	for _, ev := range events {
+		if ev.CellsTotal != want {
+			t.Errorf("event advertises total %d, want %d", ev.CellsTotal, want)
+		}
+		if ev.CellsDone < 1 || ev.CellsDone > want {
+			t.Errorf("event done counter %d out of range [1,%d]", ev.CellsDone, want)
+		}
+		if ev.Source != CellComputed {
+			t.Errorf("cold-cacheless run reported source %q, want %q", ev.Source, CellComputed)
+		}
+	}
+}
+
+// TestRunTimingCachedContext: a second lookup must be served from the
+// cache (same pointer), and a nil cache must degrade to a plain run.
+func TestRunTimingCachedContext(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 50_000
+	prof := testProfiles(t)[0]
+	ctx := context.Background()
+
+	cache := testStageCache(t)
+	first, err := RunTimingCachedContext(ctx, cfg, prof, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunTimingCachedContext(ctx, cfg, prof, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("second timing lookup was not served from the cache")
+	}
+	plain, err := RunTimingCachedContext(ctx, cfg, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == nil || len(plain.Timing.Samples) == 0 {
+		t.Errorf("nil-cache timing run produced no samples")
+	}
+}
+
+// TestStageCacheDiskWarmStart: a fresh StageCache over the same spill
+// directory must serve a study without re-running the timing stage.
+func TestStageCacheDiskWarmStart(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 50_000
+	profiles := testProfiles(t)[:1]
+	techs := scaling.Generations()[:2]
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold, err := NewStageCache(StageCacheOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := RunStudyContext(ctx, cfg, profiles, techs, StudyOptions{Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := NewStageCache(StageCacheOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunStudyContext(ctx, cfg, profiles, techs, StudyOptions{Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("disk-warmed study differs from the run that wrote the spill")
+	}
+	st := warm.Stats()
+	if st.Timing.Puts != 0 {
+		t.Errorf("disk-warmed run re-ran the timing stage (%d puts)", st.Timing.Puts)
+	}
+	if st.FIT.DiskHits == 0 {
+		t.Errorf("disk-warmed run read no spilled cells: %+v", st.FIT)
+	}
+}
+
+// TestEvaluateTechSplitIdentity: composing the two stages explicitly must
+// equal EvaluateTechContext bit for bit — the staged pipeline is a pure
+// refactoring of the historical fused loop.
+func TestEvaluateTechSplitIdentity(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 50_000
+	prof := testProfiles(t)[0]
+	tech := scaling.Generations()[1]
+	ctx := context.Background()
+
+	tr, err := RunTimingContext(ctx, cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := EvaluateTechContext(ctx, cfg, tr, tech, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := RunThermalContext(ctx, cfg, tr, tech, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := AccumulateFITContext(ctx, cfg, ts, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fused, staged) {
+		t.Errorf("staged evaluation differs from fused evaluation")
+	}
+	if _, err := AccumulateFITContext(ctx, cfg, ts, scaling.Base()); err == nil {
+		t.Errorf("accumulating a thermal series at the wrong technology succeeded")
+	}
+}
+
+// TestStageCacheSharedAcrossProfiles ensures per-profile keys do not
+// collide: two different profiles through one cache stay distinct.
+func TestStageCacheSharedAcrossProfiles(t *testing.T) {
+	cfg := testConfig()
+	cfg.Instructions = 50_000
+	profs := testProfiles(t)[:2]
+	ctx := context.Background()
+	cache := testStageCache(t)
+
+	a, err := RunTimingCachedContext(ctx, cfg, profs[0], cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTimingCachedContext(ctx, cfg, profs[1], cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Profile.Name == b.Profile.Name {
+		t.Fatalf("test needs two distinct profiles")
+	}
+	if a == b {
+		t.Errorf("distinct profiles shared one cached trace")
+	}
+}

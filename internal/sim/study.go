@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/microarch"
@@ -85,7 +87,8 @@ const (
 )
 
 // StudyOptions tunes the execution of a study without affecting its
-// numerics: any parallelism produces bit-identical results.
+// numerics: any parallelism — and any stage-cache state — produces
+// bit-identical results.
 type StudyOptions struct {
 	// Parallelism bounds the number of concurrently evaluated tasks;
 	// values < 1 default to runtime.GOMAXPROCS(0).
@@ -98,6 +101,34 @@ type StudyOptions struct {
 	// shared *sched.Counters lets a long-lived observer (rampd's /metrics)
 	// track queue depth and in-flight tasks across concurrent studies.
 	Metrics sched.Recorder
+	// Cache, when non-nil, memoises the study's stages content-addressed:
+	// timing per profile, thermal series per (profile × technology), and
+	// finished AppRuns per (profile × technology × reliability
+	// constants). A warm cache turns a sweep that changes only downstream
+	// inputs into a replay of the cheap stages; a cancelled study leaves
+	// only complete, reusable artifacts behind.
+	Cache *StageCache
+	// OnApp, when non-nil, receives each completed (profile × technology)
+	// cell the moment it lands, long before the whole grid finishes —
+	// the streaming hook behind Runner.StreamStudy and rampd's
+	// /v1/study/stream. It is called from worker goroutines and must be
+	// safe for concurrent use.
+	OnApp func(AppEvent)
+}
+
+// AppEvent is one completed (profile × technology) cell of a running
+// study, delivered through StudyOptions.OnApp as the grid fills in.
+type AppEvent struct {
+	// Run is the completed cell. Run.RawFIT is uncalibrated: the
+	// qualification constants are only known once every base cell has
+	// finished, so streaming consumers receive raw breakdowns and apply
+	// the Constants from the final StudyResult (or ReferenceConstants).
+	Run AppRun
+	// Source is the cell's provenance: CellFromFITCache,
+	// CellFromThermalCache, or CellComputed.
+	Source string
+	// CellsDone and CellsTotal count completed and scheduled cells.
+	CellsDone, CellsTotal int
 }
 
 // RunStudy executes the complete study: timing for every profile,
@@ -136,12 +167,21 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 	// Task results land in index-addressed slots, so the assembled result
 	// is identical for every parallelism level and scheduling order.
 	n := len(profiles)
-	traces := make([]*ActivityTrace, n)
-	baseRuns := make([]AppRun, n)
-	scales := make([]float64, n)
-	scaled := make([][]AppRun, len(techs)) // scaled[ti][i], ti >= 1
+	s := &studyRun{
+		cfg:        cfg,
+		profiles:   profiles,
+		techs:      techs,
+		cache:      opts.Cache,
+		onApp:      opts.OnApp,
+		cellsTotal: n * len(techs),
+		traces:     make([]*ActivityTrace, n),
+		traceMu:    make([]sync.Mutex, n),
+		baseRuns:   make([]AppRun, n),
+		scales:     make([]float64, n),
+		scaled:     make([][]AppRun, len(techs)), // scaled[ti][i], ti >= 1
+	}
 	for ti := 1; ti < len(techs); ti++ {
-		scaled[ti] = make([]AppRun, n)
+		s.scaled[ti] = make([]AppRun, n)
 	}
 	worst := make([]WorstCase, len(techs))
 	var consts core.Constants
@@ -163,12 +203,14 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 			ID:    timingID(i),
 			Stage: StageTiming,
 			Run: func(ctx context.Context) error {
-				tr, err := RunTimingContext(ctx, cfg, profiles[i])
-				if err != nil {
-					return fmt.Errorf("sim: timing %s: %w", profiles[i].Name, err)
+				// With a warm stage cache a profile whose every cell is
+				// resolvable from downstream artifacts never needs its
+				// trace — the most expensive stage is skipped outright.
+				if s.cache != nil && !s.profileNeedsTrace(i) {
+					return nil
 				}
-				traces[i] = tr
-				return nil
+				_, err := s.ensureTrace(ctx, i)
+				return err
 			},
 		})
 		g.MustAdd(sched.Task{
@@ -176,11 +218,12 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 			Stage: StageBase,
 			Deps:  []string{timingID(i)},
 			Run: func(ctx context.Context) error {
-				run, scale, err := evaluateBase(ctx, cfg, traces[i], profiles[i])
+				run, src, err := s.cellBase(ctx, i)
 				if err != nil {
 					return fmt.Errorf("sim: base eval %s: %w", profiles[i].Name, err)
 				}
-				baseRuns[i], scales[i] = run, scale
+				s.baseRuns[i], s.scales[i] = run, run.AppPowerScale
+				s.emit(run, src)
 				return nil
 			},
 		})
@@ -192,12 +235,12 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 				Stage: StageScaled,
 				Deps:  []string{baseIDs[i]},
 				Run: func(ctx context.Context) error {
-					run, err := EvaluateTechContext(ctx, cfg, traces[i], tech,
-						baseRuns[i].SinkTempK, scales[i])
+					run, src, err := s.cellScaled(ctx, i, ti)
 					if err != nil {
 						return fmt.Errorf("sim: %s @ %s: %w", profiles[i].Name, tech.Name, err)
 					}
-					scaled[ti][i] = run
+					s.scaled[ti][i] = run
+					s.emit(run, src)
 					return nil
 				},
 			})
@@ -213,8 +256,8 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 		Deps:  baseIDs,
 		Run: func(ctx context.Context) error {
 			var rawAvg [core.NumMechanisms]float64
-			for i := range baseRuns {
-				mech := baseRuns[i].RawFIT.ByMechanism()
+			for i := range s.baseRuns {
+				mech := s.baseRuns[i].RawFIT.ByMechanism()
 				for m := range rawAvg {
 					rawAvg[m] += mech[m] / float64(n)
 				}
@@ -243,9 +286,9 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 			Stage: StageWorst,
 			Deps:  deps,
 			Run: func(ctx context.Context) error {
-				runs := baseRuns
+				runs := s.baseRuns
 				if ti > 0 {
-					runs = scaled[ti]
+					runs = s.scaled[ti]
 				}
 				wc, err := worstCaseFor(cfg, runs, tech)
 				if err != nil {
@@ -272,11 +315,146 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 		Apps:      make([]AppRun, 0, n*len(techs)),
 		Worst:     worst,
 	}
-	result.Apps = append(result.Apps, baseRuns...)
+	result.Apps = append(result.Apps, s.baseRuns...)
 	for ti := 1; ti < len(techs); ti++ {
-		result.Apps = append(result.Apps, scaled[ti]...)
+		result.Apps = append(result.Apps, s.scaled[ti]...)
 	}
 	return result, nil
+}
+
+// studyRun is the shared mutable state of one executing study: the
+// index-addressed result slots the tasks write into, plus the stage-cache
+// plumbing and the streaming hook.
+type studyRun struct {
+	cfg      Config
+	profiles []workload.Profile
+	techs    []scaling.Technology
+	cache    *StageCache
+	onApp    func(AppEvent)
+
+	traces  []*ActivityTrace
+	traceMu []sync.Mutex // per-profile: serialises lazy trace materialisation
+
+	baseRuns []AppRun
+	scales   []float64
+	scaled   [][]AppRun // scaled[ti][i], ti >= 1
+
+	cellsDone  atomic.Int64
+	cellsTotal int
+}
+
+// emit delivers one finished cell to the streaming hook.
+func (s *studyRun) emit(run AppRun, src string) {
+	done := int(s.cellsDone.Add(1))
+	if s.onApp != nil {
+		s.onApp(AppEvent{Run: run, Source: src, CellsDone: done, CellsTotal: s.cellsTotal})
+	}
+}
+
+// ensureTrace returns profile i's activity trace, materialising it at
+// most once per study (through the stage cache when one is configured).
+// Cell tasks call it lazily, so a cache eviction between planning and
+// execution degrades to recomputation, never to an error.
+func (s *studyRun) ensureTrace(ctx context.Context, i int) (*ActivityTrace, error) {
+	s.traceMu[i].Lock()
+	defer s.traceMu[i].Unlock()
+	if s.traces[i] != nil {
+		return s.traces[i], nil
+	}
+	tr, err := RunTimingCachedContext(ctx, s.cfg, s.profiles[i], s.cache)
+	if err != nil {
+		return nil, fmt.Errorf("sim: timing %s: %w", s.profiles[i].Name, err)
+	}
+	s.traces[i] = tr
+	return tr, nil
+}
+
+// profileNeedsTrace reports whether any cell of profile i will need the
+// activity trace: a cell is trace-free when its finished AppRun or its
+// thermal series is already cached. Contains is advisory (an entry can be
+// evicted before use); ensureTrace covers the race.
+func (s *studyRun) profileNeedsTrace(i int) bool {
+	for ti := range s.techs {
+		thermalKey, fitKey, err := cellKeys(s.cfg, s.profiles[i], s.techs[ti])
+		if err != nil {
+			return true // surface the key error on the cell path
+		}
+		if !s.cache.fit.Contains(fitKey) && !s.cache.thermal.Contains(thermalKey) {
+			return true
+		}
+	}
+	return false
+}
+
+// cellBase produces profile i's base-technology cell: served from the FIT
+// cache, replayed from a cached thermal series, or computed (with the
+// per-application power calibration of §4.4) — in that order of
+// preference. The returned provenance label feeds AppEvent.Source.
+func (s *studyRun) cellBase(ctx context.Context, i int) (AppRun, string, error) {
+	base := s.techs[0]
+	run, src, err := s.cellCached(ctx, i, base, func(ctx context.Context) (*ThermalSeries, error) {
+		tr, err := s.ensureTrace(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		return evaluateBaseThermal(ctx, s.cfg, tr, s.profiles[i])
+	})
+	return run, src, err
+}
+
+// cellScaled produces the (profile i × technology ti) cell, holding the
+// heat-sink temperature at the profile's base-technology value (§4.3).
+func (s *studyRun) cellScaled(ctx context.Context, i, ti int) (AppRun, string, error) {
+	tech := s.techs[ti]
+	return s.cellCached(ctx, i, tech, func(ctx context.Context) (*ThermalSeries, error) {
+		tr, err := s.ensureTrace(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		return RunThermalContext(ctx, s.cfg, tr, tech, s.baseRuns[i].SinkTempK, s.scales[i])
+	})
+}
+
+// cellCached implements the per-cell stage waterfall: FIT cache → thermal
+// cache + reliability replay → full computation via produce. Artifacts are
+// inserted only when complete, so a cancelled cell leaves the cache
+// exactly as it found it.
+func (s *studyRun) cellCached(ctx context.Context, i int, tech scaling.Technology,
+	produce func(context.Context) (*ThermalSeries, error)) (AppRun, string, error) {
+	var thermalKey, fitKey string
+	if s.cache != nil {
+		var err error
+		thermalKey, fitKey, err = cellKeys(s.cfg, s.profiles[i], tech)
+		if err != nil {
+			return AppRun{}, "", err
+		}
+		if run, ok := s.cache.fit.Get(fitKey); ok {
+			return *run, CellFromFITCache, nil
+		}
+		if ts, ok := s.cache.thermal.Get(thermalKey); ok {
+			run, err := AccumulateFITContext(ctx, s.cfg, ts, tech)
+			if err != nil {
+				return AppRun{}, "", err
+			}
+			s.cache.fit.Put(fitKey, &run)
+			return run, CellFromThermalCache, nil
+		}
+	}
+	ts, err := produce(ctx)
+	if err != nil {
+		return AppRun{}, "", err
+	}
+	if s.cache != nil {
+		s.cache.thermal.Put(thermalKey, ts)
+	}
+	run, err := AccumulateFITContext(ctx, s.cfg, ts, tech)
+	if err != nil {
+		return AppRun{}, "", err
+	}
+	if s.cache != nil {
+		s.cache.fit.Put(fitKey, &run)
+	}
+	return run, CellComputed, nil
 }
 
 // RunTimings executes the timing stage for several profiles on a bounded
@@ -302,31 +480,34 @@ func RunTimings(ctx context.Context, cfg Config, profiles []workload.Profile,
 	return out, nil
 }
 
-// evaluateBase runs one profile's base-technology evaluation, solving the
-// per-application dynamic-power factor toward the Table 3 target when
-// configured (two refinement passes, letting leakage re-settle each time).
-func evaluateBase(ctx context.Context, cfg Config, tr *ActivityTrace,
-	prof workload.Profile) (AppRun, float64, error) {
+// evaluateBaseThermal runs one profile's base-technology thermal stage,
+// solving the per-application dynamic-power factor toward the Table 3
+// target when configured (two refinement passes, letting leakage
+// re-settle each time). Calibration needs only the power aggregates, so
+// the refinement passes skip the reliability stage entirely; the returned
+// series records the solved factor in AppPowerScale.
+func evaluateBaseThermal(ctx context.Context, cfg Config, tr *ActivityTrace,
+	prof workload.Profile) (*ThermalSeries, error) {
 	base := scaling.Base()
 	scale := 1.0
-	run, err := EvaluateTechContext(ctx, cfg, tr, base, 0, scale)
+	ts, err := RunThermalContext(ctx, cfg, tr, base, 0, scale)
 	if err != nil {
-		return AppRun{}, 0, err
+		return nil, err
 	}
 	if cfg.CalibrateAppPower && prof.TargetPowerW > 0 {
 		for pass := 0; pass < 2; pass++ {
-			want := prof.TargetPowerW - run.AvgLeakageW
-			if want <= 0 || run.AvgDynamicW <= 0 {
+			want := prof.TargetPowerW - ts.AvgLeakageW
+			if want <= 0 || ts.AvgDynamicW <= 0 {
 				break
 			}
-			scale *= want / run.AvgDynamicW
-			run, err = EvaluateTechContext(ctx, cfg, tr, base, 0, scale)
+			scale *= want / ts.AvgDynamicW
+			ts, err = RunThermalContext(ctx, cfg, tr, base, 0, scale)
 			if err != nil {
-				return AppRun{}, 0, err
+				return nil, err
 			}
 		}
 	}
-	return run, scale, nil
+	return ts, nil
 }
 
 // worstCaseFor evaluates the steady worst-case operating point over a set

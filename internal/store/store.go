@@ -1,0 +1,270 @@
+// Package store is a content-addressed artifact cache for the staged
+// simulation pipeline. Artifacts are keyed by the hex SHA-256 of the
+// canonical encoding of everything that produced them (internal/sim's
+// per-stage keys), so a hit is — by construction — the exact output of the
+// requested computation and no validation beyond the key is needed.
+//
+// A Store keeps decoded artifacts in a bounded in-memory LRU and can
+// optionally spill the encoded form to a directory, so a cold process (or
+// a CLI run) restarts with a warm cache. Disk I/O failures degrade to
+// cache misses: the store never fails a lookup or an insert because the
+// spill tier is unhealthy, it only counts the error.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Options bounds a Store.
+type Options struct {
+	// MaxEntries bounds the in-memory LRU (default 256, minimum 1).
+	MaxEntries int
+	// Dir, when non-empty, enables the disk spill tier rooted there. Each
+	// store writes under Dir/<name>/. The directory is created on demand.
+	Dir string
+}
+
+// Codec serialises artifacts for the disk tier.
+type Codec[T any] struct {
+	Encode func(T) ([]byte, error)
+	Decode func([]byte) (T, error)
+}
+
+// JSONCodec returns the default JSON artifact codec.
+func JSONCodec[T any]() Codec[T] {
+	return Codec[T]{
+		Encode: func(v T) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(b []byte) (T, error) {
+			var v T
+			err := json.Unmarshal(b, &v)
+			return v, err
+		},
+	}
+}
+
+// Stats is a consistent snapshot of a store's counters. MemHits and
+// DiskHits partition successful lookups; a disk hit re-admits the decoded
+// artifact to the memory tier.
+type Stats struct {
+	Entries                     int
+	MemHits, DiskHits, Misses   int64
+	Puts, Evicted, DiskFailures int64
+}
+
+// Store is one artifact kind's cache. Create with New; the zero value is
+// not usable. All methods are safe for concurrent use.
+//
+// Values are shared between the cache and its callers: treat artifacts as
+// immutable after Put.
+type Store[T any] struct {
+	mu    sync.Mutex
+	name  string
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	dir   string // "" = memory only
+	codec Codec[T]
+	stats Stats
+}
+
+// entry is one resident artifact.
+type entry[T any] struct {
+	key string
+	val T
+}
+
+// New returns a store named name (its subdirectory under Options.Dir).
+// codec may be zero-valued when no spill directory is configured.
+func New[T any](name string, opts Options, codec Codec[T]) (*Store[T], error) {
+	if name == "" {
+		return nil, fmt.Errorf("store: empty store name")
+	}
+	max := opts.MaxEntries
+	if max <= 0 {
+		max = 256
+	}
+	s := &Store[T]{
+		name:  name,
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		codec: codec,
+	}
+	if opts.Dir != "" {
+		if codec.Encode == nil || codec.Decode == nil {
+			return nil, fmt.Errorf("store %s: disk spill requires a codec", name)
+		}
+		dir := filepath.Join(opts.Dir, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store %s: %w", name, err)
+		}
+		s.dir = dir
+	}
+	return s, nil
+}
+
+// validKey rejects keys that could escape the spill directory; stage keys
+// are hex SHA-256 digests, so anything else indicates a caller bug.
+func validKey(key string) bool {
+	if len(key) < 16 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the artifact for key, consulting the memory tier then the
+// disk tier. A disk hit decodes the artifact and promotes it to memory.
+func (s *Store[T]) Get(key string) (T, bool) {
+	var zero T
+	if !validKey(key) {
+		return zero, false
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.MemHits++
+		v := el.Value.(*entry[T]).val
+		s.mu.Unlock()
+		return v, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir != "" {
+		// Disk read outside the lock: decoding can be slow and must not
+		// serialise unrelated lookups.
+		if b, err := os.ReadFile(s.path(key)); err == nil {
+			if v, err := s.codec.Decode(b); err == nil {
+				s.mu.Lock()
+				s.stats.DiskHits++
+				s.admitLocked(key, v)
+				s.mu.Unlock()
+				return v, true
+			}
+			s.noteDiskFailure()
+		}
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	return zero, false
+}
+
+// Contains reports whether key is resident in memory or present on disk,
+// without decoding or promoting anything and without touching the hit/miss
+// counters. Planning code uses it to decide whether an upstream stage can
+// be skipped; because an entry can be evicted between Contains and Get,
+// callers must still handle a subsequent miss.
+func (s *Store[T]) Contains(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	s.mu.Lock()
+	_, ok := s.items[key]
+	dir := s.dir
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Put stores the artifact under key in the memory tier and, when spill is
+// configured, writes the encoded form to disk (atomically, via a temp file
+// rename). Re-putting an existing key refreshes its LRU position.
+func (s *Store[T]) Put(key string, v T) {
+	if !validKey(key) {
+		return
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.admitLocked(key, v)
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir == "" {
+		return
+	}
+	b, err := s.codec.Encode(v)
+	if err != nil {
+		s.noteDiskFailure()
+		return
+	}
+	path := s.path(key)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+key[:8]+"-*")
+	if err != nil {
+		s.noteDiskFailure()
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.noteDiskFailure()
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		s.noteDiskFailure()
+	}
+}
+
+// admitLocked inserts or refreshes a memory-tier entry; caller holds s.mu.
+func (s *Store[T]) admitLocked(key string, v T) {
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry[T]).val = v
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry[T]{key: key, val: v})
+	for s.ll.Len() > s.max {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			break
+		}
+		delete(s.items, oldest.Value.(*entry[T]).key)
+		s.ll.Remove(oldest)
+		s.stats.Evicted++
+	}
+}
+
+// path maps a key to its spill file.
+func (s *Store[T]) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+func (s *Store[T]) noteDiskFailure() {
+	s.mu.Lock()
+	s.stats.DiskFailures++
+	s.mu.Unlock()
+}
+
+// Len returns the memory-tier entry count.
+func (s *Store[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store[T]) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	return st
+}

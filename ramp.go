@@ -17,13 +17,20 @@
 //
 // # Quickstart
 //
-//	cfg := ramp.DefaultConfig()
-//	res, err := ramp.RunStudy(cfg, ramp.Profiles(), ramp.Technologies())
+//	runner, err := ramp.New()
+//	if err != nil { ... }
+//	res, err := runner.Study(context.Background(), ramp.DefaultConfig(),
+//		ramp.Profiles(), ramp.Technologies())
 //	if err != nil { ... }
 //	for ti := range res.Techs {
 //		fmt.Printf("%s: avg FIT %.0f\n", res.Techs[ti].Name,
 //			res.SuiteAverageFIT(ti, 0))
 //	}
+//
+// A Runner fixes the execution policy once — parallelism, progress,
+// metrics, and the content-addressed stage cache that makes repeated
+// studies incremental (ramp.WithCache) — and its StreamStudy method
+// yields per-cell results while the study is still running.
 //
 // See the examples directory for complete programs, and DESIGN.md for the
 // system inventory and the experiment index.
@@ -228,6 +235,10 @@ func ReferenceConstants() Constants { return core.ReferenceConstants() }
 // profile, reliability qualification at 180nm, evaluation at every
 // technology point, and the worst-case analysis. The first technology must
 // be 180nm.
+//
+// Deprecated: use ramp.New followed by Runner.Study, which adds
+// cancellation, an execution policy, and stage caching. RunStudy remains a
+// thin, supported wrapper.
 func RunStudy(cfg Config, profiles []Profile, techs []Technology) (*StudyResult, error) {
 	return sim.RunStudy(cfg, profiles, techs)
 }
@@ -237,6 +248,11 @@ func RunStudy(cfg Config, profiles []Profile, techs []Technology) (*StudyResult,
 // timing(profile) → base(profile) → scaled(profile, tech) — so each
 // profile's scaled evaluations start as soon as its own base calibration
 // finishes. Results are bit-identical at every parallelism level.
+//
+// Deprecated: use ramp.New with WithParallelism/WithProgress/WithMetrics/
+// WithCache followed by Runner.Study; StudyOptions is the internal
+// carrier of the same knobs. RunStudyContext remains a thin, supported
+// wrapper.
 func RunStudyContext(ctx context.Context, cfg Config, profiles []Profile,
 	techs []Technology, opts StudyOptions) (*StudyResult, error) {
 	return sim.RunStudyContext(ctx, cfg, profiles, techs, opts)

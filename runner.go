@@ -1,0 +1,225 @@
+package ramp
+
+import (
+	"context"
+
+	"github.com/ramp-sim/ramp/internal/sched"
+	"github.com/ramp-sim/ramp/internal/sim"
+)
+
+// Staged-execution facade types.
+type (
+	// CacheOptions bounds a Runner's stage cache (in-memory LRU size per
+	// stage plus an optional disk-spill directory).
+	CacheOptions = sim.StageCacheOptions
+	// StageCacheStats snapshots the three per-stage stores of a stage
+	// cache (timing, thermal, reliability).
+	StageCacheStats = sim.StageCacheStats
+	// AppEvent is one completed (application × technology) cell of a
+	// running study, delivered while the grid is still filling in.
+	AppEvent = sim.AppEvent
+	// MetricsRecorder observes scheduler lifecycle events (queue depth,
+	// in-flight tasks) across the studies a Runner executes.
+	MetricsRecorder = sched.Recorder
+	// MetricsCounters is the standard atomic MetricsRecorder; share one
+	// across Runners to aggregate.
+	MetricsCounters = sched.Counters
+)
+
+// Cell provenance labels carried by AppEvent.Source and StudyEvent.Source.
+const (
+	// CellFromFITCache: the finished cell was served whole from the
+	// reliability-stage cache.
+	CellFromFITCache = sim.CellFromFITCache
+	// CellFromThermalCache: the thermal series was reused; only the cheap
+	// reliability accumulation ran.
+	CellFromThermalCache = sim.CellFromThermalCache
+	// CellComputed: the thermal transient (and possibly the timing
+	// simulation) ran for this cell.
+	CellComputed = sim.CellComputed
+)
+
+// Runner executes studies with a fixed execution policy — parallelism,
+// progress reporting, metrics, and an optional stage cache — configured
+// once through functional options. The zero policy (ramp.New() with no
+// options) matches RunStudyContext with empty StudyOptions.
+//
+// A Runner is immutable after New and safe for concurrent use; concurrent
+// studies share its stage cache, so overlapping requests deduplicate work
+// at stage granularity.
+type Runner struct {
+	parallelism int
+	progress    func(StudyProgress)
+	metrics     MetricsRecorder
+	cache       *sim.StageCache
+}
+
+// Option configures a Runner. Options are applied in order; an option
+// error aborts New.
+type Option func(*Runner) error
+
+// New builds a Runner from functional options.
+//
+//	runner, err := ramp.New(
+//		ramp.WithParallelism(4),
+//		ramp.WithCache(ramp.CacheOptions{Dir: ".ramp-cache"}),
+//	)
+func New(opts ...Option) (*Runner, error) {
+	r := &Runner{}
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// WithParallelism bounds the number of concurrently executing study tasks;
+// values < 1 (and the default) mean runtime.GOMAXPROCS(0). Parallelism
+// never affects numerics — results are bit-identical at every level.
+func WithParallelism(n int) Option {
+	return func(r *Runner) error {
+		r.parallelism = n
+		return nil
+	}
+}
+
+// WithProgress installs a per-task completion callback. fn is called from
+// worker goroutines and must be safe for concurrent use.
+func WithProgress(fn func(StudyProgress)) Option {
+	return func(r *Runner) error {
+		r.progress = fn
+		return nil
+	}
+}
+
+// WithMetrics installs a scheduler-lifecycle observer (e.g. a shared
+// *MetricsCounters) spanning every study the Runner executes.
+func WithMetrics(rec MetricsRecorder) Option {
+	return func(r *Runner) error {
+		r.metrics = rec
+		return nil
+	}
+}
+
+// WithCache attaches a content-addressed stage cache: timing artifacts per
+// application, thermal series per (application × technology), finished
+// cells per (application × technology × reliability constants). Warm
+// entries short-circuit the corresponding stage, so a sweep that changes
+// only reliability constants replays in a fraction of the cold time. With
+// a non-empty Dir the cache additionally spills to disk and later
+// processes start warm.
+func WithCache(opts CacheOptions) Option {
+	return func(r *Runner) error {
+		cache, err := sim.NewStageCache(opts)
+		if err != nil {
+			return err
+		}
+		r.cache = cache
+		return nil
+	}
+}
+
+// options assembles the StudyOptions for one study run.
+func (r *Runner) options(onApp func(AppEvent)) StudyOptions {
+	return StudyOptions{
+		Parallelism: r.parallelism,
+		OnProgress:  r.progress,
+		Metrics:     r.metrics,
+		Cache:       r.cache,
+		OnApp:       onApp,
+	}
+}
+
+// Study executes the complete scaling study — timing per application,
+// base-technology calibration, reliability qualification, every scaled
+// technology point, and the worst-case analysis — under the Runner's
+// execution policy. techs must start with the base (180nm) technology.
+func (r *Runner) Study(ctx context.Context, cfg Config, profiles []Profile,
+	techs []Technology) (*StudyResult, error) {
+	return sim.RunStudyContext(ctx, cfg, profiles, techs, r.options(nil))
+}
+
+// Timing executes only the timing stage for one profile, through the
+// Runner's stage cache when one is attached. The returned trace is
+// immutable and may be shared across concurrent evaluations.
+func (r *Runner) Timing(ctx context.Context, cfg Config, prof Profile) (*ActivityTrace, error) {
+	return sim.RunTimingCachedContext(ctx, cfg, prof, r.cache)
+}
+
+// CacheStats snapshots the Runner's stage cache. ok is false when the
+// Runner has no cache attached.
+func (r *Runner) CacheStats() (stats StageCacheStats, ok bool) {
+	if r.cache == nil {
+		return StageCacheStats{}, false
+	}
+	return r.cache.Stats(), true
+}
+
+// StudyEvent is one element of the stream produced by StreamStudy: either
+// a completed (application × technology) cell (App != nil) or the single
+// terminal event (Result or Err set) that precedes channel close.
+type StudyEvent struct {
+	// App is the completed cell, nil on the terminal event. Its RawFIT is
+	// uncalibrated — qualification constants are only known once every
+	// base cell has finished; apply Result.Constants (or
+	// ReferenceConstants) to convert to absolute FIT.
+	App *AppRun
+	// Source is the cell's provenance (CellFromFITCache,
+	// CellFromThermalCache, CellComputed); empty on the terminal event.
+	Source string
+	// CellsDone and CellsTotal count completed and scheduled cells at the
+	// moment the event was emitted.
+	CellsDone, CellsTotal int
+	// Result is the complete study, set only on a successful terminal
+	// event.
+	Result *StudyResult
+	// Err is the study failure, set only on a failed terminal event;
+	// after cancellation it wraps ctx.Err().
+	Err error
+}
+
+// StreamStudy runs Study incrementally: the returned channel yields one
+// StudyEvent per completed (application × technology) cell as the grid
+// fills in, then exactly one terminal event carrying the assembled
+// StudyResult (or the study error), and closes.
+//
+// The stream is unbuffered: an unread event blocks the workers that
+// produced it, so consume promptly or cancel ctx. Cancelling ctx mid-grid
+// aborts the study — already-completed stages stay in the Runner's cache,
+// so a repeated request resumes where the cancelled one left off.
+func (r *Runner) StreamStudy(ctx context.Context, cfg Config, profiles []Profile,
+	techs []Technology) (<-chan StudyEvent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	events := make(chan StudyEvent)
+	onApp := func(ev AppEvent) {
+		run := ev.Run
+		select {
+		case events <- StudyEvent{
+			App:        &run,
+			Source:     ev.Source,
+			CellsDone:  ev.CellsDone,
+			CellsTotal: ev.CellsTotal,
+		}:
+		case <-ctx.Done():
+		}
+	}
+	go func() {
+		defer close(events)
+		res, err := sim.RunStudyContext(ctx, cfg, profiles, techs, r.options(onApp))
+		term := StudyEvent{Result: res, Err: err}
+		select {
+		case events <- term:
+		case <-ctx.Done():
+			// The consumer is gone; still try to hand over the terminal
+			// event without blocking so a draining reader sees it.
+			select {
+			case events <- term:
+			default:
+			}
+		}
+	}()
+	return events, nil
+}
