@@ -8,6 +8,8 @@
 //	rampd [-addr :8080] [-n 200000] [-max-n 2000000] [-cache-size 64]
 //	      [-cache-ttl 1h] [-queue 4] [-timeout 5m] [-drain 30s]
 //	      [-parallelism N] [-cache-dir DIR] [-stage-cache 256] [-heartbeat 10s]
+//	      [-pprof-addr localhost:6060] [-trace-retain 8]
+//	      [-log-level info] [-log-format text]
 //
 // Endpoints:
 //
@@ -16,8 +18,16 @@
 //	                           completed (app × tech) cell, then the document
 //	GET/POST /v1/mttf          lifetime summary     (same parameters, same cache)
 //	GET      /v1/profiles      the benchmark registry
+//	GET      /v1/study/trace   Chrome trace-event JSON of a retained study
 //	GET      /healthz          liveness; 503 while draining
 //	GET      /metrics          request/cache/coalescing/scheduler/stage-cache counters
+//	                           (?format=prometheus for text exposition)
+//
+// Structured request logs — one record per request, carrying the
+// X-Request-ID echoed in responses — go to stderr (-log-level,
+// -log-format). With -pprof-addr the net/http/pprof handlers are served
+// on a separate listener, kept off the public API surface; the flag is
+// off by default.
 //
 // Every JSON response carries "schema_version"; errors use the stable
 // envelope {"schema_version":1,"error":{"code","message"}}. Studies run
@@ -38,6 +48,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -70,7 +81,15 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	cacheDir := fs.String("cache-dir", "", "persist stage artifacts (timing/thermal/fit) under this directory")
 	stageCache := fs.Int("stage-cache", 0, "in-memory stage-cache entries per stage (0 = default 256)")
 	heartbeat := fs.Duration("heartbeat", 10*time.Second, "idle heartbeat interval on /v1/study/stream")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	traceRetain := fs.Int("trace-retain", 0, "completed study traces retained for /v1/study/trace (0 = default 8)")
+	logFlags := cli.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -88,11 +107,33 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 		CacheDir:            *cacheDir,
 		StageCacheEntries:   *stageCache,
 		StreamHeartbeat:     *heartbeat,
+		Logger:              logger,
+		TraceRetain:         *traceRetain,
 	})
 	if err != nil {
 		return err
 	}
 	srv.Publish("rampd")
+
+	// The profiler listens on its own socket so /debug/pprof never rides
+	// the public API address; registration is explicit on a fresh mux —
+	// the import's DefaultServeMux side effect is not what is served.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go psrv.Serve(pln)
+		defer psrv.Close()
+		fmt.Fprintf(out, "rampd: pprof on %s\n", pln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -224,3 +224,55 @@ func TestRampdRestartInProcess(t *testing.T) {
 		t.Fatalf("exit error: %v", err)
 	}
 }
+
+var pprofRE = regexp.MustCompile(`pprof on (\S+)`)
+
+// TestRampdPprofListener: -pprof-addr serves the profiler index on its own
+// socket, and the public API listener does not expose /debug/pprof.
+func TestRampdPprofListener(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a real server")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	base, done := startRampd(t, ctx, out, "-n", "1000", "-pprof-addr", "127.0.0.1:0")
+
+	m := pprofRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("pprof address not reported: %q", out.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d, want 200", resp.StatusCode)
+	}
+
+	apiResp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiResp.Body.Close()
+	if apiResp.StatusCode == http.StatusOK {
+		t.Fatal("public API listener serves /debug/pprof")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("exit error: %v", err)
+	}
+}
+
+// TestRampdBadObservabilityFlags: invalid logging flags fail fast.
+func TestRampdBadObservabilityFlags(t *testing.T) {
+	out := &syncBuffer{}
+	if err := runCtx(context.Background(), out, []string{"-log-level", "loud"}); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	if err := runCtx(context.Background(), out, []string{"-log-format", "yaml"}); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+}

@@ -5,12 +5,20 @@
 // Usage:
 //
 //	rampsim [-n instructions] [-apps ammp,gcc] [-csv] [-figure 2|3|4|5] [-headline] [-all]
-//	        [-parallelism N] [-progress] [-cache-dir DIR]
+//	        [-parallelism N] [-progress] [-cache-dir DIR] [-trace-out study.trace.json]
+//	        [-log-level info] [-log-format text]
 //
 // With -cache-dir the study's stage artifacts (timing, thermal,
 // reliability) persist on disk, so a re-run that changes only downstream
 // parameters — e.g. a reliability constant via -scenario — replays from
 // the cache instead of re-simulating.
+//
+// With -trace-out the study's span tree — per-stage, per-cell, and
+// cache-lookup timings — is written as a Chrome trace-event JSON file;
+// open it in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Progress reports (-progress) and diagnostics share one locked stderr
+// logger (-log-level, -log-format), so concurrent lines never interleave.
 //
 // Without -figure/-headline/-all it prints the per-run summary lines.
 // Interrupting the process (Ctrl-C) cancels the study promptly.
@@ -57,7 +65,14 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	parallelism := fs.Int("parallelism", 0, "max concurrent study tasks (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "report per-task study progress on stderr")
 	cacheDir := fs.String("cache-dir", "", "persist stage artifacts under this directory for incremental re-runs")
+	traceOut := fs.String("trace-out", "", "write the study's spans as Chrome trace-event JSON to this file")
+	logFlags := cli.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -84,10 +99,17 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	}
 	ropts := []ramp.Option{ramp.WithParallelism(*parallelism)}
 	if *progress {
-		ropts = append(ropts, ramp.WithProgress(cli.StderrProgress()))
+		// Progress goes through the shared logger, not raw stderr, so
+		// per-task lines and log records serialise instead of interleaving.
+		ropts = append(ropts, ramp.WithProgress(cli.SlogProgress(logger)))
 	}
 	if *cacheDir != "" {
 		ropts = append(ropts, ramp.WithCache(ramp.CacheOptions{Dir: *cacheDir}))
+	}
+	var collector *ramp.TraceCollector
+	if *traceOut != "" {
+		collector = ramp.NewTraceCollector(0)
+		ropts = append(ropts, ramp.WithTracer(ramp.NewTracer(collector)))
 	}
 	runner, err := ramp.New(ropts...)
 	if err != nil {
@@ -96,6 +118,12 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	res, err := runner.Study(ctx, cfg, profiles, techs)
 	if err != nil {
 		return err
+	}
+	if collector != nil {
+		if err := writeTrace(*traceOut, collector); err != nil {
+			return err
+		}
+		logger.Info("trace written", "path", *traceOut, "spans", len(collector.Spans()))
 	}
 
 	render := func(t *ramp.Table) error {
@@ -186,6 +214,19 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	default:
 		return printSummary(out, res)
 	}
+}
+
+// writeTrace exports the collected spans as a Chrome trace-event file.
+func writeTrace(path string, c *ramp.TraceCollector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ramp.WriteChromeTrace(f, c.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func selectProfiles(apps string) ([]ramp.Profile, error) {

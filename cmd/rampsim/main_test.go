@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -106,5 +108,57 @@ func TestRunScenarioFlag(t *testing.T) {
 	}
 	if err := run(&sb, []string{"-scenario", "/nonexistent.json"}); err == nil {
 		t.Error("missing scenario file accepted")
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI study run is slow; skipped with -short")
+	}
+	path := filepath.Join(t.TempDir(), "study.trace.json")
+	var sb strings.Builder
+	if err := run(&sb, []string{"-n", "50000", "-apps", "ammp", "-trace-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace file empty or missing displayTimeUnit: %d events", len(doc.TraceEvents))
+	}
+	cells := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "sim.cell" {
+			cells++
+			if ev.Args["source"] == "" {
+				t.Errorf("cell span without source attr: %v", ev.Args)
+			}
+		}
+	}
+	// One app across the five Table 4 technology points.
+	if cells != 5 {
+		t.Errorf("cell spans = %d, want 5", cells)
+	}
+}
+
+func TestRunRejectsBadLogFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-log-level", "loud"}); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	if err := run(&sb, []string{"-log-format", "yaml"}); err == nil {
+		t.Error("bad -log-format accepted")
 	}
 }

@@ -6,12 +6,15 @@ package cli
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/sched"
 )
 
@@ -40,3 +43,46 @@ func ProgressPrinter(w io.Writer) func(sched.Progress) {
 // StderrProgress is ProgressPrinter(os.Stderr), the flag-enabled default
 // sink of every command.
 func StderrProgress() func(sched.Progress) { return ProgressPrinter(os.Stderr) }
+
+// LogFlags carries the logging flags every ramp command shares. Register
+// with RegisterLogFlags, then build the configured logger with Logger.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// RegisterLogFlags installs -log-level and -log-format on fs with the
+// stack-wide defaults (info, text).
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", "info", "log verbosity: debug, info, warn, or error")
+	fs.StringVar(&lf.Format, "log-format", "text", "log record format: text or json")
+	return lf
+}
+
+// Logger builds the *slog.Logger the flags describe, writing to w through
+// a locked writer so records from concurrent goroutines never interleave.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	level, err := obs.ParseLogLevel(lf.Level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(w, level, lf.Format)
+}
+
+// SlogProgress returns a sched progress callback that emits one log record
+// per finished task through logger. Because the logger serialises writes,
+// progress reports and other log output share stderr without interleaving
+// mid-line — the failure mode of writing both streams raw.
+func SlogProgress(logger *slog.Logger) func(sched.Progress) {
+	return func(p sched.Progress) {
+		if p.Err != nil {
+			logger.Warn("task failed", "task", p.Task, "stage", p.Stage,
+				"done", p.Done, "total", p.Total, "error", p.Err.Error())
+			return
+		}
+		logger.Info("task done", "task", p.Task, "stage", p.Stage,
+			"done", p.Done, "total", p.Total,
+			"stage_done", p.StageDone, "stage_total", p.StageTotal)
+	}
+}

@@ -4,10 +4,11 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"flag"
+	"github.com/ramp-sim/ramp/internal/sched"
+	"log/slog"
 	"strings"
 	"testing"
-
-	"github.com/ramp-sim/ramp/internal/sched"
 )
 
 func TestSignalContextCancelStops(t *testing.T) {
@@ -33,5 +34,50 @@ func TestProgressPrinterFormat(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], "FAILED: boom") {
 		t.Errorf("failure line malformed: %q", lines[1])
+	}
+}
+
+func TestLogFlagsBuildLoggers(t *testing.T) {
+	for _, tc := range []struct {
+		level, format string
+		ok            bool
+	}{
+		{"info", "text", true},
+		{"debug", "json", true},
+		{"loud", "text", false},
+		{"info", "yaml", false},
+	} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		lf := RegisterLogFlags(fs)
+		if err := fs.Parse([]string{"-log-level", tc.level, "-log-format", tc.format}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		logger, err := lf.Logger(&buf)
+		if tc.ok != (err == nil) {
+			t.Errorf("level=%s format=%s: err = %v, want ok=%v", tc.level, tc.format, err, tc.ok)
+			continue
+		}
+		if tc.ok {
+			logger.Info("probe")
+			if buf.Len() == 0 {
+				t.Errorf("level=%s format=%s: logger wrote nothing", tc.level, tc.format)
+			}
+		}
+	}
+}
+
+func TestSlogProgressRecords(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	p := SlogProgress(logger)
+	p(sched.Progress{Task: "timing/0/gcc", Stage: "timing", Done: 1, Total: 4})
+	p(sched.Progress{Task: "base/0/gcc", Stage: "base", Err: errors.New("boom"), Done: 2, Total: 4})
+	out := buf.String()
+	if !strings.Contains(out, "task done") || !strings.Contains(out, "timing/0/gcc") {
+		t.Errorf("success record malformed: %q", out)
+	}
+	if !strings.Contains(out, "task failed") || !strings.Contains(out, "boom") {
+		t.Errorf("failure record malformed: %q", out)
 	}
 }

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event ("ph":"X" complete event). The
+// format is the trace-event JSON that chrome://tracing and Perfetto load:
+// timestamps and durations in microseconds, one row per (pid, tid).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTraceDoc is the object form of the trace file; Perfetto also
+// accepts a bare array, but the object form lets us carry displayTimeUnit.
+type chromeTraceDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders completed spans as Chrome trace-event JSON.
+// Each span becomes one complete ("X") event: its Track is the tid (one
+// row per span tree, i.e. one row per cell/request), the portion of the
+// span name before the first dot is the category, and attributes become
+// args. Events are emitted sorted by start time, then track, then name,
+// so the output is deterministic for a deterministic clock — the property
+// the golden-file test pins down.
+func WriteChromeTrace(w io.Writer, spans []*Span) error {
+	doc := chromeTraceDoc{TraceEvents: buildChromeEvents(spans), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+func buildChromeEvents(spans []*Span) []chromeEvent {
+	live := make([]*Span, 0, len(spans))
+	var base time.Time
+	for _, sp := range spans {
+		if sp == nil || sp.End.IsZero() {
+			continue
+		}
+		if base.IsZero() || sp.Start.Before(base) {
+			base = sp.Start
+		}
+		live = append(live, sp)
+	}
+	events := make([]chromeEvent, 0, len(live))
+	for _, sp := range live {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  spanCategory(sp.Name),
+			Ph:   "X",
+			TS:   float64(sp.Start.Sub(base)) / float64(time.Microsecond),
+			Dur:  float64(sp.End.Sub(sp.Start)) / float64(time.Microsecond),
+			PID:  1,
+			TID:  sp.Track,
+		}
+		if attrs := sp.Attrs(); len(attrs) > 0 {
+			ev.Args = make(map[string]string, len(attrs))
+			for _, a := range attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		if events[i].TID != events[j].TID {
+			return events[i].TID < events[j].TID
+		}
+		return events[i].Name < events[j].Name
+	})
+	return events
+}
+
+func spanCategory(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// TraceEntry is one retained study trace: identity plus its spans.
+type TraceEntry struct {
+	// Key is the study's content-addressed cache key.
+	Key string
+	// RequestID is the request that led the study's flight.
+	RequestID string
+	// CapturedAt stamps the study's completion.
+	CapturedAt time.Time
+	// Spans are the study's completed spans.
+	Spans []*Span
+}
+
+// TraceRing retains the last N study traces. All methods are safe for
+// concurrent use.
+type TraceRing struct {
+	mu      sync.Mutex
+	max     int
+	entries []TraceEntry // oldest first
+}
+
+// NewTraceRing returns a ring retaining at most max entries (min 1).
+func NewTraceRing(max int) *TraceRing {
+	if max < 1 {
+		max = 1
+	}
+	return &TraceRing{max: max}
+}
+
+// Add retains a trace, evicting the oldest entry beyond the bound.
+func (r *TraceRing) Add(e TraceEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, e)
+	if len(r.entries) > r.max {
+		// Shift rather than reslice so the evicted spans become
+		// collectable immediately.
+		copy(r.entries, r.entries[1:])
+		r.entries[len(r.entries)-1] = TraceEntry{}
+		r.entries = r.entries[:len(r.entries)-1]
+	}
+}
+
+// Latest returns the most recently added entry.
+func (r *TraceRing) Latest() (TraceEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) == 0 {
+		return TraceEntry{}, false
+	}
+	return r.entries[len(r.entries)-1], true
+}
+
+// ByKey returns the most recent entry whose study key matches.
+func (r *TraceRing) ByKey(key string) (TraceEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		if r.entries[i].Key == key {
+			return r.entries[i], true
+		}
+	}
+	return TraceEntry{}, false
+}
+
+// List returns a newest-first snapshot of the retained entries' identities
+// (spans omitted) with per-entry span counts.
+func (r *TraceRing) List() []TraceSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSummary, 0, len(r.entries))
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		e := r.entries[i]
+		out = append(out, TraceSummary{
+			Key:        e.Key,
+			RequestID:  e.RequestID,
+			CapturedAt: e.CapturedAt,
+			Spans:      len(e.Spans),
+		})
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// TraceSummary is the spanless identity of a retained trace.
+type TraceSummary struct {
+	Key        string    `json:"key"`
+	RequestID  string    `json:"request_id"`
+	CapturedAt time.Time `json:"captured_at"`
+	Spans      int       `json:"spans"`
+}
+
+// String renders a short human identity for logs.
+func (s TraceSummary) String() string {
+	return fmt.Sprintf("%s (%d spans, request %s)", s.Key, s.Spans, s.RequestID)
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// buildSampleTrace reproduces a miniature study trace with a
+// deterministic clock: two cells on separate tracks, each with nested
+// stage spans and cache-provenance attributes.
+func buildSampleTrace() []*Span {
+	col := NewCollector(0)
+	tr := NewTracer(col, WithClock(newTestClock(time.Millisecond).Now))
+	ctx := WithTracer(context.Background(), tr)
+
+	cell1Ctx, cell1 := StartSpan(ctx, SpanCell)
+	cell1.SetAttr("app", "gzip")
+	cell1.SetAttr("tech", "180nm")
+	tctx, timing := StartSpan(cell1Ctx, SpanTiming)
+	timing.SetAttr("app", "gzip")
+	_, get := StartSpan(tctx, SpanCacheGet)
+	get.SetAttr("stage", "timing")
+	get.SetAttr("result", "miss")
+	get.Finish()
+	timing.Finish()
+	_, thermal := StartSpan(cell1Ctx, SpanThermal)
+	thermal.Finish()
+	_, fit := StartSpan(cell1Ctx, SpanFIT)
+	fit.Finish()
+	cell1.SetAttr("source", "computed")
+	cell1.Finish()
+
+	cell2Ctx, cell2 := StartSpan(ctx, SpanCell)
+	cell2.SetAttr("app", "gzip")
+	cell2.SetAttr("tech", "65nm (1.0V)")
+	_, fit2 := StartSpan(cell2Ctx, SpanFIT)
+	fit2.Finish()
+	cell2.SetAttr("source", "thermal-cache")
+	cell2.Finish()
+
+	return col.Spans()
+}
+
+// TestChromeTraceGolden pins the exact trace-event JSON rendering —
+// ordering, field set, microsecond timestamps — against a checked-in
+// golden file. Run with -update-golden after an intentional format
+// change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, buildSampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrometrace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run go test ./internal/obs -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceShape checks the structural invariants any Perfetto
+// loader relies on, independent of the golden bytes.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, buildSampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("%d events, want 7", len(doc.TraceEvents))
+	}
+	tracks := map[uint64]bool{}
+	cells := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 {
+			t.Fatalf("event %d: ph=%q pid=%d", i, ev.Ph, ev.PID)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("event %d: negative ts/dur", i)
+		}
+		if i > 0 && ev.TS < doc.TraceEvents[i-1].TS {
+			t.Fatalf("events not sorted by ts at %d", i)
+		}
+		tracks[ev.TID] = true
+		if ev.Name == SpanCell {
+			cells++
+			if ev.Args["source"] == "" {
+				t.Fatalf("cell event missing source attr: %v", ev.Args)
+			}
+			if ev.Cat != "sim" {
+				t.Fatalf("cell category = %q", ev.Cat)
+			}
+		}
+	}
+	if cells != 2 {
+		t.Fatalf("cell events = %d, want 2", cells)
+	}
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2 (one per cell)", len(tracks))
+	}
+}
+
+func TestChromeTraceSkipsUnfinishedSpans(t *testing.T) {
+	tr := NewTracer(nil, WithClock(newTestClock(time.Millisecond).Now))
+	ctx := WithTracer(context.Background(), tr)
+	_, open := StartSpan(ctx, SpanStudy)
+	_, done := StartSpan(ctx, SpanCell)
+	done.Finish()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*Span{open, done, nil}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("%d events, want 1 (unfinished and nil spans skipped)", len(doc.TraceEvents))
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	ring := NewTraceRing(2)
+	at := time.Unix(2000, 0).UTC()
+	for i, key := range []string{"aaa", "bbb", "ccc"} {
+		ring.Add(TraceEntry{Key: key, RequestID: "r" + key, CapturedAt: at.Add(time.Duration(i) * time.Second)})
+	}
+	if ring.Len() != 2 {
+		t.Fatalf("ring len = %d, want 2", ring.Len())
+	}
+	if _, ok := ring.ByKey("aaa"); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	last, ok := ring.Latest()
+	if !ok || last.Key != "ccc" {
+		t.Fatalf("latest = %+v, %v", last, ok)
+	}
+	byKey, ok := ring.ByKey("bbb")
+	if !ok || byKey.RequestID != "rbbb" {
+		t.Fatalf("ByKey(bbb) = %+v, %v", byKey, ok)
+	}
+	list := ring.List()
+	if len(list) != 2 || list[0].Key != "ccc" || list[1].Key != "bbb" {
+		t.Fatalf("list = %+v", list)
+	}
+	if list[0].String() == "" {
+		t.Fatal("empty summary string")
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// requestIDKey carries the per-request correlation ID through a request's
+// context, into the sim stages it runs, and back out through error
+// envelopes and stream meta events.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying id (unchanged when id is empty).
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// idFallback seeds deterministic-but-unique IDs if crypto/rand ever
+// fails (it effectively cannot on supported platforms).
+var idFallback atomic.Uint64
+
+// NewRequestID returns a 16-hex-character random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("fallback-%08x", idFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID validates a client-supplied X-Request-ID: at most 64
+// characters of [A-Za-z0-9._-]; anything else is rejected (returns "") so
+// callers fall back to a generated ID rather than echoing junk into logs.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// lockedWriter serialises whole Write calls so concurrent log records —
+// and anything else routed through the same writer, like progress lines —
+// never interleave mid-line on a shared stderr.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// LockedWriter wraps w so each Write is atomic with respect to every
+// other writer sharing the returned value.
+func LockedWriter(w io.Writer) io.Writer {
+	if _, ok := w.(*lockedWriter); ok {
+		return w
+	}
+	return &lockedWriter{w: w}
+}
+
+// ParseLogLevel maps the -log-level flag values onto slog levels.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds the stack's standard *slog.Logger: text or json
+// records at the given level, written through a LockedWriter so records
+// from concurrent goroutines never interleave. format is "text" or
+// "json" ("" = text).
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	lw := LockedWriter(w)
+	ho := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(lw, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(lw, ho)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// NopLogger returns a logger that discards every record — the default for
+// library callers and tests that install no logger.
+func NopLogger() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+// discardHandler drops all records (slog.DiscardHandler needs go1.24;
+// the module targets go1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

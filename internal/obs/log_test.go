@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if RequestIDFrom(ctx) != "" {
+		t.Fatal("empty ctx must carry no request ID")
+	}
+	if WithRequestID(ctx, "") != ctx {
+		t.Fatal("empty ID must not derive a context")
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestIDFrom(ctx); got != "abc123" {
+		t.Fatalf("RequestIDFrom = %q", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("ids %q, %q: want 16 hex chars, distinct", a, b)
+	}
+	if SanitizeRequestID(a) != a {
+		t.Fatalf("generated id %q did not survive sanitisation", a)
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc-DEF_1.2":             "abc-DEF_1.2",
+		"":                        "",
+		"has space":               "",
+		"inject\"quote":           "",
+		"newline\n":               "",
+		strings.Repeat("a", 64):   strings.Repeat("a", 64),
+		strings.Repeat("a", 65):   "",
+		"unicode-é":               "",
+		"ok-client-id-0123456789": "ok-client-id-0123456789",
+	} {
+		if got := SanitizeRequestID(in); got != want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"DEBUG":   slog.LevelDebug,
+		"warn":    slog.LevelWarn,
+		" error ": slog.LevelError,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "request_id", "deadbeef")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log record is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["request_id"] != "deadbeef" {
+		t.Fatalf("record = %v", rec)
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, slog.LevelWarn, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("level filtering failed: %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, slog.LevelInfo, "yaml"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}
+
+// chunkWriter records the byte chunks it receives, so the test can prove
+// whole-record writes arrive unsplit and uninterleaved.
+type chunkWriter struct {
+	mu     sync.Mutex
+	chunks []string
+}
+
+func (c *chunkWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chunks = append(c.chunks, string(p))
+	return len(p), nil
+}
+
+func TestLockedWriterSerialisesRecords(t *testing.T) {
+	cw := &chunkWriter{}
+	l, err := NewLogger(cw, slog.LevelInfo, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info("progress", "worker", g, "step", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if len(cw.chunks) != 400 {
+		t.Fatalf("chunks = %d, want 400 whole-record writes", len(cw.chunks))
+	}
+	for _, ch := range cw.chunks {
+		if !strings.HasSuffix(ch, "\n") || strings.Count(ch, "\n") != 1 {
+			t.Fatalf("chunk is not exactly one line: %q", ch)
+		}
+	}
+	// Idempotent wrapping: LockedWriter of a lockedWriter is itself.
+	lw := LockedWriter(cw)
+	if LockedWriter(lw) != lw {
+		t.Fatal("LockedWriter must not double-wrap")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := NopLogger()
+	// Must not panic and must report disabled at every level.
+	l.Debug("x")
+	l.Error("y")
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+	if l.Handler().WithAttrs(nil) == nil || l.Handler().WithGroup("g") == nil {
+		t.Fatal("nop handler derivations must be usable")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Task is one node of the graph.
@@ -224,6 +225,10 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 		}
 	}
 
+	// Task latencies are only timed when the Recorder opts in via
+	// StageObserver, so plain Counters users pay no clock reads.
+	stageObs, _ := opts.Metrics.(StageObserver)
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -245,7 +250,14 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 						started.Add(1)
 						opts.Metrics.TaskStarted()
 					}
+					var startedAt time.Time
+					if stageObs != nil {
+						startedAt = time.Now()
+					}
 					err := runTask(ctx, t)
+					if stageObs != nil {
+						stageObs.TaskLatency(t.Stage, time.Since(startedAt), err)
+					}
 					if opts.Metrics != nil {
 						opts.Metrics.TaskFinished(err)
 					}

@@ -1,6 +1,9 @@
 package sched
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Recorder receives task lifecycle events from a running graph. All methods
 // are called from worker goroutines and must be safe for concurrent use. A
@@ -18,6 +21,18 @@ type Recorder interface {
 	// TaskAbandoned fires once per task that was queued but never started
 	// because the run was cancelled; it rebalances the queue-depth gauge.
 	TaskAbandoned()
+}
+
+// StageObserver is an optional Recorder extension: a Recorder that also
+// implements it additionally receives each task's wall-clock latency,
+// labelled by the task's stage. The scheduler only pays for the clock
+// reads when the installed Recorder implements the interface, so plain
+// Counters users (which deliberately do not implement it) are unaffected.
+type StageObserver interface {
+	// TaskLatency fires after a task's Run returns, with the stage label,
+	// the task's execution duration, and its error (nil on success). It is
+	// called from worker goroutines and must be safe for concurrent use.
+	TaskLatency(stage string, d time.Duration, err error)
 }
 
 // Stats is the read side of the scheduler's observability counters: the
@@ -81,6 +96,38 @@ func (c *Counters) Completed() int64 { return c.completed.Load() }
 
 // Failed implements Stats.
 func (c *Counters) Failed() int64 { return c.failed.Load() }
+
+// CountersSnapshot is a mutually consistent reading of all four counters.
+type CountersSnapshot struct {
+	QueueDepth, InFlight, Completed, Failed int64
+}
+
+// Snapshot returns a consistent snapshot of the counters. The four values
+// are individually atomic but live in separate words, so a naive reader
+// can observe a task as simultaneously queued and in flight; Snapshot
+// re-reads until two consecutive readings agree (bounded retries), which
+// yields a stable point-in-time view whenever the counters quiesce for a
+// single read cycle. Under heavy churn the last reading is returned —
+// still a set of individually valid values.
+func (c *Counters) Snapshot() CountersSnapshot {
+	read := func() CountersSnapshot {
+		return CountersSnapshot{
+			QueueDepth: c.queued.Load(),
+			InFlight:   c.inFlight.Load(),
+			Completed:  c.completed.Load(),
+			Failed:     c.failed.Load(),
+		}
+	}
+	prev := read()
+	for i := 0; i < 4; i++ {
+		cur := read()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
 
 var (
 	_ Recorder = (*Counters)(nil)

@@ -98,11 +98,25 @@ func (m *Metrics) Snapshot(cache *Cache, stats sched.Stats, stage *sim.StageCach
 		}
 	}
 	if stats != nil {
+		// Prefer a consistent point-in-time snapshot when the source offers
+		// one (sched.Counters does): four independent loads can otherwise
+		// observe a task as simultaneously queued and in flight.
+		var sn sched.CountersSnapshot
+		if src, ok := stats.(interface{ Snapshot() sched.CountersSnapshot }); ok {
+			sn = src.Snapshot()
+		} else {
+			sn = sched.CountersSnapshot{
+				QueueDepth: stats.QueueDepth(),
+				InFlight:   stats.InFlight(),
+				Completed:  stats.Completed(),
+				Failed:     stats.Failed(),
+			}
+		}
 		out["sched"] = map[string]any{
-			"queue_depth": stats.QueueDepth(),
-			"in_flight":   stats.InFlight(),
-			"completed":   stats.Completed(),
-			"failed":      stats.Failed(),
+			"queue_depth": sn.QueueDepth,
+			"in_flight":   sn.InFlight,
+			"completed":   sn.Completed,
+			"failed":      sn.Failed,
 		}
 	}
 	if stage != nil {

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"time"
+
+	"github.com/ramp-sim/ramp/internal/obs"
+	"github.com/ramp-sim/ramp/internal/sched"
+	"github.com/ramp-sim/ramp/internal/store"
+)
+
+// serverObs is the server's obs.Registry instrument set: everything
+// /metrics?format=prometheus exposes. Push-style instruments (counters,
+// histograms) are updated on the hot paths; pre-existing stat sources
+// (result cache, scheduler counters, stage cache) are bridged at scrape
+// time so their state is never double-counted.
+type serverObs struct {
+	reg *obs.Registry
+
+	// HTTP surface.
+	httpRequests  *obs.CounterVec // ramp_http_requests_total{endpoint}
+	httpResponses *obs.CounterVec // ramp_http_responses_total{code}
+	httpLatency   *obs.Histogram  // ramp_http_request_duration_seconds
+	inflight      *obs.Gauge      // ramp_http_inflight_requests
+	streamEvents  *obs.CounterVec // ramp_stream_events_total{event}
+
+	// Study admission and coalescing.
+	coalesced *obs.Counter // ramp_coalesced_requests_total
+	shed      *obs.Counter // ramp_shed_requests_total
+	studies   *obs.Counter // ramp_studies_started_total
+	streams   *obs.Counter // ramp_streams_started_total
+
+	// Pipeline-stage latency (timing|thermal|fit), fed by the span sink.
+	stageLatency *obs.HistogramVec // ramp_stage_duration_seconds{stage}
+	// Scheduler-task latency, fed by the sched.StageObserver hook.
+	schedLatency *obs.HistogramVec // ramp_sched_task_duration_seconds{stage}
+	// Stage-cache operations, fed by the store observer.
+	cacheOps *obs.CounterVec // ramp_stage_cache_ops_total{stage,op,outcome}
+
+	// sink bridges completed pipeline-stage spans into stageLatency; it is
+	// part of every study's tracer fan-out.
+	sink *obs.MetricsSink
+}
+
+// newServerObs registers the push-style instruments on a fresh registry.
+// Scrape-time bridges over the server's stat sources are attached later by
+// bindServer, once those sources exist.
+func newServerObs() *serverObs {
+	reg := obs.NewRegistry()
+	o := &serverObs{
+		reg:           reg,
+		httpRequests:  reg.CounterVec("ramp_http_requests_total", "HTTP requests handled, by endpoint.", "endpoint"),
+		httpResponses: reg.CounterVec("ramp_http_responses_total", "HTTP responses sent, by status code.", "code"),
+		httpLatency:   reg.Histogram("ramp_http_request_duration_seconds", "HTTP request latency in seconds.", nil),
+		inflight:      reg.Gauge("ramp_http_inflight_requests", "HTTP requests currently executing."),
+		streamEvents:  reg.CounterVec("ramp_stream_events_total", "NDJSON stream events sent, by event type.", "event"),
+		coalesced:     reg.Counter("ramp_coalesced_requests_total", "Requests that joined an identical in-flight study."),
+		shed:          reg.Counter("ramp_shed_requests_total", "Requests shed with 429 by the admission queue."),
+		studies:       reg.Counter("ramp_studies_started_total", "Studies started on the scheduler pool."),
+		streams:       reg.Counter("ramp_streams_started_total", "NDJSON study streams that began streaming."),
+		stageLatency: reg.HistogramVec("ramp_stage_duration_seconds",
+			"Simulation pipeline stage latency in seconds, by stage (timing|thermal|fit).", nil, "stage"),
+		schedLatency: reg.HistogramVec("ramp_sched_task_duration_seconds",
+			"Scheduler task latency in seconds, by task stage.", nil, "stage"),
+		cacheOps: reg.CounterVec("ramp_stage_cache_ops_total",
+			"Stage-cache operations, by stage, operation, and outcome.", "stage", "op", "outcome"),
+	}
+	o.sink = obs.NewMetricsSink(o.stageLatency)
+	return o
+}
+
+// storeObserver adapts the stage cache's store events onto the cacheOps
+// counter; installed via sim.StageCacheOptions.Observer.
+func (o *serverObs) storeObserver(ev store.Event) {
+	o.cacheOps.With(ev.Store, ev.Op, ev.Outcome).Inc()
+}
+
+// bindServer attaches the scrape-time bridges over the server's live stat
+// sources. Each bridge reads one consistent per-source snapshot at
+// exposition; nothing is sampled into intermediate state.
+func (o *serverObs) bindServer(s *Server) {
+	reg := o.reg
+	reg.GaugeFunc("ramp_sched_queue_depth", "Scheduler tasks ready and waiting for a worker.", nil,
+		func() float64 { return float64(s.schedStats.QueueDepth()) })
+	reg.GaugeFunc("ramp_sched_inflight_tasks", "Scheduler tasks currently executing.", nil,
+		func() float64 { return float64(s.schedStats.InFlight()) })
+	reg.CounterFunc("ramp_sched_tasks_completed_total", "Scheduler tasks finished without error.", nil,
+		func() float64 { return float64(s.schedStats.Completed()) })
+	reg.CounterFunc("ramp_sched_tasks_failed_total", "Scheduler tasks finished with an error.", nil,
+		func() float64 { return float64(s.schedStats.Failed()) })
+
+	reg.GaugeFunc("ramp_result_cache_entries", "Resident whole-study results.", nil,
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.CounterFunc("ramp_result_cache_hits_total", "Whole-study cache hits.", nil,
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("ramp_result_cache_misses_total", "Whole-study cache misses.", nil,
+		func() float64 { return float64(s.cache.Stats().Misses) })
+
+	for _, stage := range []string{"timing", "thermal", "fit"} {
+		stage := stage
+		reg.GaugeFunc("ramp_stage_cache_entries", "Resident stage-cache artifacts, by stage.",
+			[]obs.Label{{Name: "stage", Value: stage}},
+			func() float64 {
+				ss := s.stageCache.Stats()
+				switch stage {
+				case "timing":
+					return float64(ss.Timing.Entries)
+				case "thermal":
+					return float64(ss.Thermal.Entries)
+				default:
+					return float64(ss.FIT.Entries)
+				}
+			})
+	}
+
+	reg.GaugeFunc("ramp_study_traces_retained", "Study traces retained for /v1/study/trace.", nil,
+		func() float64 { return float64(s.traces.Len()) })
+}
+
+// schedRecorder is the server's sched.Recorder: the shared atomic counters
+// plus the per-stage task-latency histogram via the optional
+// sched.StageObserver extension.
+type schedRecorder struct {
+	*sched.Counters
+	latency *obs.HistogramVec
+}
+
+// TaskLatency implements sched.StageObserver.
+func (r *schedRecorder) TaskLatency(stage string, d time.Duration, err error) {
+	r.latency.With(stage).Observe(d.Seconds())
+}
+
+var _ sched.StageObserver = (*schedRecorder)(nil)

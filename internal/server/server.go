@@ -24,11 +24,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/report"
 	"github.com/ramp-sim/ramp/internal/scaling"
 	"github.com/ramp-sim/ramp/internal/sched"
@@ -79,9 +81,12 @@ type ErrorBody struct {
 }
 
 // ErrorResponse is the stable error envelope every non-2xx JSON response
-// uses: {"schema_version":1,"error":{"code":"...","message":"..."}}.
+// uses: {"schema_version":1,"error":{"code":"...","message":"..."}}. The
+// request_id field (additive, omitted when unknown) echoes the X-Request-ID
+// header so clients can correlate failures with server logs.
 type ErrorResponse struct {
 	SchemaVersion int       `json:"schema_version"`
+	RequestID     string    `json:"request_id,omitempty"`
 	Error         ErrorBody `json:"error"`
 }
 
@@ -122,6 +127,15 @@ type Config struct {
 	// StreamHeartbeat is the idle-connection heartbeat interval of
 	// /v1/study/stream (default 10s).
 	StreamHeartbeat time.Duration
+	// Logger receives structured request and study logs; nil discards
+	// them (tests stay quiet by default).
+	Logger *slog.Logger
+	// TraceRetain bounds the study traces retained for /v1/study/trace
+	// (default 8).
+	TraceRetain int
+	// TraceSpanLimit bounds the spans captured per study trace
+	// (default 16384); excess spans are dropped, not buffered.
+	TraceSpanLimit int
 	// Now overrides the clock for tests; nil uses time.Now.
 	Now func() time.Time
 }
@@ -135,7 +149,11 @@ type Server struct {
 	stageCache *sim.StageCache
 	flights    *flightGroup
 	metrics    *Metrics
+	obs        *serverObs
+	logger     *slog.Logger
+	traces     *obs.TraceRing
 	schedStats *sched.Counters
+	schedRec   *schedRecorder
 	admission  chan struct{}
 	mux        *http.ServeMux
 	now        func() time.Time
@@ -178,18 +196,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StreamHeartbeat <= 0 {
 		cfg.StreamHeartbeat = 10 * time.Second
 	}
+	if cfg.TraceRetain <= 0 {
+		cfg.TraceRetain = 8
+	}
+	if cfg.TraceSpanLimit <= 0 {
+		cfg.TraceSpanLimit = 16384
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	now := cfg.Now
 	if now == nil {
 		now = time.Now
 	}
+	so := newServerObs()
 	stageCache, err := sim.NewStageCache(sim.StageCacheOptions{
 		MaxEntries: cfg.StageCacheEntries,
 		Dir:        cfg.CacheDir,
+		Observer:   so.storeObserver,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: stage cache: %w", err)
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
+	schedStats := sched.NewCounters()
 	s := &Server{
 		cfg:        cfg,
 		registry:   cfg.Registry,
@@ -197,7 +228,11 @@ func New(cfg Config) (*Server, error) {
 		stageCache: stageCache,
 		flights:    newFlightGroup(),
 		metrics:    NewMetrics(),
-		schedStats: sched.NewCounters(),
+		obs:        so,
+		logger:     logger,
+		traces:     obs.NewTraceRing(cfg.TraceRetain),
+		schedStats: schedStats,
+		schedRec:   &schedRecorder{Counters: schedStats, latency: so.schedLatency},
 		admission:  make(chan struct{}, cfg.MaxQueue),
 		mux:        http.NewServeMux(),
 		now:        now,
@@ -206,9 +241,14 @@ func New(cfg Config) (*Server, error) {
 		baseCancel: baseCancel,
 		runStudy:   sim.RunStudyContext,
 	}
-	s.flights.onCoalesce = func() { s.metrics.Coalesced.Add(1) }
+	so.bindServer(s)
+	s.flights.onCoalesce = func() {
+		s.metrics.Coalesced.Add(1)
+		so.coalesced.Inc()
+	}
 	s.mux.Handle("/v1/study", s.instrument("/v1/study", s.handleStudy))
 	s.mux.Handle("/v1/study/stream", s.instrument("/v1/study/stream", s.handleStudyStream))
+	s.mux.Handle("/v1/study/trace", s.instrument("/v1/study/trace", s.handleStudyTrace))
 	s.mux.Handle("/v1/mttf", s.instrument("/v1/mttf", s.handleMTTF))
 	s.mux.Handle("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
@@ -260,18 +300,46 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps a handler with request counting, in-flight gauging,
-// status accounting, and the latency histogram.
+// instrument wraps a handler with request-ID assignment, request counting,
+// in-flight gauging, status accounting, the latency histograms, and the
+// structured access log.
+//
+// Every request gets an ID: a sane inbound X-Request-ID is honoured
+// (sanitised against log/header injection), anything else gets a fresh
+// one. The ID is echoed on the response header, carried in the request
+// context for handlers and error envelopes, and stamped on every log line.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
+		reqID := obs.SanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+
 		s.metrics.Requests.Add(endpoint, 1)
+		s.obs.httpRequests.With(endpoint).Inc()
 		s.metrics.InFlightHTTP.Add(1)
-		defer s.metrics.InFlightHTTP.Add(-1)
+		s.obs.inflight.Add(1)
+		defer func() {
+			s.metrics.InFlightHTTP.Add(-1)
+			s.obs.inflight.Add(-1)
+		}()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
+		dur := s.now().Sub(start)
 		s.metrics.Status.Add(strconv.Itoa(sw.status), 1)
-		s.metrics.ObserveLatency(s.now().Sub(start))
+		s.obs.httpResponses.With(strconv.Itoa(sw.status)).Inc()
+		s.metrics.ObserveLatency(dur)
+		s.obs.httpLatency.Observe(dur.Seconds())
+		s.logger.Info("request",
+			"request_id", reqID,
+			"endpoint", endpoint,
+			"method", r.Method,
+			"status", sw.status,
+			"duration_ms", float64(dur)/float64(time.Millisecond),
+		)
 	})
 }
 
@@ -392,9 +460,55 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics serves the expvar-backed metric snapshot.
+// handleMetrics serves the metric snapshot: the JSON document by default,
+// the Prometheus text exposition with ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.schedStats, s.stageCache))
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.schedStats, s.stageCache))
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.obs.reg.WritePrometheus(w)
+	default:
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("unknown metrics format %q (use json or prometheus)", format))
+	}
+}
+
+// handleStudyTrace serves retained study traces as Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. By default
+// the most recent trace is returned; ?key=<study key> selects a specific
+// retained study, and ?list=1 returns the retained identities instead.
+func (s *Server) handleStudyTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("list") != "" {
+		s.writeJSON(w, http.StatusOK, struct {
+			SchemaVersion int                `json:"schema_version"`
+			Traces        []obs.TraceSummary `json:"traces"`
+		}{SchemaVersion, s.traces.List()})
+		return
+	}
+	var entry obs.TraceEntry
+	var ok bool
+	if key := q.Get("key"); key != "" {
+		entry, ok = s.traces.ByKey(key)
+	} else {
+		entry, ok = s.traces.Latest()
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeBadRequest,
+			errors.New("no matching study trace retained; run a study first"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Study-Key", entry.Key)
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteChromeTrace(w, entry.Spans)
 }
 
 // parseStudyRequest accepts POST application/json bodies and GET query
@@ -501,6 +615,9 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 		return v.(*sim.StudyResult), meta, nil
 	}
 
+	// The flight runs detached from the request context, so the leader's
+	// request ID is captured here for the trace entry and the study log.
+	reqID := obs.RequestIDFrom(ctx)
 	start := s.now()
 	v, err, coalesced := s.flights.Do(ctx, s.baseCtx, key, func(fctx context.Context) (any, error) {
 		// Double-check the cache: a flight that completed between our
@@ -520,17 +637,26 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 			defer cancel()
 		}
 		s.metrics.Studies.Add(1)
+		s.obs.studies.Inc()
+		s.logger.Info("study start", "request_id", reqID, "key", key)
+		collector := obs.NewCollector(s.cfg.TraceSpanLimit)
+		fctx = obs.WithTracer(fctx, obs.NewTracer(obs.MultiSink(s.obs.sink, collector)))
 		res, err := s.runStudy(fctx, cfg, profiles, techs, sim.StudyOptions{
 			Parallelism: s.cfg.Parallelism,
-			Metrics:     s.schedStats,
+			Metrics:     s.schedRec,
 			Cache:       s.stageCache,
 		})
 		if err != nil {
 			// Failed runs — deadline exceeded, cancelled, model errors —
 			// are never cached, so a transient failure cannot poison
 			// later requests.
+			s.logger.Warn("study failed", "request_id", reqID, "key", key, "error", err.Error())
 			return nil, err
 		}
+		s.traces.Add(obs.TraceEntry{
+			Key: key, RequestID: reqID, CapturedAt: s.now(), Spans: collector.Spans()})
+		s.logger.Info("study done", "request_id", reqID, "key", key,
+			"compute_ms", float64(s.now().Sub(start))/float64(time.Millisecond))
 		s.cache.Put(key, res)
 		return res, nil
 	})
@@ -576,6 +702,7 @@ func (s *Server) writeStudyError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		s.metrics.Shed.Add(1)
+		s.obs.shed.Inc()
 	}
 	s.writeError(w, status, code, msg)
 }
@@ -589,10 +716,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes the stable error envelope.
+// writeError writes the stable error envelope. The request ID is read back
+// from the response header instrument() set, so every call site echoes it
+// without threading the request through.
 func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
 	s.writeJSON(w, status, ErrorResponse{
 		SchemaVersion: SchemaVersion,
+		RequestID:     w.Header().Get("X-Request-ID"),
 		Error:         ErrorBody{Code: code, Message: err.Error()},
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/report"
 	"github.com/ramp-sim/ramp/internal/sim"
 )
@@ -30,10 +31,12 @@ import (
 // already completed stay in the stage cache, so a repeated request resumes
 // rather than restarts.
 
-// streamMetaEvent opens every stream.
+// streamMetaEvent opens every stream. RequestID (additive) echoes the
+// X-Request-ID header for log correlation.
 type streamMetaEvent struct {
 	SchemaVersion int    `json:"schema_version"`
 	Event         string `json:"event"` // "meta"
+	RequestID     string `json:"request_id,omitempty"`
 	Key           string `json:"key"`
 	CellsTotal    int    `json:"cells_total"`
 	Cache         string `json:"cache"` // "hit" or "miss"
@@ -98,12 +101,16 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 	}
 	cellsTotal := len(profiles) * len(techs)
 
+	reqID := obs.RequestIDFrom(r.Context())
+
 	// Whole-study cache hit: replay the grid instantly, no admission slot.
 	if v, ok := s.cache.Get(key); ok {
 		s.metrics.Streams.Add(1)
+		s.obs.streams.Inc()
 		res := v.(*sim.StudyResult)
-		sw := newStreamWriter(w, flusher)
-		sw.send(streamMetaEvent{SchemaVersion, "meta", key, cellsTotal, "hit"})
+		sw := s.newStreamWriter(w, flusher)
+		sw.send(streamMetaEvent{SchemaVersion: SchemaVersion, Event: "meta",
+			RequestID: reqID, Key: key, CellsTotal: cellsTotal, Cache: "hit"})
 		for i, a := range res.Apps {
 			sw.send(streamAppEvent{"app", i + 1, len(res.Apps), streamSourceResultCache, a})
 		}
@@ -126,7 +133,10 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Streams.Add(1)
+	s.obs.streams.Inc()
 	s.metrics.Studies.Add(1)
+	s.obs.studies.Inc()
+	s.logger.Info("stream start", "request_id", reqID, "key", key)
 
 	// The computation lives under the request context (client disconnect
 	// cancels it) and dies with the server's base context on Close.
@@ -139,9 +149,12 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 		ctx, tcancel = context.WithTimeout(ctx, s.cfg.ComputeTimeout)
 		defer tcancel()
 	}
+	collector := obs.NewCollector(s.cfg.TraceSpanLimit)
+	ctx = obs.WithTracer(ctx, obs.NewTracer(obs.MultiSink(s.obs.sink, collector)))
 
-	sw := newStreamWriter(w, flusher)
-	sw.send(streamMetaEvent{SchemaVersion, "meta", key, cellsTotal, "miss"})
+	sw := s.newStreamWriter(w, flusher)
+	sw.send(streamMetaEvent{SchemaVersion: SchemaVersion, Event: "meta",
+		RequestID: reqID, Key: key, CellsTotal: cellsTotal, Cache: "miss"})
 
 	// Workers publish cells into a grid-sized buffer, so a slow reader
 	// never stalls the simulation; the writer loop below drains it.
@@ -154,7 +167,7 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 		defer close(done)
 		res, runErr = s.runStudy(ctx, cfg, profiles, techs, sim.StudyOptions{
 			Parallelism: s.cfg.Parallelism,
-			Metrics:     s.schedStats,
+			Metrics:     s.schedRec,
 			Cache:       s.stageCache,
 			OnApp: func(ev sim.AppEvent) {
 				select {
@@ -185,13 +198,19 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			if runErr != nil {
+				s.logger.Warn("stream failed", "request_id", reqID, "key", key,
+					"error", runErr.Error())
 				_, code, msg := s.studyErrorStatus(runErr)
 				sw.send(streamErrorEvent{"error", ErrorBody{Code: code, Message: msg.Error()}})
 				return
 			}
+			s.traces.Add(obs.TraceEntry{
+				Key: key, RequestID: reqID, CapturedAt: s.now(), Spans: collector.Spans()})
 			s.cache.Put(key, res)
 			meta := StudyMeta{Key: key, Cache: "miss",
 				ComputeMS: float64(s.now().Sub(start)) / float64(time.Millisecond)}
+			s.logger.Info("stream done", "request_id", reqID, "key", key,
+				"compute_ms", meta.ComputeMS)
 			sw.send(streamStudyEvent{"study", meta, report.BuildDocument(res)})
 			return
 		}
@@ -204,14 +223,15 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 type streamWriter struct {
 	enc     *json.Encoder
 	flusher http.Flusher
+	events  *obs.CounterVec // sent events by type; nil disables counting
 	failed  bool
 }
 
-func newStreamWriter(w http.ResponseWriter, f http.Flusher) *streamWriter {
+func (s *Server) newStreamWriter(w http.ResponseWriter, f http.Flusher) *streamWriter {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
-	return &streamWriter{enc: json.NewEncoder(w), flusher: f}
+	return &streamWriter{enc: json.NewEncoder(w), flusher: f, events: s.obs.streamEvents}
 }
 
 func (sw *streamWriter) send(v any) {
@@ -223,4 +243,25 @@ func (sw *streamWriter) send(v any) {
 		return
 	}
 	sw.flusher.Flush()
+	if sw.events != nil {
+		sw.events.With(streamEventName(v)).Inc()
+	}
+}
+
+// streamEventName maps a wire event to its metrics label.
+func streamEventName(v any) string {
+	switch v.(type) {
+	case streamMetaEvent:
+		return "meta"
+	case streamAppEvent:
+		return "app"
+	case streamHeartbeatEvent:
+		return "heartbeat"
+	case streamStudyEvent:
+		return "study"
+	case streamErrorEvent:
+		return "error"
+	default:
+		return "unknown"
+	}
 }

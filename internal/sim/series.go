@@ -6,6 +6,7 @@ import (
 
 	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/power"
 	"github.com/ramp-sim/ramp/internal/scaling"
 	"github.com/ramp-sim/ramp/internal/stats"
@@ -73,6 +74,14 @@ func RunThermal(cfg Config, tr *ActivityTrace, tech scaling.Technology,
 // is what makes the series reusable across reliability-constant sweeps.
 func RunThermalContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech scaling.Technology,
 	sinkTempTargetK, appPowerScale float64) (*ThermalSeries, error) {
+	ctx, sp := obs.StartSpan(ctx, obs.SpanThermal)
+	if sp != nil {
+		sp.SetAttr("tech", tech.Name)
+		if tr != nil {
+			sp.SetAttr("app", tr.Profile.Name)
+		}
+		defer sp.Finish()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -193,6 +202,14 @@ func AccumulateFIT(cfg Config, ts *ThermalSeries, tech scaling.Technology) (AppR
 // stage cache.
 func AccumulateFITContext(ctx context.Context, cfg Config, ts *ThermalSeries,
 	tech scaling.Technology) (AppRun, error) {
+	_, sp := obs.StartSpan(ctx, obs.SpanFIT)
+	if sp != nil {
+		sp.SetAttr("tech", tech.Name)
+		if ts != nil {
+			sp.SetAttr("app", ts.App)
+		}
+		defer sp.Finish()
+	}
 	if err := cfg.Validate(); err != nil {
 		return AppRun{}, err
 	}

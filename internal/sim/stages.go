@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 
+	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/scaling"
 	"github.com/ramp-sim/ramp/internal/store"
 	"github.com/ramp-sim/ramp/internal/workload"
@@ -17,6 +18,11 @@ type StageCacheOptions struct {
 	// Dir, when non-empty, spills encoded artifacts under it
 	// (Dir/timing, Dir/thermal, Dir/fit) so later processes start warm.
 	Dir string
+	// Observer, when non-nil, receives one store.Event per cache
+	// operation across all three stage stores; Event.Store carries the
+	// stage name ("timing", "thermal", "fit"). It is called from
+	// simulation worker goroutines and must be safe for concurrent use.
+	Observer func(store.Event)
 }
 
 // StageCache is the content-addressed artifact cache of the staged study
@@ -35,7 +41,7 @@ type StageCache struct {
 
 // NewStageCache builds the three per-stage stores.
 func NewStageCache(opts StageCacheOptions) (*StageCache, error) {
-	so := store.Options{MaxEntries: opts.MaxEntries, Dir: opts.Dir}
+	so := store.Options{MaxEntries: opts.MaxEntries, Dir: opts.Dir, Observer: opts.Observer}
 	timing, err := store.New("timing", so, store.JSONCodec[*ActivityTrace]())
 	if err != nil {
 		return nil, err
@@ -84,6 +90,9 @@ const (
 // nil.
 func RunTimingCachedContext(ctx context.Context, cfg Config, prof workload.Profile,
 	cache *StageCache) (*ActivityTrace, error) {
+	ctx, sp := obs.StartSpan(ctx, obs.SpanTiming)
+	sp.SetAttr("app", prof.Name)
+	defer sp.Finish()
 	if cache == nil {
 		return RunTimingContext(ctx, cfg, prof)
 	}
@@ -91,15 +100,44 @@ func RunTimingCachedContext(ctx context.Context, cfg Config, prof workload.Profi
 	if err != nil {
 		return nil, err
 	}
-	if tr, ok := cache.timing.Get(key); ok {
+	if tr, ok := cacheGet(ctx, cache.timing, StageTiming, key); ok {
+		sp.SetAttr("cache", "hit")
 		return tr, nil
 	}
+	sp.SetAttr("cache", "miss")
 	tr, err := RunTimingContext(ctx, cfg, prof)
 	if err != nil {
 		return nil, err
 	}
-	cache.timing.Put(key, tr)
+	cachePut(ctx, cache.timing, StageTiming, key, tr)
 	return tr, nil
+}
+
+// cacheGet wraps one stage-store lookup in a store.get span carrying the
+// stage and its hit/miss result.
+func cacheGet[T any](ctx context.Context, st *store.Store[T], stage, key string) (T, bool) {
+	_, sp := obs.StartSpan(ctx, obs.SpanCacheGet)
+	v, ok := st.Get(key)
+	if sp != nil {
+		sp.SetAttr("stage", stage)
+		if ok {
+			sp.SetAttr("result", "hit")
+		} else {
+			sp.SetAttr("result", "miss")
+		}
+		sp.Finish()
+	}
+	return v, ok
+}
+
+// cachePut wraps one stage-store insert in a store.put span.
+func cachePut[T any](ctx context.Context, st *store.Store[T], stage, key string, v T) {
+	_, sp := obs.StartSpan(ctx, obs.SpanCachePut)
+	st.Put(key, v)
+	if sp != nil {
+		sp.SetAttr("stage", stage)
+		sp.Finish()
+	}
 }
 
 // cellKeys derives both per-cell keys once.

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/microarch"
+	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/scaling"
 	"github.com/ramp-sim/ramp/internal/sched"
 	"github.com/ramp-sim/ramp/internal/workload"
@@ -162,6 +164,15 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 	if techs[0].Name != base.Name {
 		return nil, fmt.Errorf("sim: first technology must be %s (calibration anchor), got %s",
 			base.Name, techs[0].Name)
+	}
+
+	// The study span roots the trace; each cell detaches onto its own
+	// track below it so concurrent cells render as parallel rows.
+	ctx, studySpan := obs.StartSpan(ctx, obs.SpanStudy)
+	if studySpan != nil {
+		studySpan.SetAttr("profiles", strconv.Itoa(len(profiles)))
+		studySpan.SetAttr("techs", strconv.Itoa(len(techs)))
+		defer studySpan.Finish()
 	}
 
 	// Task results land in index-addressed slots, so the assembled result
@@ -418,8 +429,28 @@ func (s *studyRun) cellScaled(ctx context.Context, i, ti int) (AppRun, string, e
 // cellCached implements the per-cell stage waterfall: FIT cache → thermal
 // cache + reliability replay → full computation via produce. Artifacts are
 // inserted only when complete, so a cancelled cell leaves the cache
-// exactly as it found it.
+// exactly as it found it. The whole waterfall runs inside a sim.cell span
+// on its own trace track, annotated with the cell's identity and
+// provenance.
 func (s *studyRun) cellCached(ctx context.Context, i int, tech scaling.Technology,
+	produce func(context.Context) (*ThermalSeries, error)) (AppRun, string, error) {
+	ctx, cell := obs.StartTrackSpan(ctx, obs.SpanCell)
+	run, src, err := s.cellResolve(ctx, i, tech, produce)
+	if cell != nil {
+		cell.SetAttr("app", s.profiles[i].Name)
+		cell.SetAttr("tech", tech.Name)
+		if err != nil {
+			cell.SetAttr("error", err.Error())
+		} else {
+			cell.SetAttr("source", src)
+		}
+		cell.Finish()
+	}
+	return run, src, err
+}
+
+// cellResolve is cellCached's uninstrumented body.
+func (s *studyRun) cellResolve(ctx context.Context, i int, tech scaling.Technology,
 	produce func(context.Context) (*ThermalSeries, error)) (AppRun, string, error) {
 	var thermalKey, fitKey string
 	if s.cache != nil {
@@ -428,15 +459,15 @@ func (s *studyRun) cellCached(ctx context.Context, i int, tech scaling.Technolog
 		if err != nil {
 			return AppRun{}, "", err
 		}
-		if run, ok := s.cache.fit.Get(fitKey); ok {
+		if run, ok := cacheGet(ctx, s.cache.fit, "fit", fitKey); ok {
 			return *run, CellFromFITCache, nil
 		}
-		if ts, ok := s.cache.thermal.Get(thermalKey); ok {
+		if ts, ok := cacheGet(ctx, s.cache.thermal, "thermal", thermalKey); ok {
 			run, err := AccumulateFITContext(ctx, s.cfg, ts, tech)
 			if err != nil {
 				return AppRun{}, "", err
 			}
-			s.cache.fit.Put(fitKey, &run)
+			cachePut(ctx, s.cache.fit, "fit", fitKey, &run)
 			return run, CellFromThermalCache, nil
 		}
 	}
@@ -445,14 +476,14 @@ func (s *studyRun) cellCached(ctx context.Context, i int, tech scaling.Technolog
 		return AppRun{}, "", err
 	}
 	if s.cache != nil {
-		s.cache.thermal.Put(thermalKey, ts)
+		cachePut(ctx, s.cache.thermal, "thermal", thermalKey, ts)
 	}
 	run, err := AccumulateFITContext(ctx, s.cfg, ts, tech)
 	if err != nil {
 		return AppRun{}, "", err
 	}
 	if s.cache != nil {
-		s.cache.fit.Put(fitKey, &run)
+		cachePut(ctx, s.cache.fit, "fit", fitKey, &run)
 	}
 	return run, CellComputed, nil
 }

@@ -27,6 +27,40 @@ type Options struct {
 	// Dir, when non-empty, enables the disk spill tier rooted there. Each
 	// store writes under Dir/<name>/. The directory is created on demand.
 	Dir string
+	// Observer, when non-nil, receives one Event per store operation
+	// (lookups with their outcome, inserts, evictions, disk spills). It is
+	// called without the store lock held, from whatever goroutine performed
+	// the operation, and must be safe for concurrent use.
+	Observer func(Event)
+}
+
+// Event operation and outcome labels.
+const (
+	// OpGet is a lookup; outcomes OutcomeHitMem / OutcomeHitDisk /
+	// OutcomeMiss.
+	OpGet = "get"
+	// OpPut is an insert; outcome OutcomeOK.
+	OpPut = "put"
+	// OpEvict is an LRU eviction; outcome OutcomeOK.
+	OpEvict = "evict"
+	// OpSpill is a disk-tier write; outcomes OutcomeOK / OutcomeError.
+	OpSpill = "spill"
+
+	OutcomeHitMem  = "hit_mem"
+	OutcomeHitDisk = "hit_disk"
+	OutcomeMiss    = "miss"
+	OutcomeOK      = "ok"
+	OutcomeError   = "error"
+)
+
+// Event describes one completed store operation for observability hooks.
+type Event struct {
+	// Store is the store's name (its stage, for the stage cache).
+	Store string
+	// Op is one of the Op* constants.
+	Op string
+	// Outcome is one of the Outcome* constants.
+	Outcome string
 }
 
 // Codec serialises artifacts for the disk tier.
@@ -62,14 +96,23 @@ type Stats struct {
 // Values are shared between the cache and its callers: treat artifacts as
 // immutable after Put.
 type Store[T any] struct {
-	mu    sync.Mutex
-	name  string
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
-	dir   string // "" = memory only
-	codec Codec[T]
-	stats Stats
+	mu      sync.Mutex
+	name    string
+	max     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	dir     string // "" = memory only
+	codec   Codec[T]
+	stats   Stats
+	observe func(Event) // nil = no observer
+}
+
+// event emits an operation event to the observer, if any. Never called
+// with s.mu held.
+func (s *Store[T]) event(op, outcome string) {
+	if s.observe != nil {
+		s.observe(Event{Store: s.name, Op: op, Outcome: outcome})
+	}
 }
 
 // entry is one resident artifact.
@@ -89,11 +132,12 @@ func New[T any](name string, opts Options, codec Codec[T]) (*Store[T], error) {
 		max = 256
 	}
 	s := &Store[T]{
-		name:  name,
-		max:   max,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
-		codec: codec,
+		name:    name,
+		max:     max,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		codec:   codec,
+		observe: opts.Observer,
 	}
 	if opts.Dir != "" {
 		if codec.Encode == nil || codec.Decode == nil {
@@ -135,6 +179,7 @@ func (s *Store[T]) Get(key string) (T, bool) {
 		s.stats.MemHits++
 		v := el.Value.(*entry[T]).val
 		s.mu.Unlock()
+		s.event(OpGet, OutcomeHitMem)
 		return v, true
 	}
 	dir := s.dir
@@ -147,8 +192,12 @@ func (s *Store[T]) Get(key string) (T, bool) {
 			if v, err := s.codec.Decode(b); err == nil {
 				s.mu.Lock()
 				s.stats.DiskHits++
-				s.admitLocked(key, v)
+				evicted := s.admitLocked(key, v)
 				s.mu.Unlock()
+				s.event(OpGet, OutcomeHitDisk)
+				for ; evicted > 0; evicted-- {
+					s.event(OpEvict, OutcomeOK)
+				}
 				return v, true
 			}
 			s.noteDiskFailure()
@@ -157,6 +206,7 @@ func (s *Store[T]) Get(key string) (T, bool) {
 	s.mu.Lock()
 	s.stats.Misses++
 	s.mu.Unlock()
+	s.event(OpGet, OutcomeMiss)
 	return zero, false
 }
 
@@ -192,9 +242,13 @@ func (s *Store[T]) Put(key string, v T) {
 	}
 	s.mu.Lock()
 	s.stats.Puts++
-	s.admitLocked(key, v)
+	evicted := s.admitLocked(key, v)
 	dir := s.dir
 	s.mu.Unlock()
+	s.event(OpPut, OutcomeOK)
+	for ; evicted > 0; evicted-- {
+		s.event(OpEvict, OutcomeOK)
+	}
 
 	if dir == "" {
 		return
@@ -202,12 +256,14 @@ func (s *Store[T]) Put(key string, v T) {
 	b, err := s.codec.Encode(v)
 	if err != nil {
 		s.noteDiskFailure()
+		s.event(OpSpill, OutcomeError)
 		return
 	}
 	path := s.path(key)
 	tmp, err := os.CreateTemp(dir, ".tmp-"+key[:8]+"-*")
 	if err != nil {
 		s.noteDiskFailure()
+		s.event(OpSpill, OutcomeError)
 		return
 	}
 	_, werr := tmp.Write(b)
@@ -215,22 +271,28 @@ func (s *Store[T]) Put(key string, v T) {
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		s.noteDiskFailure()
+		s.event(OpSpill, OutcomeError)
 		return
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		s.noteDiskFailure()
+		s.event(OpSpill, OutcomeError)
+		return
 	}
+	s.event(OpSpill, OutcomeOK)
 }
 
-// admitLocked inserts or refreshes a memory-tier entry; caller holds s.mu.
-func (s *Store[T]) admitLocked(key string, v T) {
+// admitLocked inserts or refreshes a memory-tier entry, returning the
+// number of entries evicted to stay within the bound; caller holds s.mu.
+func (s *Store[T]) admitLocked(key string, v T) int {
 	if el, ok := s.items[key]; ok {
 		el.Value.(*entry[T]).val = v
 		s.ll.MoveToFront(el)
-		return
+		return 0
 	}
 	s.items[key] = s.ll.PushFront(&entry[T]{key: key, val: v})
+	evicted := 0
 	for s.ll.Len() > s.max {
 		oldest := s.ll.Back()
 		if oldest == nil {
@@ -239,7 +301,9 @@ func (s *Store[T]) admitLocked(key string, v T) {
 		delete(s.items, oldest.Value.(*entry[T]).key)
 		s.ll.Remove(oldest)
 		s.stats.Evicted++
+		evicted++
 	}
+	return evicted
 }
 
 // path maps a key to its spill file.

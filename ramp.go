@@ -46,6 +46,7 @@ import (
 	"github.com/ramp-sim/ramp/internal/drm"
 	"github.com/ramp-sim/ramp/internal/microarch"
 	"github.com/ramp-sim/ramp/internal/multicore"
+	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/report"
 	"github.com/ramp-sim/ramp/internal/scaling"
 	"github.com/ramp-sim/ramp/internal/scenario"
@@ -169,6 +170,23 @@ type (
 	// ScenarioOverrides are the supported model modifications.
 	ScenarioOverrides = scenario.Overrides
 
+	// Execution tracing (Runner option WithTracer).
+
+	// Tracer creates spans around pipeline stages and fans the completed
+	// spans out to a SpanSink. Install one on a Runner with WithTracer.
+	Tracer = obs.Tracer
+	// Span is one timed operation of a traced study (a pipeline stage, a
+	// grid cell, a cache lookup), with its parent link and attributes.
+	Span = obs.Span
+	// SpanAttr is one key/value annotation on a span.
+	SpanAttr = obs.Attr
+	// SpanSink receives completed spans; implement it to stream spans into
+	// a custom backend.
+	SpanSink = obs.SpanSink
+	// TraceCollector is a SpanSink buffering completed spans in memory for
+	// export (e.g. via WriteChromeTrace).
+	TraceCollector = obs.Collector
+
 	// Trace interchange ("bring your own trace").
 
 	// Instruction is one decoded instruction of a trace.
@@ -283,6 +301,17 @@ func RunTimings(ctx context.Context, cfg Config, profiles []Profile,
 func RunTimingStream(cfg Config, prof Profile, stream Stream) (*ActivityTrace, error) {
 	return sim.RunTimingStream(cfg, prof, stream)
 }
+
+// NewTracer builds a span tracer fanning completed spans out to sink.
+func NewTracer(sink SpanSink) *Tracer { return obs.NewTracer(sink) }
+
+// NewTraceCollector returns a SpanSink retaining at most max completed
+// spans in completion order (0 = unbounded).
+func NewTraceCollector(max int) *TraceCollector { return obs.NewCollector(max) }
+
+// WriteChromeTrace serialises spans as a Chrome trace-event JSON document,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []*Span) error { return obs.WriteChromeTrace(w, spans) }
 
 // NewTraceReader opens a binary trace file stream.
 func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }

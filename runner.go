@@ -3,6 +3,7 @@ package ramp
 import (
 	"context"
 
+	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/sched"
 	"github.com/ramp-sim/ramp/internal/sim"
 )
@@ -52,6 +53,7 @@ type Runner struct {
 	progress    func(StudyProgress)
 	metrics     MetricsRecorder
 	cache       *sim.StageCache
+	tracer      *Tracer
 }
 
 // Option configures a Runner. Options are applied in order; an option
@@ -120,6 +122,25 @@ func WithCache(opts CacheOptions) Option {
 	}
 }
 
+// WithTracer instruments every study the Runner executes: pipeline-stage
+// and per-cell spans flow into the tracer's sink (e.g. a TraceCollector
+// for Chrome-trace export). A nil tracer leaves execution untraced with
+// zero overhead on the stage hot paths.
+func WithTracer(t *Tracer) Option {
+	return func(r *Runner) error {
+		r.tracer = t
+		return nil
+	}
+}
+
+// traceCtx installs the Runner's tracer, if any, on the study context.
+func (r *Runner) traceCtx(ctx context.Context) context.Context {
+	if r.tracer != nil {
+		return obs.WithTracer(ctx, r.tracer)
+	}
+	return ctx
+}
+
 // options assembles the StudyOptions for one study run.
 func (r *Runner) options(onApp func(AppEvent)) StudyOptions {
 	return StudyOptions{
@@ -137,14 +158,14 @@ func (r *Runner) options(onApp func(AppEvent)) StudyOptions {
 // execution policy. techs must start with the base (180nm) technology.
 func (r *Runner) Study(ctx context.Context, cfg Config, profiles []Profile,
 	techs []Technology) (*StudyResult, error) {
-	return sim.RunStudyContext(ctx, cfg, profiles, techs, r.options(nil))
+	return sim.RunStudyContext(r.traceCtx(ctx), cfg, profiles, techs, r.options(nil))
 }
 
 // Timing executes only the timing stage for one profile, through the
 // Runner's stage cache when one is attached. The returned trace is
 // immutable and may be shared across concurrent evaluations.
 func (r *Runner) Timing(ctx context.Context, cfg Config, prof Profile) (*ActivityTrace, error) {
-	return sim.RunTimingCachedContext(ctx, cfg, prof, r.cache)
+	return sim.RunTimingCachedContext(r.traceCtx(ctx), cfg, prof, r.cache)
 }
 
 // CacheStats snapshots the Runner's stage cache. ok is false when the
@@ -193,6 +214,7 @@ func (r *Runner) StreamStudy(ctx context.Context, cfg Config, profiles []Profile
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx = r.traceCtx(ctx)
 	events := make(chan StudyEvent)
 	onApp := func(ev AppEvent) {
 		run := ev.Run

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -215,5 +216,60 @@ func TestRunnerStreamStudyBadConfig(t *testing.T) {
 	if _, err := runner.StreamStudy(context.Background(), bad,
 		ramp.Profiles()[:1], ramp.Technologies()[:1]); err == nil {
 		t.Errorf("StreamStudy accepted an invalid config")
+	}
+}
+
+// TestRunnerWithTracer: a Runner-attached tracer must capture the study's
+// span tree — one study root, one cell span per (profile × technology) —
+// and an untraced Runner must record nothing.
+func TestRunnerWithTracer(t *testing.T) {
+	cfg, profiles, techs := runnerTestInputs(t)
+	collector := ramp.NewTraceCollector(0)
+	runner, err := ramp.New(
+		ramp.WithParallelism(2),
+		ramp.WithTracer(ramp.NewTracer(collector)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Study(context.Background(), cfg, profiles, techs); err != nil {
+		t.Fatal(err)
+	}
+	spans := collector.Spans()
+	var study, cells int
+	for _, sp := range spans {
+		switch sp.Name {
+		case "sim.study":
+			study++
+		case "sim.cell":
+			cells++
+		}
+	}
+	if study != 1 {
+		t.Errorf("study spans = %d, want 1", study)
+	}
+	if want := len(profiles) * len(techs); cells != want {
+		t.Errorf("cell spans = %d, want %d", cells, want)
+	}
+
+	// The trace export must serialise the collected spans.
+	var buf strings.Builder
+	if err := ramp.WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Errorf("chrome trace missing traceEvents array: %q", buf.String()[:80])
+	}
+
+	// StreamStudy flows through the same tracer.
+	before := len(spans)
+	events, err := runner.StreamStudy(context.Background(), cfg, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range events {
+	}
+	if after := len(collector.Spans()); after <= before {
+		t.Errorf("StreamStudy added no spans (%d -> %d)", before, after)
 	}
 }
