@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench/mc.sh — Monte Carlo study throughput, cold vs stage-cache-warm.
+#
+# Runs one cold Monte Carlo study (full scaling study plus sampling),
+# then a second with a different root seed over the now-warm stage cache
+# (study replays; only the sampling runs), and writes BENCH_mc.json in
+# the repo root with replicas/sec for both and the throughput speedup.
+#
+# Usage: ./bench/mc.sh [instructions] [samples]   (defaults 400000, 1000)
+set -eu
+
+N="${1:-400000}"
+SAMPLES="${2:-1000}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+go run ./bench/mc -n "$N" -samples "$SAMPLES" -out "$ROOT/BENCH_mc.json"

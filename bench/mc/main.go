@@ -1,0 +1,115 @@
+// Command mc benchmarks Monte Carlo study throughput through the stage
+// cache: one cold run pays the full scaling study (timing, thermal,
+// reliability) before sampling, then a warm run with a different root
+// seed replays the study from the cache and pays only the sampling. The
+// recorded replicas/sec contrast is the value of fanning the replicas
+// over cached stages instead of recomputing the grid per experiment.
+//
+// Usage: mc [-n instructions] [-apps 4] [-samples 1000] [-out BENCH_mc.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+type result struct {
+	Instructions int64 `json:"instructions"`
+	Apps         int   `json:"apps"`
+	Techs        int   `json:"techs"`
+	Samples      int   `json:"samples"`
+	Cells        int   `json:"cells"`
+	Replicas     int   `json:"replicas"`
+	// Cold: fresh stage cache, the study itself dominates.
+	ColdS            float64 `json:"cold_s"`
+	ColdReplicasPerS float64 `json:"cold_replicas_per_s"`
+	// Warm: same runner, different seed — the study replays from cache.
+	WarmS            float64 `json:"warm_s"`
+	WarmReplicasPerS float64 `json:"warm_replicas_per_s"`
+	// Speedup is warm over cold throughput.
+	Speedup float64              `json:"speedup"`
+	Cache   ramp.StageCacheStats `json:"stage_cache"`
+}
+
+func main() {
+	n := flag.Int64("n", 400_000, "instructions per application")
+	apps := flag.Int("apps", 4, "number of benchmark profiles")
+	samples := flag.Int("samples", 1_000, "Monte Carlo replicas per cell")
+	out := flag.String("out", "BENCH_mc.json", "output JSON path")
+	flag.Parse()
+	if err := run(*n, *apps, *samples, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "mc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int64, apps, samples int, out string) error {
+	cfg := ramp.DefaultConfig()
+	cfg.Instructions = n
+	profiles := ramp.Profiles()
+	if apps > 0 && apps < len(profiles) {
+		profiles = profiles[:apps]
+	}
+	techs := ramp.Technologies()
+
+	runner, err := ramp.New(ramp.WithCache(ramp.CacheOptions{}))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	res := result{Instructions: n, Apps: len(profiles), Techs: len(techs),
+		Samples: samples, Cells: len(profiles) * len(techs)}
+	res.Replicas = res.Cells * samples
+	mcfg := ramp.MCConfig{Samples: samples, Seed: 2004}
+
+	fmt.Printf("cold: %d cells × %d replicas, %d instructions\n", res.Cells, samples, n)
+	start := time.Now()
+	cold, err := runner.MCStudy(ctx, cfg, profiles, techs, mcfg, nil)
+	if err != nil {
+		return err
+	}
+	res.ColdS = time.Since(start).Seconds()
+	res.ColdReplicasPerS = float64(cold.TotalReplicas) / res.ColdS
+	fmt.Printf("  %.3fs  (%.0f replicas/s)\n", res.ColdS, res.ColdReplicasPerS)
+
+	// A different seed is a different experiment — a different MC cache key
+	// on the server — but the same deterministic study underneath.
+	mcfg.Seed = 2024
+	start = time.Now()
+	warm, err := runner.MCStudy(ctx, cfg, profiles, techs, mcfg, nil)
+	if err != nil {
+		return err
+	}
+	res.WarmS = time.Since(start).Seconds()
+	res.WarmReplicasPerS = float64(warm.TotalReplicas) / res.WarmS
+	res.Speedup = res.WarmReplicasPerS / res.ColdReplicasPerS
+	fmt.Printf("warm: %.3fs  (%.0f replicas/s, %.1fx)\n",
+		res.WarmS, res.WarmReplicasPerS, res.Speedup)
+
+	if stats, ok := runner.CacheStats(); ok {
+		res.Cache = stats
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("warm/cold throughput %.1fx → %s\n", res.Speedup, out)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	rampd [-addr :8080] [-n 200000] [-max-n 2000000] [-cache-size 64]
 //	      [-cache-ttl 1h] [-queue 4] [-timeout 5m] [-drain 30s]
 //	      [-parallelism N] [-cache-dir DIR] [-stage-cache 256] [-heartbeat 10s]
+//	      [-mc-samples 200000] [-mc-replicas 2000000]
 //	      [-pprof-addr localhost:6060] [-trace-retain 8]
 //	      [-log-level info] [-log-format text]
 //
@@ -16,6 +17,8 @@
 //	GET/POST /v1/study         full study document  (?apps=a,b&techs=x,y&instructions=n)
 //	GET/POST /v1/study/stream  the same study as NDJSON, one event per
 //	                           completed (app × tech) cell, then the document
+//	GET/POST /v1/study/mc      Monte Carlo lifetime distributions as NDJSON —
+//	                           per-cell percentile/CI estimates, then the result
 //	GET/POST /v1/mttf          lifetime summary     (same parameters, same cache)
 //	GET      /v1/profiles      the benchmark registry
 //	GET      /v1/study/trace   Chrome trace-event JSON of a retained study
@@ -81,6 +84,8 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	cacheDir := fs.String("cache-dir", "", "persist stage artifacts (timing/thermal/fit) under this directory")
 	stageCache := fs.Int("stage-cache", 0, "in-memory stage-cache entries per stage (0 = default 256)")
 	heartbeat := fs.Duration("heartbeat", 10*time.Second, "idle heartbeat interval on /v1/study/stream")
+	mcSamples := fs.Int("mc-samples", 0, "per-cell Monte Carlo replica cap on /v1/study/mc (0 = default 200000)")
+	mcReplicas := fs.Int("mc-replicas", 0, "total Monte Carlo replica cap — samples × grid cells (0 = default 2000000)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	traceRetain := fs.Int("trace-retain", 0, "completed study traces retained for /v1/study/trace (0 = default 8)")
 	logFlags := cli.RegisterLogFlags(fs)
@@ -107,6 +112,8 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 		CacheDir:            *cacheDir,
 		StageCacheEntries:   *stageCache,
 		StreamHeartbeat:     *heartbeat,
+		MaxMCSamples:        *mcSamples,
+		MaxMCReplicas:       *mcReplicas,
 		Logger:              logger,
 		TraceRetain:         *traceRetain,
 	})

@@ -111,46 +111,70 @@ func (s session) timings(cfg ramp.Config, apps []string) ([]*ramp.ActivityTrace,
 }
 
 func runMC(s session, out io.Writer, cfg ramp.Config, app string, tech ramp.Technology, samples int) error {
-	tr, err := s.timing(cfg, app)
+	prof, err := ramp.ProfileByName(strings.TrimSpace(app))
 	if err != nil {
 		return err
 	}
-	base, err := ramp.EvaluateTech(cfg, tr, ramp.BaseTechnology(), 0, 1)
-	if err != nil {
-		return err
-	}
-	point := base
+	techs := []ramp.Technology{ramp.BaseTechnology()}
 	if tech.Name != ramp.BaseTechnology().Name {
-		point, err = ramp.EvaluateTech(cfg, tr, tech, base.SinkTempK, 1)
-		if err != nil {
-			return err
-		}
+		techs = append(techs, tech)
 	}
-	fit := point.RawFIT.Calibrated(ramp.ReferenceConstants())
+	// One runner with an in-memory stage cache: the second model's study
+	// replays the first's timing and thermal artifacts.
+	opts := []ramp.Option{
+		ramp.WithParallelism(s.opts.Parallelism),
+		ramp.WithCache(ramp.CacheOptions{}),
+	}
+	if s.opts.OnProgress != nil {
+		opts = append(opts, ramp.WithProgress(s.opts.OnProgress))
+	}
+	runner, err := ramp.New(opts...)
+	if err != nil {
+		return err
+	}
 	t := &ramp.Table{
-		Title:  fmt.Sprintf("%s @ %s: lifetime distribution (%d trials)", app, tech.Name, samples),
-		Header: []string{"model", "MTTF (y)", "median (y)", "5th pct (y)", "95th pct (y)"},
+		Title: fmt.Sprintf("%s @ %s: lifetime distribution (%d trials)", app, tech.Name, samples),
+		Header: []string{"model", "MTTF (y)", "median (y)", "5th pct (y)", "95th pct (y)",
+			"median 95% CI (y)"},
 	}
-	for _, m := range []struct {
-		name  string
-		model ramp.LifetimeModel
-	}{
-		{"exponential (SOFR)", ramp.SOFRLifetimes()},
-		{"wear-out", ramp.WearOutLifetimes()},
+	for _, m := range []struct{ name, model string }{
+		{"exponential (SOFR)", "sofr"},
+		{"wear-out", "wearout"},
 	} {
-		est, err := ramp.MonteCarloLifetime(fit, m.model, samples, 2004)
+		res, err := runner.MCStudy(s.ctx, cfg, []ramp.Profile{prof}, techs, ramp.MCConfig{
+			Samples:     samples,
+			Model:       m.model,
+			Seed:        2004,
+			Percentiles: []float64{5, 50, 95},
+		}, nil)
 		if err != nil {
 			return err
 		}
+		cell, err := mcCellFor(res, prof.Name, tech.Name)
+		if err != nil {
+			return err
+		}
+		p5, p50, p95 := cell.Percentiles[0], cell.Percentiles[1], cell.Percentiles[2]
 		if err := t.AddRow(m.name,
-			fmt.Sprintf("%.1f", est.MTTFYears),
-			fmt.Sprintf("%.1f", est.MedianYears),
-			fmt.Sprintf("%.1f", est.P5Years),
-			fmt.Sprintf("%.1f", est.P95Years)); err != nil {
+			fmt.Sprintf("%.1f", cell.MeanYears),
+			fmt.Sprintf("%.1f", p50.Years),
+			fmt.Sprintf("%.1f", p5.Years),
+			fmt.Sprintf("%.1f", p95.Years),
+			fmt.Sprintf("[%.1f, %.1f]", p50.CI.Lo, p50.CI.Hi)); err != nil {
 			return err
 		}
 	}
 	return t.Render(out)
+}
+
+// mcCellFor selects one (application × technology) cell of an MC study.
+func mcCellFor(res *ramp.MCResult, app, techName string) (ramp.MCCell, error) {
+	for _, c := range res.Cells {
+		if c.App == app && c.Tech == techName {
+			return c, nil
+		}
+	}
+	return ramp.MCCell{}, fmt.Errorf("no MC cell for %s @ %s", app, techName)
 }
 
 func runDRM(s session, out io.Writer, cfg ramp.Config, app string, tech ramp.Technology, budget float64) error {

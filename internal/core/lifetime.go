@@ -6,8 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"github.com/ramp-sim/ramp/internal/microarch"
-	"github.com/ramp-sim/ramp/internal/phys"
+	"github.com/ramp-sim/ramp/internal/stats"
 )
 
 // This file relaxes the SOFR model's second assumption. SOFR (§2) treats
@@ -44,6 +43,12 @@ func (Exponential) Sample(rng *rand.Rand, mean float64) float64 {
 // Name returns "exponential".
 func (Exponential) Name() string { return "exponential" }
 
+// Quantile returns the analytic p-th quantile (0 < p < 1) of the
+// exponential lifetime with the given mean: −mean·ln(1−p).
+func (Exponential) Quantile(mean, p float64) float64 {
+	return -mean * math.Log(1-p)
+}
+
 // Weibull models wear-out: with Shape > 1 the hazard rate grows with age,
 // the qualitative behaviour the paper says real mechanisms have. Shape = 1
 // degenerates to the exponential.
@@ -72,6 +77,21 @@ func (w Weibull) Sample(rng *rand.Rand, mean float64) float64 {
 // Name returns a slope-qualified label.
 func (w Weibull) Name() string { return fmt.Sprintf("weibull(β=%.2g)", w.Shape) }
 
+// Validate rejects non-positive or non-finite shapes.
+func (w Weibull) Validate() error {
+	if !(w.Shape > 0) || math.IsInf(w.Shape, 1) {
+		return fmt.Errorf("core: weibull shape must be a positive finite number, got %v", w.Shape)
+	}
+	return nil
+}
+
+// Quantile returns the analytic p-th quantile (0 < p < 1) of the Weibull
+// lifetime with the given mean: λ·(−ln(1−p))^(1/β), λ = mean/Γ(1+1/β).
+func (w Weibull) Quantile(mean, p float64) float64 {
+	scale := mean / math.Gamma(1+1/w.Shape)
+	return scale * math.Pow(-math.Log(1-p), 1/w.Shape)
+}
+
 // Lognormal is the classical electromigration lifetime distribution
 // (JEDEC JEP122): log-lifetimes are normal with shape parameter Sigma.
 type Lognormal struct {
@@ -93,6 +113,21 @@ func (l Lognormal) Sample(rng *rand.Rand, mean float64) float64 {
 
 // Name returns a sigma-qualified label.
 func (l Lognormal) Name() string { return fmt.Sprintf("lognormal(σ=%.2g)", l.Sigma) }
+
+// Validate rejects non-positive or non-finite sigmas.
+func (l Lognormal) Validate() error {
+	if !(l.Sigma > 0) || math.IsInf(l.Sigma, 1) {
+		return fmt.Errorf("core: lognormal sigma must be a positive finite number, got %v", l.Sigma)
+	}
+	return nil
+}
+
+// Quantile returns the analytic p-th quantile (0 < p < 1) of the lognormal
+// lifetime with the given mean: exp(µ + σ·Φ⁻¹(p)), µ = ln(mean) − σ²/2.
+func (l Lognormal) Quantile(mean, p float64) float64 {
+	mu := math.Log(mean) - l.Sigma*l.Sigma/2
+	return math.Exp(mu + l.Sigma*stats.NormalQuantile(p))
+}
 
 // LifetimeModel assigns a lifetime distribution to each failure mechanism.
 type LifetimeModel struct {
@@ -120,14 +155,57 @@ func WearOutLifetimes() LifetimeModel {
 	return m
 }
 
-// Validate checks that every mechanism has a distribution.
+// Validate checks that every mechanism has a distribution with valid
+// parameters. Distributions that implement Validate() error (Weibull,
+// Lognormal) are checked for non-positive shapes/sigmas; the error names
+// the offending mechanism.
 func (m LifetimeModel) Validate() error {
 	for i, d := range m.Dist {
 		if d == nil {
 			return fmt.Errorf("core: no lifetime distribution for %v", Mechanism(i))
 		}
+		if v, ok := d.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return fmt.Errorf("core: invalid %s distribution for %v: %w", d.Name(), Mechanism(i), err)
+			}
+		}
 	}
 	return nil
+}
+
+// Canonical lifetime-model names accepted by LifetimeModelByName and by
+// the MC study API.
+const (
+	ModelSOFR    = "sofr"
+	ModelWearOut = "wearout"
+)
+
+// LifetimeModelByName resolves a model name to its LifetimeModel:
+// "sofr" (alias "exponential") → SOFRLifetimes, "wearout" (alias
+// "wear-out") → WearOutLifetimes.
+func LifetimeModelByName(name string) (LifetimeModel, error) {
+	switch name {
+	case ModelSOFR, "exponential":
+		return SOFRLifetimes(), nil
+	case ModelWearOut, "wear-out":
+		return WearOutLifetimes(), nil
+	default:
+		return LifetimeModel{}, fmt.Errorf("core: unknown lifetime model %q (want %q or %q)", name, ModelSOFR, ModelWearOut)
+	}
+}
+
+// CanonicalModelName maps model aliases onto the canonical names used in
+// cache keys and reports; unknown names pass through for Validate to
+// reject.
+func CanonicalModelName(name string) string {
+	switch name {
+	case "exponential":
+		return ModelSOFR
+	case "wear-out":
+		return ModelWearOut
+	default:
+		return name
+	}
 }
 
 // LifetimeEstimate summarises a Monte Carlo lifetime experiment.
@@ -149,42 +227,21 @@ type LifetimeEstimate struct {
 // distributions. Each trial draws one lifetime per (structure, mechanism)
 // with mean 10⁹/FIT hours and takes the minimum (series failure system).
 func MonteCarloLifetime(b Breakdown, model LifetimeModel, samples int, seed int64) (LifetimeEstimate, error) {
-	if err := model.Validate(); err != nil {
-		return LifetimeEstimate{}, err
-	}
 	if samples < 1 {
 		return LifetimeEstimate{}, fmt.Errorf("core: need at least 1 sample, got %d", samples)
 	}
-	// Collect the positive-rate cells once.
-	type cell struct {
-		mech      Mechanism
-		meanHours float64
+	sampler, err := NewLifetimeSampler(b, model)
+	if err != nil {
+		return LifetimeEstimate{}, err
 	}
-	var cells []cell
-	for s := 0; s < microarch.NumStructures; s++ {
-		for m := 0; m < NumMechanisms; m++ {
-			fit := b.ByStructMech[s][m]
-			if fit <= 0 {
-				continue
-			}
-			cells = append(cells, cell{Mechanism(m), phys.MTTFHoursFromFIT(fit)})
-		}
-	}
-	if len(cells) == 0 {
-		return LifetimeEstimate{}, fmt.Errorf("core: breakdown has no positive failure rates")
-	}
+	// One shared stream across all trials preserves the historical draw
+	// sequence of this entry point exactly; the batch-parallel MC study in
+	// internal/sim uses per-replica splittable streams instead.
 	rng := rand.New(rand.NewSource(seed))
 	lifetimes := make([]float64, samples)
 	var sum float64
 	for i := range lifetimes {
-		minLife := math.Inf(1)
-		for _, c := range cells {
-			l := model.Dist[c.mech].Sample(rng, c.meanHours)
-			if l < minLife {
-				minLife = l
-			}
-		}
-		years := minLife / phys.HoursPerYear
+		years := sampler.Sample(rng)
 		lifetimes[i] = years
 		sum += years
 	}

@@ -31,6 +31,11 @@ const (
 	SpanThermal = "sim.thermal"
 	// SpanFIT wraps one cell's reliability accumulation.
 	SpanFIT = "sim.fit"
+	// SpanMC wraps one Monte Carlo lifetime study over a finished grid.
+	SpanMC = "sim.mc"
+	// SpanMCBatch wraps one replica batch of a Monte Carlo study ("cell"
+	// and "replicas" attributes).
+	SpanMCBatch = "sim.mc.batch"
 	// SpanCacheGet wraps one stage-cache lookup ("stage" and "result"
 	// attributes).
 	SpanCacheGet = "store.get"

@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+)
+
+// NumChunks returns the number of fixed-size chunks needed to cover n
+// items, ⌈n/chunk⌉. It mirrors the partition MapChunks uses so callers
+// can size result buffers (e.g. one progress event per chunk).
+func NumChunks(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk < 1 {
+		return 1
+	}
+	return (n + chunk - 1) / chunk
+}
+
+// MapChunks covers [0, n) with fixed-size half-open ranges [start, end) of
+// at most chunk items and runs fn once per range as independent tasks on a
+// bounded pool. It is the batched form of Map for loops whose per-item
+// work is too cheap to schedule individually (e.g. Monte Carlo replicas,
+// where a task per replica would be dominated by scheduling overhead).
+//
+// The partition is deterministic — chunk boundaries depend only on n and
+// chunk, never on worker count — so callers that key their work on item
+// indices (rather than chunk identity) produce identical results at any
+// parallelism. chunk < 1 means a single chunk covering everything; n ≤ 0
+// is a no-op. stage labels the tasks in progress callbacks.
+func MapChunks(ctx context.Context, n, chunk int, opts Options, stage string, fn func(ctx context.Context, start, end int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = n
+	}
+	g := NewGraph()
+	for start := 0; start < n; start += chunk {
+		start := start
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		g.MustAdd(Task{
+			ID:    fmt.Sprintf("%s/%d-%d", stage, start, end),
+			Stage: stage,
+			Run:   func(ctx context.Context) error { return fn(ctx, start, end) },
+		})
+	}
+	return g.Run(ctx, opts)
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ n, chunk, want int }{
+		{0, 10, 0}, {-5, 10, 0},
+		{1, 10, 1}, {10, 10, 1}, {11, 10, 2}, {100, 10, 10}, {101, 10, 11},
+		{7, 0, 1}, {7, -3, 1},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n, c.chunk); got != c.want {
+			t.Errorf("NumChunks(%d,%d) = %d, want %d", c.n, c.chunk, got, c.want)
+		}
+	}
+}
+
+func TestMapChunksCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, chunk, par int }{
+		{100, 7, 4}, {100, 100, 2}, {100, 1000, 8}, {5, 1, 3}, {64, 16, 1}, {10, 0, 2},
+	} {
+		hits := make([]int, tc.n)
+		var mu sync.Mutex
+		err := MapChunks(context.Background(), tc.n, tc.chunk, Options{Parallelism: tc.par}, "chunk",
+			func(_ context.Context, start, end int) error {
+				if start < 0 || end > tc.n || start >= end {
+					t.Errorf("n=%d chunk=%d: bad range [%d,%d)", tc.n, tc.chunk, start, end)
+				}
+				if tc.chunk >= 1 && end-start > tc.chunk {
+					t.Errorf("n=%d chunk=%d: oversized range [%d,%d)", tc.n, tc.chunk, start, end)
+				}
+				mu.Lock()
+				for i := start; i < end; i++ {
+					hits[i]++
+				}
+				mu.Unlock()
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("n=%d chunk=%d: %v", tc.n, tc.chunk, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d chunk=%d: index %d covered %d times", tc.n, tc.chunk, i, h)
+			}
+		}
+	}
+}
+
+func TestMapChunksEmptyIsNoop(t *testing.T) {
+	called := false
+	err := MapChunks(context.Background(), 0, 8, Options{}, "chunk",
+		func(context.Context, int, int) error { called = true; return nil })
+	if err != nil || called {
+		t.Fatalf("err=%v called=%v, want nil/false", err, called)
+	}
+}
+
+func TestMapChunksPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := MapChunks(context.Background(), 100, 10, Options{Parallelism: 4}, "chunk",
+		func(_ context.Context, start, _ int) error {
+			if start == 50 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestMapChunksCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	err := MapChunks(ctx, 1000, 1, Options{Parallelism: 2}, "chunk",
+		func(ctx context.Context, start, _ int) error {
+			select {
+			case started <- struct{}{}:
+				cancel()
+			default:
+			}
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -43,6 +43,12 @@ type Metrics struct {
 	// Streams counts /v1/study/stream responses that began streaming
 	// (cache replays included; admission rejections excluded).
 	Streams expvar.Int
+	// MCStudies counts /v1/study/mc responses that began streaming
+	// (cache replays included; admission rejections excluded).
+	MCStudies expvar.Int
+	// MCReplicas counts Monte Carlo lifetime replicas drawn by completed
+	// /v1/study/mc computations (cache replays excluded).
+	MCReplicas expvar.Int
 }
 
 // NewMetrics returns a zeroed metric set.
@@ -72,15 +78,17 @@ func (m *Metrics) ObserveLatency(d time.Duration) {
 // client-side arithmetic.
 func (m *Metrics) Snapshot(cache *Cache, stats sched.Stats, stage *sim.StageCache) map[string]any {
 	out := map[string]any{
-		"schema_version":  SchemaVersion,
-		"requests_total":  mapSnapshot(m.Requests),
-		"status_total":    mapSnapshot(m.Status),
-		"latency_ms":      mapSnapshot(m.Latency),
-		"coalesced_total": m.Coalesced.Value(),
-		"shed_total":      m.Shed.Value(),
-		"inflight_http":   m.InFlightHTTP.Value(),
-		"studies_total":   m.Studies.Value(),
-		"streams_total":   m.Streams.Value(),
+		"schema_version":    SchemaVersion,
+		"requests_total":    mapSnapshot(m.Requests),
+		"status_total":      mapSnapshot(m.Status),
+		"latency_ms":        mapSnapshot(m.Latency),
+		"coalesced_total":   m.Coalesced.Value(),
+		"shed_total":        m.Shed.Value(),
+		"inflight_http":     m.InFlightHTTP.Value(),
+		"studies_total":     m.Studies.Value(),
+		"streams_total":     m.Streams.Value(),
+		"mc_studies_total":  m.MCStudies.Value(),
+		"mc_replicas_total": m.MCReplicas.Value(),
 	}
 	if cache != nil {
 		cs := cache.Stats()

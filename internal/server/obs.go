@@ -29,6 +29,10 @@ type serverObs struct {
 	studies   *obs.Counter // ramp_studies_started_total
 	streams   *obs.Counter // ramp_streams_started_total
 
+	// Monte Carlo studies.
+	mcStudies  *obs.Counter // ramp_mc_studies_total
+	mcReplicas *obs.Counter // ramp_mc_replicas_total
+
 	// Pipeline-stage latency (timing|thermal|fit), fed by the span sink.
 	stageLatency *obs.HistogramVec // ramp_stage_duration_seconds{stage}
 	// Scheduler-task latency, fed by the sched.StageObserver hook.
@@ -57,6 +61,8 @@ func newServerObs() *serverObs {
 		shed:          reg.Counter("ramp_shed_requests_total", "Requests shed with 429 by the admission queue."),
 		studies:       reg.Counter("ramp_studies_started_total", "Studies started on the scheduler pool."),
 		streams:       reg.Counter("ramp_streams_started_total", "NDJSON study streams that began streaming."),
+		mcStudies:     reg.Counter("ramp_mc_studies_total", "Monte Carlo study streams that began streaming."),
+		mcReplicas:    reg.Counter("ramp_mc_replicas_total", "Monte Carlo lifetime replicas drawn by completed studies."),
 		stageLatency: reg.HistogramVec("ramp_stage_duration_seconds",
 			"Simulation pipeline stage latency in seconds, by stage (timing|thermal|fit).", nil, "stage"),
 		schedLatency: reg.HistogramVec("ramp_sched_task_duration_seconds",

@@ -127,6 +127,13 @@ type Config struct {
 	// StreamHeartbeat is the idle-connection heartbeat interval of
 	// /v1/study/stream (default 10s).
 	StreamHeartbeat time.Duration
+	// MaxMCSamples caps the per-cell replica count a /v1/study/mc request
+	// may ask for (default 200000). Requests above the cap get 400.
+	MaxMCSamples int
+	// MaxMCReplicas caps the total replica count — samples × grid cells —
+	// of one /v1/study/mc request (default 2000000). Requests above the
+	// cap get 400.
+	MaxMCReplicas int
 	// Logger receives structured request and study logs; nil discards
 	// them (tests stay quiet by default).
 	Logger *slog.Logger
@@ -202,6 +209,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceSpanLimit <= 0 {
 		cfg.TraceSpanLimit = 16384
 	}
+	if cfg.MaxMCSamples <= 0 {
+		cfg.MaxMCSamples = 200_000
+	}
+	if cfg.MaxMCSamples > sim.MaxMCSamples {
+		cfg.MaxMCSamples = sim.MaxMCSamples
+	}
+	if cfg.MaxMCReplicas <= 0 {
+		cfg.MaxMCReplicas = 2_000_000
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = obs.NopLogger()
@@ -248,6 +264,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.Handle("/v1/study", s.instrument("/v1/study", s.handleStudy))
 	s.mux.Handle("/v1/study/stream", s.instrument("/v1/study/stream", s.handleStudyStream))
+	s.mux.Handle("/v1/study/mc", s.instrument("/v1/study/mc", s.handleStudyMC))
 	s.mux.Handle("/v1/study/trace", s.instrument("/v1/study/trace", s.handleStudyTrace))
 	s.mux.Handle("/v1/mttf", s.instrument("/v1/mttf", s.handleMTTF))
 	s.mux.Handle("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
@@ -615,6 +632,24 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 		return v.(*sim.StudyResult), meta, nil
 	}
 
+	start := s.now()
+	res, coalesced, err := s.studyFlight(ctx, cfg, profiles, techs, key, true)
+	if err != nil {
+		return nil, StudyMeta{}, err
+	}
+	meta.Cache = "miss"
+	meta.Coalesced = coalesced
+	meta.ComputeMS = float64(s.now().Sub(start)) / float64(time.Millisecond)
+	return res, meta, nil
+}
+
+// studyFlight coalesces one study computation with any identical
+// in-flight one and, as the flight leader, runs the simulation under the
+// compute deadline. admit selects whether the leader takes an admission
+// slot; callers that already hold one for the life of the call — the MC
+// stream does — pass false to avoid a self-deadlock on the queue.
+func (s *Server) studyFlight(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+	techs []scaling.Technology, key string, admit bool) (*sim.StudyResult, bool, error) {
 	// The flight runs detached from the request context, so the leader's
 	// request ID is captured here for the trace entry and the study log.
 	reqID := obs.RequestIDFrom(ctx)
@@ -625,11 +660,13 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 		if v, ok := s.cache.peek(key); ok {
 			return v, nil
 		}
-		select {
-		case s.admission <- struct{}{}:
-			defer func() { <-s.admission }()
-		default:
-			return nil, errOverloaded
+		if admit {
+			select {
+			case s.admission <- struct{}{}:
+				defer func() { <-s.admission }()
+			default:
+				return nil, errOverloaded
+			}
 		}
 		if s.cfg.ComputeTimeout > 0 {
 			var cancel context.CancelFunc
@@ -661,12 +698,9 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 		return res, nil
 	})
 	if err != nil {
-		return nil, StudyMeta{}, err
+		return nil, coalesced, err
 	}
-	meta.Cache = "miss"
-	meta.Coalesced = coalesced
-	meta.ComputeMS = float64(s.now().Sub(start)) / float64(time.Millisecond)
-	return v.(*sim.StudyResult), meta, nil
+	return v.(*sim.StudyResult), coalesced, nil
 }
 
 // badRequestError marks client-side input errors for status mapping.

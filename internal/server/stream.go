@@ -259,6 +259,14 @@ func streamEventName(v any) string {
 		return "heartbeat"
 	case streamStudyEvent:
 		return "study"
+	case mcMetaEvent:
+		return "meta"
+	case mcProgressEvent:
+		return "mc_progress"
+	case mcCellEvent:
+		return "mc_cell"
+	case mcResultEvent:
+		return "mc"
 	case streamErrorEvent:
 		return "error"
 	default:

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// FuzzMCConfigValidate perturbs the MC request knobs: sample count,
+// percentile list, CI level, model name, seed, and batch size.
+// Normalize+Validate must never panic and must be deterministic; an
+// accepted configuration must survive a small Monte Carlo study and come
+// out byte-identical at two parallelism levels — errors allowed, panics
+// and nondeterminism not.
+func FuzzMCConfigValidate(f *testing.F) {
+	f.Add(10000, "wearout", 0.95, int64(2004), 4096, 5.0, 50.0, 95.0)
+	f.Add(0, "", 0.0, int64(0), 0, 0.0, 0.0, 0.0)
+	f.Add(100, "sofr", 0.99, int64(-1), 7, 50.0, 50.0, 50.0)
+	f.Add(512, "exponential", 0.5, int64(42), 1, 0.1, 99.9, 12.5)
+	// Hostile numerics: NaN/Inf percentiles and CI levels, out-of-range
+	// samples, unknown models, negative batches.
+	f.Add(-5, "gamma", math.NaN(), int64(1), -3, math.Inf(1), -2.0, 100.0)
+	f.Add(MaxMCSamples+1, "wear-out", 1.0, int64(9), 1024, 0.0, 101.0, math.Inf(-1))
+	f.Add(1, "WEAROUT", 1e-9, int64(7), 2, 1e-9, 99.999999, 33.3)
+
+	// deNaN replaces NaN floats with a comparable sentinel so DeepEqual can
+	// check determinism on configs carrying hostile numerics.
+	deNaN := func(c MCConfig) MCConfig {
+		if math.IsNaN(c.CILevel) {
+			c.CILevel = -12345
+		}
+		ps := append([]float64(nil), c.Percentiles...)
+		for i, p := range ps {
+			if math.IsNaN(p) {
+				ps[i] = -12345
+			}
+		}
+		c.Percentiles = ps
+		return c
+	}
+
+	res := mcStubStudy(1, 1)
+	f.Fuzz(func(t *testing.T, samples int, model string, ci float64, seed int64,
+		batch int, p1, p2, p3 float64) {
+		cfg := MCConfig{
+			Samples:     samples,
+			Model:       model,
+			CILevel:     ci,
+			Seed:        seed,
+			BatchSize:   batch,
+			Percentiles: []float64{p1, p2, p3},
+		}
+		norm := cfg.Normalized()
+		// NaN != NaN under DeepEqual, so compare with NaNs canonicalised.
+		if !reflect.DeepEqual(deNaN(norm), deNaN(cfg.Normalized())) {
+			t.Fatal("Normalized not deterministic")
+		}
+		if !reflect.DeepEqual(deNaN(norm), deNaN(norm.Normalized())) {
+			t.Fatal("Normalized not idempotent")
+		}
+		err := norm.Validate()
+		if (err == nil) != (norm.Validate() == nil) {
+			t.Fatal("Validate not deterministic")
+		}
+		if err != nil {
+			return
+		}
+		if !sort.Float64sAreSorted(norm.Percentiles) {
+			t.Fatalf("accepted percentiles not sorted: %v", norm.Percentiles)
+		}
+		// Accepted configs that fit a fuzz iteration must run and be
+		// parallelism-invariant; larger ones are legal, just slow.
+		if norm.Samples > 2048 {
+			return
+		}
+		a, err := MonteCarloStudy(context.Background(), res, norm, MCOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("accepted config failed to run: %v", err)
+		}
+		b, err := MonteCarloStudy(context.Background(), res, norm, MCOptions{Parallelism: 8})
+		if err != nil {
+			t.Fatalf("second run failed: %v", err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("parallelism changed the result")
+		}
+	})
+}

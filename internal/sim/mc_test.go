@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/core"
+	"github.com/ramp-sim/ramp/internal/phys"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// mcStubStudy fabricates a finished study grid without running the
+// simulator: nApps × nTechs cells with distinct positive FIT breakdowns
+// under unit calibration constants. MC layers only read Apps, FIT, and the
+// cell identities, so this isolates the Monte Carlo machinery.
+func mcStubStudy(nApps, nTechs int) *StudyResult {
+	res := &StudyResult{Constants: core.UnitConstants()}
+	for ti := 0; ti < nTechs; ti++ {
+		res.Techs = append(res.Techs, scaling.Technology{Name: fmt.Sprintf("tech%d", ti)})
+	}
+	for ti := 0; ti < nTechs; ti++ {
+		for i := 0; i < nApps; i++ {
+			var b core.Breakdown
+			b.ByStructMech[0][core.EM] = 500 + 100*float64(i) + 50*float64(ti)
+			b.ByStructMech[1][core.TDDB] = 300 + 10*float64(i)
+			b.ByStructMech[2][core.TC] = 150
+			res.Apps = append(res.Apps, AppRun{
+				App:    fmt.Sprintf("app%d", i),
+				Suite:  workload.SuiteInt,
+				Tech:   res.Techs[ti],
+				RawFIT: b,
+			})
+		}
+	}
+	return res
+}
+
+func TestMCConfigNormalized(t *testing.T) {
+	n := MCConfig{}.Normalized()
+	if n.Samples != DefaultMCSamples || n.Model != core.ModelWearOut ||
+		n.CILevel != 0.95 || n.BatchSize != defaultMCBatch {
+		t.Errorf("defaults wrong: %+v", n)
+	}
+	if !reflect.DeepEqual(n.Percentiles, []float64{5, 50, 95}) {
+		t.Errorf("default percentiles = %v", n.Percentiles)
+	}
+	alias := MCConfig{Model: "wear-out", Percentiles: []float64{95, 5, 50, 5}}.Normalized()
+	if alias.Model != core.ModelWearOut {
+		t.Errorf("alias model = %q", alias.Model)
+	}
+	if !reflect.DeepEqual(alias.Percentiles, []float64{5, 50, 95}) {
+		t.Errorf("percentiles not sorted+deduped: %v", alias.Percentiles)
+	}
+	exp := MCConfig{Model: "exponential"}.Normalized()
+	if exp.Model != core.ModelSOFR {
+		t.Errorf("exponential alias = %q", exp.Model)
+	}
+	// Normalized is idempotent.
+	if !reflect.DeepEqual(alias, alias.Normalized()) {
+		t.Error("Normalized not idempotent")
+	}
+}
+
+func TestMCConfigValidate(t *testing.T) {
+	if err := (MCConfig{}).Normalized().Validate(); err != nil {
+		t.Fatalf("normalized zero config invalid: %v", err)
+	}
+	bad := []MCConfig{
+		{Samples: -1},
+		{Samples: MaxMCSamples + 1},
+		{Model: "gamma"},
+		{Percentiles: []float64{0}},
+		{Percentiles: []float64{100}},
+		{Percentiles: []float64{-5}},
+		{Percentiles: []float64{math.NaN()}},
+		{CILevel: 1.5},
+		{CILevel: -0.5},
+		{BatchSize: -3},
+	}
+	for _, c := range bad {
+		if err := c.Normalized().Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", c)
+		}
+	}
+	long := make([]float64, MaxMCPercentiles+1)
+	for i := range long {
+		long[i] = float64(i+1) * 99.0 / float64(len(long)+1)
+	}
+	if err := (MCConfig{Percentiles: long}).Normalized().Validate(); err == nil {
+		t.Error("Validate accepted oversized percentile list")
+	}
+}
+
+func runMC(t *testing.T, res *StudyResult, mcfg MCConfig, opts MCOptions) *MCResult {
+	t.Helper()
+	out, err := MonteCarloStudy(context.Background(), res, mcfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMonteCarloStudyDeterministicAcrossParallelismAndBatch(t *testing.T) {
+	res := mcStubStudy(3, 2)
+	base := MCConfig{Samples: 5000, Seed: 42, Model: "wearout"}
+
+	ref := runMC(t, res, base, MCOptions{Parallelism: 1})
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		mcfg MCConfig
+		opts MCOptions
+	}{
+		{"parallelism 8", base, MCOptions{Parallelism: 8}},
+		{"batch 7", MCConfig{Samples: 5000, Seed: 42, Model: "wearout", BatchSize: 7}, MCOptions{Parallelism: 8}},
+		{"batch 100000", MCConfig{Samples: 5000, Seed: 42, Model: "wearout", BatchSize: 100000}, MCOptions{Parallelism: 8}},
+		{"with events", base, MCOptions{Parallelism: 8, OnEvent: func(MCEvent) {}}},
+	}
+	for _, v := range variants {
+		got := runMC(t, res, v.mcfg, v.opts)
+		// BatchSize is echoed in MC, so compare everything but the config.
+		if !reflect.DeepEqual(ref.Cells, got.Cells) {
+			t.Errorf("%s: cells differ from parallelism-1 reference", v.name)
+		}
+		if v.mcfg.BatchSize == 0 {
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(refJSON) != string(gotJSON) {
+				t.Errorf("%s: JSON bytes differ", v.name)
+			}
+		}
+	}
+	// A different seed must change the draw.
+	other := runMC(t, res, MCConfig{Samples: 5000, Seed: 43, Model: "wearout"}, MCOptions{Parallelism: 4})
+	if reflect.DeepEqual(ref.Cells, other.Cells) {
+		t.Error("different seed produced identical cells")
+	}
+}
+
+func TestMonteCarloStudyClosedFormExponential(t *testing.T) {
+	// One cell, one positive mechanism, exponential model: the lifetime is
+	// exactly exponential with mean 10⁹/FIT hours, so the sample summary
+	// must bound the analytic mean and quantiles.
+	const fit = 1000.0
+	res := &StudyResult{
+		Constants: core.UnitConstants(),
+		Techs:     []scaling.Technology{{Name: "t"}},
+	}
+	var b core.Breakdown
+	b.ByStructMech[0][core.EM] = fit
+	res.Apps = []AppRun{{App: "a", Suite: workload.SuiteInt, Tech: res.Techs[0], RawFIT: b}}
+
+	meanYears := phys.MTTFHoursFromFIT(fit) / phys.HoursPerYear
+	out := runMC(t, res, MCConfig{
+		Samples: 200_000, Seed: 7, Model: "sofr",
+		Percentiles: []float64{10, 50, 90}, CILevel: 0.99,
+	}, MCOptions{Parallelism: 4})
+
+	cell := out.Cells[0]
+	if cell.MeanCI.Lo > meanYears || cell.MeanCI.Hi < meanYears {
+		t.Errorf("mean CI [%v,%v] misses analytic mean %v", cell.MeanCI.Lo, cell.MeanCI.Hi, meanYears)
+	}
+	if rel := math.Abs(cell.MeanYears-meanYears) / meanYears; rel > 0.01 {
+		t.Errorf("mean %v vs analytic %v (rel err %v)", cell.MeanYears, meanYears, rel)
+	}
+	if math.Abs(cell.SOFRYears-meanYears)/meanYears > 1e-9 {
+		t.Errorf("SOFRYears %v != analytic %v", cell.SOFRYears, meanYears)
+	}
+	exp := core.Exponential{}
+	for _, mp := range cell.Percentiles {
+		want := exp.Quantile(meanYears, mp.P/100)
+		if rel := math.Abs(mp.Years-want) / want; rel > 0.02 {
+			t.Errorf("P%v = %v vs analytic %v (rel err %v)", mp.P, mp.Years, want, rel)
+		}
+		if mp.CI.Lo > want || mp.CI.Hi < want {
+			t.Errorf("P%v CI [%v,%v] misses analytic %v", mp.P, mp.CI.Lo, mp.CI.Hi, want)
+		}
+	}
+}
+
+func TestMonteCarloStudyConvergence(t *testing.T) {
+	// 16× the replicas must shrink the median's CI width ~4× (1/√n).
+	res := mcStubStudy(1, 1)
+	width := func(samples int) float64 {
+		out := runMC(t, res, MCConfig{Samples: samples, Seed: 11, Percentiles: []float64{50}},
+			MCOptions{Parallelism: 4})
+		return out.Cells[0].Percentiles[0].CI.Width()
+	}
+	w1, w2 := width(4000), width(64000)
+	ratio := w1 / w2
+	if ratio < 2.2 || ratio > 7.5 {
+		t.Errorf("median CI width ratio %v outside [2.2,7.5] (w1=%v w2=%v)", ratio, w1, w2)
+	}
+	// The mean CI obeys exact 1/√n scaling up to sample-std noise.
+	meanWidth := func(samples int) float64 {
+		out := runMC(t, res, MCConfig{Samples: samples, Seed: 11}, MCOptions{Parallelism: 4})
+		return out.Cells[0].MeanCI.Width()
+	}
+	mRatio := meanWidth(4000) / meanWidth(64000)
+	if mRatio < 3.2 || mRatio > 4.8 {
+		t.Errorf("mean CI width ratio %v outside [3.2,4.8]", mRatio)
+	}
+}
+
+func TestMonteCarloStudyEvents(t *testing.T) {
+	res := mcStubStudy(2, 2)
+	var mu sync.Mutex
+	var progress, finals []MCEvent
+	out := runMC(t, res, MCConfig{Samples: 2000, Seed: 5, BatchSize: 256}, MCOptions{
+		Parallelism: 4,
+		OnEvent: func(ev MCEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Final {
+				finals = append(finals, ev)
+			} else {
+				progress = append(progress, ev)
+			}
+		},
+	})
+	if len(finals) != len(res.Apps) {
+		t.Fatalf("%d final events, want %d", len(finals), len(res.Apps))
+	}
+	seen := map[int]bool{}
+	for _, ev := range finals {
+		if seen[ev.CellIndex] {
+			t.Errorf("cell %d finalised twice", ev.CellIndex)
+		}
+		seen[ev.CellIndex] = true
+		if !reflect.DeepEqual(ev.Cell, out.Cells[ev.CellIndex]) {
+			t.Errorf("final event for cell %d differs from result", ev.CellIndex)
+		}
+		if ev.CellsTotal != len(res.Apps) {
+			t.Errorf("CellsTotal = %d, want %d", ev.CellsTotal, len(res.Apps))
+		}
+	}
+	if len(progress) == 0 {
+		t.Error("no incremental estimates for a multi-batch run")
+	}
+	for _, ev := range progress {
+		if ev.Cell.Samples <= 0 || ev.Cell.Samples >= 2000 {
+			t.Errorf("progress estimate with %d samples", ev.Cell.Samples)
+		}
+		if len(ev.Cell.Percentiles) == 0 {
+			t.Error("progress estimate without percentiles")
+		}
+	}
+}
+
+func TestMonteCarloStudyCancel(t *testing.T) {
+	res := mcStubStudy(2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MonteCarloStudy(ctx, res, MCConfig{Samples: 100000, BatchSize: 64}, MCOptions{Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMonteCarloStudyErrors(t *testing.T) {
+	if _, err := MonteCarloStudy(context.Background(), nil, MCConfig{}, MCOptions{}); err == nil {
+		t.Error("nil study accepted")
+	}
+	empty := &StudyResult{Constants: core.UnitConstants()}
+	if _, err := MonteCarloStudy(context.Background(), empty, MCConfig{}, MCOptions{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	res := mcStubStudy(1, 1)
+	if _, err := MonteCarloStudy(context.Background(), res, MCConfig{Model: "gamma"}, MCOptions{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	// A cell with no positive rates must fail with the cell's identity.
+	zero := mcStubStudy(1, 1)
+	zero.Apps[0].RawFIT = core.Breakdown{}
+	_, err := MonteCarloStudy(context.Background(), zero, MCConfig{}, MCOptions{})
+	if err == nil {
+		t.Error("zero-FIT cell accepted")
+	}
+}
+
+func TestMCStudyKeyStable(t *testing.T) {
+	cfg := testConfig()
+	profiles := workload.Profiles()[:1]
+	techs := []scaling.Technology{scaling.Base()}
+
+	k1, err := MCStudyKey(cfg, MCConfig{Model: "wearout", Percentiles: []float64{5, 50, 95}}, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aliases and permutations normalise onto the same key.
+	k2, err := MCStudyKey(cfg, MCConfig{Model: "wear-out", Percentiles: []float64{95, 5, 50}}, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("equivalent MC configs hash differently")
+	}
+	k3, err := MCStudyKey(cfg, MCConfig{Model: "wearout", Seed: 9}, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Error("different seed did not change the key")
+	}
+	sk, err := StudyKey(cfg, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == sk {
+		t.Error("MC key collides with the study key")
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want, tol float64
+	}{
+		{0.5, 0, 1e-12},
+		{0.975, 1.959963985, 1e-7},
+		{0.025, -1.959963985, 1e-7},
+		{0.95, 1.644853627, 1e-7},
+		{0.05, -1.644853627, 1e-7},
+		{0.8413447461, 1.0, 1e-6}, // Φ(1)
+		{0.9986501020, 3.0, 1e-6}, // Φ(3)
+		{0.001, -3.090232306, 1e-6},
+		{0.999, 3.090232306, 1e-6},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("NormalQuantile(%v) = %v, want %v ± %v", c.p, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetryAndEdges(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.4} {
+		if got := NormalQuantile(p) + NormalQuantile(1-p); math.Abs(got) > 1e-9 {
+			t.Errorf("asymmetry at p=%v: sum %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("edges should be ±Inf")
+	}
+	if !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Error("NaN should propagate")
+	}
+}
+
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	sorted := SortedCopy(xs)
+	for _, p := range []float64{0, 1, 5, 25, 50, 75, 95, 99, 100} {
+		want, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PercentileSorted(sorted, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("p=%v: PercentileSorted %v != Percentile %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileSortedErrors(t *testing.T) {
+	if _, err := PercentileSorted(nil, 50); err == nil {
+		t.Error("empty slice should error")
+	}
+	if _, err := PercentileSorted([]float64{1}, -1); err == nil {
+		t.Error("p<0 should error")
+	}
+	if _, err := PercentileSorted([]float64{1}, 101); err == nil {
+		t.Error("p>100 should error")
+	}
+}
+
+func TestPercentileCISortedBracketsTruth(t *testing.T) {
+	// Uniform(0,1) sample: the true median is 0.5 and the true P90 is 0.9;
+	// with n=20k the order-statistic CI must bracket them.
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	sort.Float64s(xs)
+	for _, c := range []struct{ p, truth float64 }{{50, 0.5}, {90, 0.9}, {10, 0.1}} {
+		iv, err := PercentileCISorted(xs, c.p, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.truth < iv.Lo || c.truth > iv.Hi {
+			t.Errorf("p=%v: CI [%v,%v] misses truth %v", c.p, iv.Lo, iv.Hi, c.truth)
+		}
+		if iv.Width() <= 0 {
+			t.Errorf("p=%v: degenerate CI width %v", c.p, iv.Width())
+		}
+		if iv.Width() > 0.05 {
+			t.Errorf("p=%v: CI suspiciously wide: %v", c.p, iv.Width())
+		}
+	}
+}
+
+func TestPercentileCIWidthShrinksRootN(t *testing.T) {
+	// Quadrupling n should roughly halve the CI width (1/√n scaling).
+	rng := rand.New(rand.NewSource(3))
+	width := func(n int) float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		sort.Float64s(xs)
+		iv, err := PercentileCISorted(xs, 50, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iv.Width()
+	}
+	w1 := width(4000)
+	w2 := width(64000) // 16× samples → ~4× narrower
+	ratio := w1 / w2
+	if ratio < 2.2 || ratio > 7.5 {
+		t.Errorf("CI width ratio %v outside [2.2,7.5] for 16× samples (w1=%v w2=%v)", ratio, w1, w2)
+	}
+}
+
+func TestPercentileCISortedErrors(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if _, err := PercentileCISorted(nil, 50, 0.95); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := PercentileCISorted(xs, 0, 0.95); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, err := PercentileCISorted(xs, 100, 0.95); err == nil {
+		t.Error("p=100 should error")
+	}
+	if _, err := PercentileCISorted(xs, 50, 0); err == nil {
+		t.Error("conf=0 should error")
+	}
+	if _, err := PercentileCISorted(xs, 50, 1); err == nil {
+		t.Error("conf=1 should error")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	iv, err := MeanCI(10, 2, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 ± 1.96·2/10 = 10 ± 0.392
+	if math.Abs(iv.Lo-9.608) > 1e-3 || math.Abs(iv.Hi-10.392) > 1e-3 {
+		t.Errorf("MeanCI = [%v,%v], want ~[9.608,10.392]", iv.Lo, iv.Hi)
+	}
+	if _, err := MeanCI(1, 1, 0, 0.95); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := MeanCI(1, -1, 10, 0.95); err == nil {
+		t.Error("negative sd should error")
+	}
+	if _, err := MeanCI(1, 1, 10, 1.5); err == nil {
+		t.Error("conf outside (0,1) should error")
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"github.com/ramp-sim/ramp/internal/scenario"
 	"github.com/ramp-sim/ramp/internal/sched"
 	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/stats"
 	"github.com/ramp-sim/ramp/internal/trace"
 	"github.com/ramp-sim/ramp/internal/workload"
 )
@@ -119,6 +120,21 @@ type (
 	LifetimeModel = core.LifetimeModel
 	// LifetimeEstimate summarises a Monte Carlo lifetime experiment.
 	LifetimeEstimate = core.LifetimeEstimate
+	// MCConfig parameterises a Monte Carlo lifetime study: replica count,
+	// lifetime model, percentile set, CI level, and root seed.
+	MCConfig = sim.MCConfig
+	// MCResult is the complete output of Runner.MCStudy: one summarised
+	// lifetime distribution per (application × technology) cell.
+	MCResult = sim.MCResult
+	// MCCell is one cell's Monte Carlo lifetime summary.
+	MCCell = sim.MCCell
+	// MCPercentile is one estimated lifetime percentile with its
+	// confidence interval.
+	MCPercentile = sim.MCPercentile
+	// MCEvent is one incremental estimate of a running Monte Carlo study.
+	MCEvent = sim.MCEvent
+	// Interval is a two-sided confidence interval (years).
+	Interval = stats.Interval
 
 	// Dynamic reliability management (the paper's §5.2 response).
 
@@ -424,6 +440,11 @@ func WearOutLifetimes() LifetimeModel { return core.WearOutLifetimes() }
 // MonteCarloLifetime estimates the processor lifetime distribution for a
 // calibrated breakdown under per-mechanism lifetime distributions,
 // quantifying the error of the SOFR constant-rate assumption (§2).
+//
+// Deprecated: use Runner.MCStudy, which samples the whole study grid in
+// parallel with per-replica seeded streams and confidence intervals. This
+// shim forwards to the same serial sampler and remains numerically stable
+// for a pinned seed.
 func MonteCarloLifetime(b Breakdown, model LifetimeModel, samples int, seed int64) (LifetimeEstimate, error) {
 	return core.MonteCarloLifetime(b, model, samples, seed)
 }

@@ -161,6 +161,24 @@ func (r *Runner) Study(ctx context.Context, cfg Config, profiles []Profile,
 	return sim.RunStudyContext(r.traceCtx(ctx), cfg, profiles, techs, r.options(nil))
 }
 
+// MCStudy executes the scaling study (through the Runner's stage cache,
+// so a warm cache reduces it to replaying cheap artifacts) and then fans
+// Monte Carlo lifetime replicas for every (application × technology)
+// cell across the Runner's scheduler pool, summarising each cell's
+// lifetime distribution with percentile and mean confidence intervals.
+//
+// Replica streams are seeded per (root seed, cell, replica), so the
+// result is byte-identical at every parallelism level. onEvent, when
+// non-nil, receives incremental per-cell estimates while sampling runs;
+// it is called from worker goroutines and must be safe for concurrent
+// use. mcfg is normalized before use — zero fields take the documented
+// defaults.
+func (r *Runner) MCStudy(ctx context.Context, cfg Config, profiles []Profile,
+	techs []Technology, mcfg MCConfig, onEvent func(MCEvent)) (*MCResult, error) {
+	return sim.RunMCStudyContext(r.traceCtx(ctx), cfg, mcfg, profiles, techs,
+		r.options(nil), onEvent)
+}
+
 // Timing executes only the timing stage for one profile, through the
 // Runner's stage cache when one is attached. The returned trace is
 // immutable and may be shared across concurrent evaluations.

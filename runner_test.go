@@ -273,3 +273,54 @@ func TestRunnerWithTracer(t *testing.T) {
 		t.Errorf("StreamStudy added no spans (%d -> %d)", before, after)
 	}
 }
+
+// TestRunnerMCStudy: the Monte Carlo facade samples the whole grid,
+// produces parallelism-invariant summaries, and streams incremental
+// estimates through onEvent.
+func TestRunnerMCStudy(t *testing.T) {
+	cfg, profiles, techs := runnerTestInputs(t)
+	mcfg := ramp.MCConfig{Samples: 2000, Seed: 41, Percentiles: []float64{5, 50, 95}}
+
+	runner1, err := ramp.New(ramp.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finals atomic.Int64
+	got, err := runner1.MCStudy(context.Background(), cfg, profiles, techs, mcfg,
+		func(ev ramp.MCEvent) {
+			if ev.Final {
+				finals.Add(1)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(profiles) * len(techs)
+	if len(got.Cells) != want || got.TotalReplicas != want*2000 {
+		t.Fatalf("cells = %d, replicas = %d", len(got.Cells), got.TotalReplicas)
+	}
+	if int(finals.Load()) != want {
+		t.Errorf("final events = %d, want %d", finals.Load(), want)
+	}
+	for _, c := range got.Cells {
+		if !(c.MeanYears > 0) || !(c.FITTotal > 0) || len(c.Percentiles) != 3 {
+			t.Fatalf("bad cell: %+v", c)
+		}
+		p50 := c.Percentiles[1]
+		if !(p50.CI.Lo <= p50.Years && p50.Years <= p50.CI.Hi) {
+			t.Errorf("median %v outside its CI %v", p50.Years, p50.CI)
+		}
+	}
+
+	runner8, err := ramp.New(ramp.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := runner8.MCStudy(context.Background(), cfg, profiles, techs, mcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Errorf("MCStudy not parallelism-invariant")
+	}
+}
