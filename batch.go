@@ -1,0 +1,245 @@
+package ramp
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/ramp-sim/ramp/internal/jobs"
+	"github.com/ramp-sim/ramp/internal/sim"
+)
+
+// Batch facade: submit many study/MC configurations at once and let the
+// Runner's job queue execute them asynchronously — deduplicated by
+// content address, bounded by a worker pool, with retry for transient
+// failures and TTL'd retention of finished results. This is the library
+// face of the same internal/jobs subsystem rampd serves as POST /v1/batch.
+
+// Batch facade types.
+type (
+	// BatchItem is one study or MC configuration inside a batch; set Kind
+	// to BatchStudy or BatchMC.
+	BatchItem = sim.BatchItem
+	// BatchStatus is a point-in-time view of one submitted batch.
+	BatchStatus = jobs.BatchStatus
+	// JobSnapshot is a point-in-time view of one job of a batch.
+	JobSnapshot = jobs.Snapshot
+	// JobState is a job's lifecycle state (JobQueued … JobCancelled).
+	JobState = jobs.State
+)
+
+// Batch item kinds and job lifecycle states, re-exported for callers.
+const (
+	// BatchStudy marks a deterministic scaling study item.
+	BatchStudy = sim.JobStudy
+	// BatchMC marks a Monte Carlo lifetime study item.
+	BatchMC = sim.JobMC
+
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobDone      = jobs.StateDone
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// ErrNoBatchQueue is returned by the batch methods of a Runner built
+// without WithBatchQueue.
+var ErrNoBatchQueue = errors.New("ramp: runner has no batch queue; construct with WithBatchQueue")
+
+// BatchOptions parameterises a Runner's batch queue. The zero value gives
+// the documented defaults of the jobs subsystem: capacity 256, 4 workers,
+// 3 attempts, 250ms doubling backoff, 15m retention, no tenant limits.
+type BatchOptions struct {
+	// Capacity bounds live (queued + running) jobs; excess submissions
+	// fail whole.
+	Capacity int
+	// Workers is the executor pool size.
+	Workers int
+	// MaxAttempts bounds executions per job including the first.
+	MaxAttempts int
+	// RetryBackoff is the delay before a job's first retry, doubling per
+	// attempt.
+	RetryBackoff time.Duration
+	// ResultTTL is how long finished batches stay queryable.
+	ResultTTL time.Duration
+	// TenantJobsPerSecond, TenantBurst, and TenantInflight are the
+	// per-tenant admission quota (0 = unlimited).
+	TenantJobsPerSecond float64
+	TenantBurst         int
+	TenantInflight      int
+	// Retryable classifies executor errors as transient; nil retries
+	// everything except context cancellation.
+	Retryable func(error) bool
+}
+
+// WithBatchQueue attaches an asynchronous batch queue to the Runner;
+// SubmitBatch, BatchStatus, WaitBatch, CancelBatch, and BatchStats then
+// operate on it. Runners with a queue should be Closed when done to stop
+// the worker pool.
+func WithBatchQueue(opts BatchOptions) Option {
+	return func(r *Runner) error {
+		r.batchOpts = &opts
+		return nil
+	}
+}
+
+// initBatchQueue builds the jobs queue once every option has applied, so
+// the executor observes the Runner's final policy (cache, parallelism,
+// tracer).
+func (r *Runner) initBatchQueue() error {
+	opts := r.batchOpts
+	retryable := opts.Retryable
+	if retryable == nil {
+		retryable = func(err error) bool { return !errors.Is(err, context.Canceled) }
+	}
+	q, err := jobs.New(jobs.Config{
+		Capacity:     opts.Capacity,
+		Workers:      opts.Workers,
+		MaxAttempts:  opts.MaxAttempts,
+		RetryBackoff: opts.RetryBackoff,
+		ResultTTL:    opts.ResultTTL,
+		Quota: jobs.QuotaConfig{
+			JobsPerSecond: opts.TenantJobsPerSecond,
+			Burst:         opts.TenantBurst,
+			MaxInflight:   opts.TenantInflight,
+		},
+		Retryable: retryable,
+	}, r.executeBatchItem)
+	if err != nil {
+		return err
+	}
+	r.jobs = q
+	return nil
+}
+
+// executeBatchItem is the queue executor: one study or MC run under the
+// Runner's execution policy, publishing cell-level progress on the job.
+func (r *Runner) executeBatchItem(ctx context.Context, j *jobs.Job) (any, error) {
+	item, ok := j.Payload.(BatchItem)
+	if !ok {
+		return nil, errors.New("ramp: job carries no batch item")
+	}
+	ctx = r.traceCtx(ctx)
+	switch item.Kind {
+	case BatchStudy:
+		onApp := func(ev AppEvent) {
+			if ev.CellsTotal > 0 {
+				j.SetPercent(100 * float64(ev.CellsDone) / float64(ev.CellsTotal))
+			}
+		}
+		return sim.RunStudyContext(ctx, item.Config, item.Profiles, item.Techs, r.options(onApp))
+	case BatchMC:
+		onEvent := func(ev MCEvent) {
+			if ev.Final && ev.CellsTotal > 0 {
+				j.SetPercent(100 * float64(ev.CellsDone) / float64(ev.CellsTotal))
+			}
+		}
+		return sim.RunMCStudyContext(ctx, item.Config, item.MC, item.Profiles, item.Techs,
+			r.options(nil), onEvent)
+	default:
+		return nil, errors.New("ramp: unknown batch item kind " + item.Kind)
+	}
+}
+
+// SubmitBatch content-addresses items (sim.PlanBatch), deduplicates them
+// within the batch and against live jobs, and enqueues the unique work for
+// tenant ("" = "default"). Admission is all-or-nothing against capacity
+// and the tenant's quota. The returned status is the batch's initial view.
+func (r *Runner) SubmitBatch(tenant string, items []BatchItem) (BatchStatus, error) {
+	if r.jobs == nil {
+		return BatchStatus{}, ErrNoBatchQueue
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	plan, err := sim.PlanBatch(items)
+	if err != nil {
+		return BatchStatus{}, err
+	}
+	specs := make([]jobs.Spec, len(items))
+	for i, item := range items {
+		specs[i] = jobs.Spec{Key: plan.Keys[i], Kind: jobs.Kind(item.Kind), Payload: item}
+	}
+	return r.jobs.Submit(tenant, specs)
+}
+
+// BatchStatus returns the current view of one batch; ok is false when the
+// ID is unknown or its retention TTL expired.
+func (r *Runner) BatchStatus(id string) (BatchStatus, bool) {
+	if r.jobs == nil {
+		return BatchStatus{}, false
+	}
+	return r.jobs.Batch(id)
+}
+
+// JobResult returns the result of one finished job of a batch: a
+// *StudyResult for study items, a *MCResult for MC items. ok is false
+// until the job is done (or when either ID is unknown).
+func (r *Runner) JobResult(batchID, jobID string) (any, bool) {
+	if r.jobs == nil {
+		return nil, false
+	}
+	j, ok := r.jobs.Job(batchID, jobID)
+	if !ok {
+		return nil, false
+	}
+	return j.Result()
+}
+
+// CancelBatch cancels every non-terminal job of a batch.
+func (r *Runner) CancelBatch(id string) error {
+	if r.jobs == nil {
+		return ErrNoBatchQueue
+	}
+	return r.jobs.CancelBatch(id)
+}
+
+// WaitBatch blocks until every job of the batch is terminal (returning
+// the final status) or ctx is cancelled (returning the last observed
+// status and ctx's error).
+func (r *Runner) WaitBatch(ctx context.Context, id string) (BatchStatus, error) {
+	if r.jobs == nil {
+		return BatchStatus{}, ErrNoBatchQueue
+	}
+	events, stop, ok := r.jobs.Subscribe(id)
+	if !ok {
+		return BatchStatus{}, errors.New("ramp: unknown batch " + id)
+	}
+	defer stop()
+	// Poll as the fallback for events dropped past a slow listener.
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		st, ok := r.jobs.Batch(id)
+		if !ok {
+			return BatchStatus{}, errors.New("ramp: batch " + id + " expired while waiting")
+		}
+		if st.Done {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-events:
+		case <-tick.C:
+		}
+	}
+}
+
+// BatchStats snapshots the queue's counters (gauges plus cumulative
+// totals); ok is false without a batch queue.
+func (r *Runner) BatchStats() (jobs.Stats, bool) {
+	if r.jobs == nil {
+		return jobs.Stats{}, false
+	}
+	return r.jobs.Stats(), true
+}
+
+// Close stops the batch queue's workers, cancelling running jobs. A no-op
+// for Runners without a batch queue; the Runner's other methods remain
+// usable afterwards.
+func (r *Runner) Close() {
+	if r.jobs != nil {
+		r.jobs.Close()
+	}
+}

@@ -1,0 +1,123 @@
+package ramp_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+// TestRunnerBatchFacade drives the whole batch surface of the Runner:
+// submission with dedup, WaitBatch, JobResult equality with the
+// synchronous API, and stats accounting.
+func TestRunnerBatchFacade(t *testing.T) {
+	cfg, profiles, techs := runnerTestInputs(t)
+	runner, err := ramp.New(
+		ramp.WithParallelism(2),
+		ramp.WithBatchQueue(ramp.BatchOptions{Workers: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+
+	narrow := cfg
+	narrow.Instructions = 20_000
+	items := []ramp.BatchItem{
+		{Kind: ramp.BatchStudy, Config: cfg, Profiles: profiles, Techs: techs},
+		{Kind: ramp.BatchStudy, Config: narrow, Profiles: profiles, Techs: techs},
+		{Kind: ramp.BatchStudy, Config: cfg, Profiles: profiles, Techs: techs}, // dup of [0]
+	}
+	st, err := runner.SubmitBatch("", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 2 {
+		t.Fatalf("unique jobs = %d, want 2 after dedup", len(st.Jobs))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	final, err := runner.WaitBatch(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done || final.Counts[ramp.JobDone] != 2 {
+		t.Fatalf("final = done:%v counts:%+v, want 2 done", final.Done, final.Counts)
+	}
+
+	// The job's result must deeply equal the synchronous API's.
+	res, ok := runner.JobResult(st.ID, final.Jobs[0].ID)
+	if !ok {
+		t.Fatal("done job has no result")
+	}
+	want, err := runner.Study(context.Background(), cfg, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Error("batch job result differs from Runner.Study for the same config")
+	}
+
+	stats, ok := runner.BatchStats()
+	if !ok || stats.Submitted != 2 || stats.Deduped != 1 || stats.Done != 2 {
+		t.Errorf("stats = %+v (ok %v), want submitted 2 / deduped 1 / done 2", stats, ok)
+	}
+}
+
+// TestRunnerBatchMCJob runs a Monte Carlo item through the queue.
+func TestRunnerBatchMCJob(t *testing.T) {
+	cfg, profiles, techs := runnerTestInputs(t)
+	runner, err := ramp.New(ramp.WithBatchQueue(ramp.BatchOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	items := []ramp.BatchItem{{
+		Kind: ramp.BatchMC, Config: cfg, Profiles: profiles[:1], Techs: techs,
+		MC: ramp.MCConfig{Samples: 50, Seed: 11}.Normalized(),
+	}}
+	st, err := runner.SubmitBatch("mc-tenant", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	final, err := runner.WaitBatch(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Counts[ramp.JobDone] != 1 {
+		t.Fatalf("counts = %+v, want 1 done", final.Counts)
+	}
+	raw, ok := runner.JobResult(st.ID, final.Jobs[0].ID)
+	if !ok {
+		t.Fatal("mc job has no result")
+	}
+	mc, ok := raw.(*ramp.MCResult)
+	if !ok || mc.TotalReplicas == 0 {
+		t.Fatalf("mc result = %T %+v", raw, raw)
+	}
+}
+
+// TestRunnerWithoutBatchQueue: the batch methods degrade to typed errors
+// on a Runner constructed without WithBatchQueue.
+func TestRunnerWithoutBatchQueue(t *testing.T) {
+	runner, err := ramp.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.SubmitBatch("", nil); !errors.Is(err, ramp.ErrNoBatchQueue) {
+		t.Errorf("SubmitBatch err = %v, want ErrNoBatchQueue", err)
+	}
+	if _, ok := runner.BatchStatus("x"); ok {
+		t.Error("BatchStatus ok on queue-less runner")
+	}
+	if err := runner.CancelBatch("x"); !errors.Is(err, ramp.ErrNoBatchQueue) {
+		t.Errorf("CancelBatch err = %v, want ErrNoBatchQueue", err)
+	}
+	runner.Close() // must be a safe no-op
+}

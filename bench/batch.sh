@@ -1,0 +1,109 @@
+#!/bin/sh
+# bench/batch.sh — batch API vs sequential /v1/study wall-clock.
+#
+# Starts two identically-configured rampd instances (separate caches)
+# and runs the same sweep — UNIQUE distinct study configurations, each
+# repeated DUP times, UNIQUE×DUP configs total — through both client
+# strategies:
+#
+#   sequential: the naive client; one /v1/study request per config,
+#               one after another, against server A
+#   batch:      one POST /v1/batch carrying the identical config list,
+#               polled to completion, against server B
+#
+# The batch wins on both axes the subsystem is built for: duplicates
+# collapse by content address *before* execution (dedup rate
+# (DUP-1)/DUP), and the whole sweep pays one submission instead of
+# UNIQUE×DUP request round-trips, with up to WORKERS jobs in flight at
+# once. Writes BENCH_batch.json in the repo root with both wall-clocks,
+# the speedup, and the server-reported dedup counters. Acceptance: ≥3×
+# speedup at 8 workers.
+#
+# Usage: ./bench/batch.sh [instructions] [unique] [dup] [workers]
+set -eu
+
+N="${1:-20000}"
+UNIQUE="${2:-12}"
+DUP="${3:-8}"
+WORKERS="${4:-8}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/BENCH_batch.json"
+ADDR="127.0.0.1:18082"
+LOG="$(mktemp)"
+
+cd "$ROOT"
+go build -o "$ROOT/bench/.rampd" ./cmd/rampd
+
+# Two servers with identical simulation config: one for the sequential
+# baseline, one for the batch, so neither warms the other's caches.
+start_rampd() {
+    "$ROOT/bench/.rampd" -addr "$1" -n "$N" -batch-workers "$WORKERS" \
+        -queue "$WORKERS" >>"$LOG" 2>&1 &
+    echo $!
+}
+
+PID=$(start_rampd "$ADDR")
+ADDR2="127.0.0.1:18083"
+PID2=$(start_rampd "$ADDR2")
+trap 'kill "$PID" "$PID2" 2>/dev/null; wait "$PID" "$PID2" 2>/dev/null || true; rm -f "$ROOT/bench/.rampd" "$LOG"' EXIT
+
+wait_up() {
+    i=0
+    until curl -fsS "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "rampd on $1 did not come up:"; cat "$LOG"; exit 1; }
+        sleep 0.1
+    done
+}
+wait_up "$ADDR"
+wait_up "$ADDR2"
+
+# Distinct configs by instruction budget: N, N+1, … N+UNIQUE-1; the
+# sweep visits each config DUP times (i % UNIQUE), exactly like the
+# batch below.
+now_ms() { date +%s%3N; }
+
+TOTAL=$((UNIQUE * DUP))
+SEQ_START=$(now_ms)
+i=0
+while [ "$i" -lt "$TOTAL" ]; do
+    curl -fsS -o /dev/null "http://$ADDR/v1/study?apps=bzip2&instructions=$((N + i % UNIQUE))"
+    i=$((i + 1))
+done
+SEQ_MS=$(($(now_ms) - SEQ_START))
+
+# The same UNIQUE configs, each repeated DUP times, as one batch.
+JOBS=$(jq -n --argjson n "$N" --argjson unique "$UNIQUE" --argjson dup "$DUP" '
+    {jobs: [range($unique * $dup) | {apps: ["bzip2"], instructions: ($n + (. % $unique))}]}')
+
+BATCH_START=$(now_ms)
+BATCH_ID=$(curl -fsS -d "$JOBS" "http://$ADDR2/v1/batch" | jq -r .batch_id)
+until curl -fsS "http://$ADDR2/v1/batch/$BATCH_ID" | jq -e '.batch.done' >/dev/null; do
+    sleep 0.01
+done
+BATCH_MS=$(($(now_ms) - BATCH_START))
+
+SUBMIT=$(curl -fsS "http://$ADDR2/v1/batch/$BATCH_ID")
+METRICS=$(curl -fsS "http://$ADDR2/metrics")
+
+jq -n \
+    --argjson n "$N" --argjson unique "$UNIQUE" --argjson dup "$DUP" \
+    --argjson workers "$WORKERS" \
+    --argjson seq_ms "$SEQ_MS" --argjson batch_ms "$BATCH_MS" \
+    --argjson batch "$SUBMIT" --argjson metrics "$METRICS" \
+    '{
+        benchmark: "rampd /v1/batch vs sequential /v1/study",
+        instructions: $n,
+        unique_configs: $unique,
+        jobs_submitted: ($unique * $dup),
+        batch_workers: $workers,
+        sequential_s: ($seq_ms / 1000),
+        batch_s: ($batch_ms / 1000),
+        speedup: (($seq_ms / ($batch_ms + 1)) * 100 | floor / 100),
+        dedup_hit_rate: ((($unique * ($dup - 1)) / ($unique * $dup)) * 100 | floor / 100),
+        jobs: $metrics.jobs,
+        studies_total: $metrics.studies_total
+    }' >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -9,7 +9,10 @@
 //	      [-cache-ttl 1h] [-queue 4] [-timeout 5m] [-drain 30s]
 //	      [-parallelism N] [-cache-dir DIR] [-stage-cache 256] [-heartbeat 10s]
 //	      [-mc-samples 200000] [-mc-replicas 2000000]
-//	      [-pprof-addr localhost:6060] [-trace-retain 8]
+//	      [-batch-queue 256] [-batch-workers 2] [-batch-max-jobs 512]
+//	      [-job-retries 3] [-job-backoff 250ms] [-job-ttl 15m]
+//	      [-tenant-qps 0] [-tenant-burst 0] [-tenant-inflight 0]
+//	      [-ready-high-water N] [-pprof-addr localhost:6060] [-trace-retain 8]
 //	      [-log-level info] [-log-format text]
 //
 // Endpoints:
@@ -22,9 +25,17 @@
 //	GET/POST /v1/mttf          lifetime summary     (same parameters, same cache)
 //	GET      /v1/profiles      the benchmark registry
 //	GET      /v1/study/trace   Chrome trace-event JSON of a retained study
-//	GET      /healthz          liveness; 503 while draining
-//	GET      /metrics          request/cache/coalescing/scheduler/stage-cache counters
-//	                           (?format=prometheus for text exposition)
+//	POST     /v1/batch         submit up to -batch-max-jobs study/MC configs as
+//	                           one async batch (X-Tenant selects the quota
+//	                           bucket); 202 with batch and job IDs
+//	GET      /v1/batch/{id}    per-job state/percent; DELETE cancels the batch
+//	GET      /v1/batch/{id}/stream      NDJSON job transitions + heartbeats
+//	GET      /v1/batch/{id}/jobs/{job}  finished job's result document
+//	GET      /healthz          liveness; always 200 while the process serves
+//	GET      /readyz           readiness; 503 while draining or while the job
+//	                           queue is past -ready-high-water
+//	GET      /metrics          request/cache/coalescing/scheduler/stage-cache/job
+//	                           counters (?format=prometheus for text exposition)
 //
 // Structured request logs — one record per request, carrying the
 // X-Request-ID echoed in responses — go to stderr (-log-level,
@@ -38,9 +49,10 @@
 // artifacts), so requests differing only in downstream parameters replay
 // the cheap stages; -cache-dir persists those artifacts across restarts.
 //
-// SIGINT/SIGTERM starts a graceful shutdown: /healthz flips to 503, the
-// listener stops accepting, in-flight requests (and the simulations they
-// wait on) finish within -drain, then the process exits.
+// SIGINT/SIGTERM starts a graceful shutdown: /readyz flips to 503 (liveness
+// on /healthz stays 200), the listener stops accepting, in-flight requests
+// (and the simulations they wait on) finish within -drain, then the batch
+// job queue stops and the process exits.
 package main
 
 import (
@@ -86,6 +98,16 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	heartbeat := fs.Duration("heartbeat", 10*time.Second, "idle heartbeat interval on /v1/study/stream")
 	mcSamples := fs.Int("mc-samples", 0, "per-cell Monte Carlo replica cap on /v1/study/mc (0 = default 200000)")
 	mcReplicas := fs.Int("mc-replicas", 0, "total Monte Carlo replica cap — samples × grid cells (0 = default 2000000)")
+	batchQueue := fs.Int("batch-queue", 0, "live batch-job bound across tenants (0 = default 256)")
+	batchWorkers := fs.Int("batch-workers", 0, "batch executor pool size (0 = default 2)")
+	batchMaxJobs := fs.Int("batch-max-jobs", 0, "configs per POST /v1/batch request (0 = default 512)")
+	jobRetries := fs.Int("job-retries", 0, "executions per batch job incl. the first (0 = default 3)")
+	jobBackoff := fs.Duration("job-backoff", 0, "delay before a job's first retry, doubling per attempt (0 = default 250ms)")
+	jobTTL := fs.Duration("job-ttl", 0, "retention of finished batches for status/result queries (0 = default 15m)")
+	tenantQPS := fs.Float64("tenant-qps", 0, "per-tenant batch-job admission rate (0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant admission burst (0 = derived from -tenant-qps)")
+	tenantInflight := fs.Int("tenant-inflight", 0, "per-tenant live batch-job cap (0 = unlimited)")
+	readyHighWater := fs.Int("ready-high-water", 0, "queued batch jobs before /readyz reports 503 (0 = 90% of -batch-queue)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	traceRetain := fs.Int("trace-retain", 0, "completed study traces retained for /v1/study/trace (0 = default 8)")
 	logFlags := cli.RegisterLogFlags(fs)
@@ -116,6 +138,16 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 		MaxMCReplicas:       *mcReplicas,
 		Logger:              logger,
 		TraceRetain:         *traceRetain,
+		BatchCapacity:       *batchQueue,
+		BatchWorkers:        *batchWorkers,
+		BatchMaxJobs:        *batchMaxJobs,
+		JobMaxAttempts:      *jobRetries,
+		JobRetryBackoff:     *jobBackoff,
+		JobTTL:              *jobTTL,
+		TenantQPS:           *tenantQPS,
+		TenantBurst:         *tenantBurst,
+		TenantInflight:      *tenantInflight,
+		ReadyHighWater:      *readyHighWater,
 	})
 	if err != nil {
 		return err

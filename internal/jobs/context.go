@@ -1,0 +1,20 @@
+package jobs
+
+import "context"
+
+// jobCtxKey carries the executing job in the executor's context.
+type jobCtxKey struct{}
+
+// withJob installs j in ctx; the queue does this before every execution.
+func withJob(ctx context.Context, j *Job) context.Context {
+	return context.WithValue(ctx, jobCtxKey{}, j)
+}
+
+// JobFrom returns the job the current executor invocation is running, or
+// nil outside an executor. Deeply nested code — progress callbacks, cache
+// layers — uses it to publish Job.SetPercent without threading the job
+// through every signature.
+func JobFrom(ctx context.Context) *Job {
+	j, _ := ctx.Value(jobCtxKey{}).(*Job)
+	return j
+}

@@ -1,0 +1,618 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors returned by Submit and the lookup/cancel methods.
+var (
+	// ErrQueueFull: admitting the batch would push live jobs past the
+	// queue's capacity; the serving layer maps it to 429.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed: the queue has been closed.
+	ErrClosed = errors.New("jobs: queue closed")
+	// ErrNotFound: no such batch or job (or its retention TTL expired).
+	ErrNotFound = errors.New("jobs: not found")
+)
+
+// Config parameterises a Queue.
+type Config struct {
+	// Capacity bounds live (queued + running) jobs across all tenants
+	// (default 256). Submissions that would exceed it fail whole with
+	// ErrQueueFull.
+	Capacity int
+	// Workers is the number of concurrent executors (default 4).
+	Workers int
+	// MaxAttempts bounds executions per job including the first
+	// (default 3). Transient failures below the bound re-queue with
+	// backoff; at the bound the job fails.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 250ms).
+	RetryBackoff time.Duration
+	// ResultTTL is how long finished batches (and their job results) are
+	// retained for status/result queries after the last job reaches a
+	// terminal state (default 15m).
+	ResultTTL time.Duration
+	// Quota is the per-tenant admission policy.
+	Quota QuotaConfig
+	// Retryable classifies executor errors; nil treats every error as
+	// transient. Permanent errors (bad requests, cancellations) fail the
+	// job on the first attempt.
+	Retryable func(error) bool
+	// Now overrides the clock for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+// Executor turns one job's payload into its result. It runs on a worker
+// goroutine under a queue-lifetime context that is cancelled when the job
+// (or the queue) is cancelled; implementations should propagate ctx and
+// may publish progress via Job.SetPercent.
+type Executor func(ctx context.Context, j *Job) (any, error)
+
+// Spec is one job submission: the content-address key plus the executor
+// payload.
+type Spec struct {
+	Key     string
+	Kind    Kind
+	Payload any
+}
+
+// Event is one job state transition, delivered to batch subscribers.
+type Event struct {
+	BatchID string   `json:"batch_id"`
+	From    State    `json:"from"`
+	To      State    `json:"to"`
+	Job     Snapshot `json:"job"`
+}
+
+// batch groups the jobs of one submission.
+type batch struct {
+	id        string
+	tenant    string
+	createdAt time.Time
+	jobIDs    []string // one per submitted spec; duplicates share an ID
+	jobs      []*Job   // unique jobs, first-seen order
+	remaining int      // jobs not yet terminal
+	doneAt    time.Time
+}
+
+// BatchStatus is a consistent, JSON-marshalable view of a batch.
+type BatchStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	// JobIDs maps each submitted config position to its job; duplicate
+	// configs repeat the deduplicated job's ID.
+	JobIDs []string `json:"job_ids"`
+	// Jobs holds the unique jobs, in first-seen order.
+	Jobs []Snapshot `json:"jobs"`
+	// Counts tallies unique jobs by state.
+	Counts map[State]int `json:"counts"`
+	// Done reports every unique job terminal.
+	Done bool `json:"done"`
+}
+
+// Stats is a point-in-time view of the queue's counters. Queued, Running,
+// and Live are gauges; the rest are cumulative.
+type Stats struct {
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Live      int   `json:"live"`
+	Capacity  int   `json:"capacity"`
+	Submitted int64 `json:"submitted_total"`
+	Deduped   int64 `json:"deduped_total"`
+	Retried   int64 `json:"retried_total"`
+	Done      int64 `json:"done_total"`
+	Failed    int64 `json:"failed_total"`
+	Cancelled int64 `json:"cancelled_total"`
+}
+
+// subscriber is one batch-event listener.
+type subscriber struct {
+	batchID string
+	ch      chan Event
+}
+
+// Queue is the job queue. Create with New; the zero value is not usable.
+// All methods are safe for concurrent use.
+//
+// Locking: every FSM transition and its queue-level accounting happen
+// atomically under q.mu (transitionJob), with j.mu nested inside. Nothing
+// acquires q.mu while holding a job's lock.
+type Queue struct {
+	cfg    Config
+	exec   Executor
+	quotas *quotas
+	now    func() time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	work       chan *Job
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	seq     int
+	jobs    map[string]*Job     // by ID, live + retained
+	index   map[string]*Job     // by content key, live only (dedup)
+	batches map[string]*batch   // by batch ID, live + retained
+	owners  map[string][]*batch // job ID → batches referencing it
+	subs    []*subscriber
+	live    int
+	stats   Stats
+}
+
+// New validates cfg, applies defaults, starts the workers, and returns a
+// ready queue.
+func New(cfg Config, exec Executor) (*Queue, error) {
+	if exec == nil {
+		return nil, errors.New("jobs: nil executor")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.ResultTTL <= 0 {
+		cfg.ResultTTL = 15 * time.Minute
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg:        cfg,
+		exec:       exec,
+		quotas:     newQuotas(cfg.Quota),
+		now:        now,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		work:       make(chan *Job, cfg.Capacity),
+		jobs:       make(map[string]*Job),
+		index:      make(map[string]*Job),
+		batches:    make(map[string]*batch),
+		owners:     make(map[string][]*batch),
+	}
+	q.stats.Capacity = cfg.Capacity
+	for i := 0; i < cfg.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q, nil
+}
+
+// Close cancels every running job, stops the workers, and waits for them.
+// Queued jobs are abandoned; Submit fails with ErrClosed afterwards.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.baseCancel()
+	q.wg.Wait()
+}
+
+// Submit admits one batch of specs for tenant. Specs whose key matches a
+// live (queued or running) job — within this batch or from an earlier one
+// — reuse that job instead of enqueueing a duplicate; only genuinely new
+// jobs consume queue capacity and tenant quota. Admission is
+// all-or-nothing: on ErrQueueFull or a *QuotaError nothing was enqueued.
+// The returned status is the batch's initial view (every new job queued).
+func (q *Queue) Submit(tenant string, specs []Spec) (BatchStatus, error) {
+	if len(specs) == 0 {
+		return BatchStatus{}, errors.New("jobs: empty batch")
+	}
+	now := q.now()
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return BatchStatus{}, ErrClosed
+	}
+	q.sweepLocked(now)
+
+	// Resolve dedup first so admission charges only new work. Transitions
+	// are serialised on q.mu, so a job found in the index cannot turn
+	// terminal while this runs.
+	var created []*Job
+	resolved := make([]*Job, len(specs))
+	batchNew := make(map[string]*Job)
+	for i, sp := range specs {
+		if j, ok := q.index[sp.Key]; ok {
+			resolved[i] = j
+			q.stats.Deduped++
+			continue
+		}
+		if j, ok := batchNew[sp.Key]; ok {
+			resolved[i] = j
+			q.stats.Deduped++
+			continue
+		}
+		j := &Job{Key: sp.Key, Kind: sp.Kind, Tenant: tenant, Payload: sp.Payload,
+			state: StateQueued, createdAt: now}
+		batchNew[sp.Key] = j
+		resolved[i] = j
+		created = append(created, j)
+	}
+
+	if q.live+len(created) > q.cfg.Capacity {
+		q.mu.Unlock()
+		return BatchStatus{}, fmt.Errorf("%w: %d live + %d new jobs exceeds capacity %d",
+			ErrQueueFull, q.live, len(created), q.cfg.Capacity)
+	}
+	if err := q.quotas.admit(tenant, len(created), now); err != nil {
+		q.mu.Unlock()
+		return BatchStatus{}, err
+	}
+
+	// Point of no return: register IDs, the batch, and the dedup index.
+	q.seq++
+	b := &batch{id: fmt.Sprintf("b%06d", q.seq), tenant: tenant, createdAt: now}
+	seen := make(map[string]bool)
+	for _, j := range resolved {
+		if j.ID == "" {
+			q.seq++
+			j.ID = fmt.Sprintf("j%06d", q.seq)
+			q.jobs[j.ID] = j
+			q.index[j.Key] = j
+			q.live++
+			q.stats.Queued++
+			q.stats.Submitted++
+		}
+		b.jobIDs = append(b.jobIDs, j.ID)
+		if !seen[j.ID] {
+			seen[j.ID] = true
+			b.jobs = append(b.jobs, j)
+			b.remaining++
+			q.owners[j.ID] = append(q.owners[j.ID], b)
+		}
+	}
+	q.batches[b.id] = b
+	status := q.batchStatusLocked(b, now)
+	q.mu.Unlock()
+
+	for _, j := range created {
+		q.push(j)
+	}
+	return status, nil
+}
+
+// push hands a job to the workers. The channel's capacity equals the
+// live-job bound, so the send only parks during queue shutdown.
+func (q *Queue) push(j *Job) {
+	select {
+	case q.work <- j:
+	case <-q.baseCtx.Done():
+	}
+}
+
+// worker executes jobs until the queue closes.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case j := <-q.work:
+			q.run(j)
+		case <-q.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// run executes one job through the FSM: running, then done / failed /
+// re-queued for retry / cancelled.
+func (q *Queue) run(j *Job) {
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	defer cancel()
+	start := q.now()
+	if !q.transitionJob(j, StateRunning, func() {
+		j.cancel = cancel
+		j.startedAt = start
+		j.attempts++
+	}) {
+		// Cancelled while queued (or a stale retry of a cancelled job);
+		// accounting already happened at cancel time.
+		return
+	}
+
+	res, execErr := q.exec(withJob(ctx, j), j)
+
+	j.mu.Lock()
+	wasCancelled := j.cancelled
+	attempts := j.attempts
+	j.cancel = nil
+	j.mu.Unlock()
+	end := q.now()
+
+	switch {
+	case execErr == nil:
+		q.transitionJob(j, StateDone, func() {
+			j.result = res
+			j.err = nil
+			j.percent = 100
+			j.doneAt = end
+		})
+	case wasCancelled || q.baseCtx.Err() != nil:
+		q.transitionJob(j, StateCancelled, func() {
+			j.err = execErr
+			j.doneAt = end
+		})
+	case attempts < q.cfg.MaxAttempts && q.retryable(execErr):
+		if q.transitionJob(j, StateQueued, func() {
+			j.err = execErr
+			j.percent = 0
+		}) {
+			backoff := q.cfg.RetryBackoff << uint(attempts-1)
+			time.AfterFunc(backoff, func() { q.push(j) })
+		}
+	default:
+		q.transitionJob(j, StateFailed, func() {
+			j.err = fmt.Errorf("attempt %d/%d: %w", attempts, q.cfg.MaxAttempts, execErr)
+			j.doneAt = end
+		})
+	}
+}
+
+// retryable classifies an executor error as transient.
+func (q *Queue) retryable(err error) bool {
+	if q.cfg.Retryable == nil {
+		return true
+	}
+	return q.cfg.Retryable(err)
+}
+
+// transitionJob performs one FSM edge and its queue-level accounting —
+// gauges, terminal counters, the dedup index, batch completion, events —
+// atomically under q.mu. Returns false (and changes nothing) when the
+// edge is invalid from the job's current state, e.g. a worker picking up
+// a job that was cancelled while queued.
+func (q *Queue) transitionJob(j *Job, to State, with func()) bool {
+	now := q.now()
+	q.mu.Lock()
+	from, err := j.transition(to, with)
+	if err != nil {
+		q.mu.Unlock()
+		return false
+	}
+	switch from {
+	case StateQueued:
+		q.stats.Queued--
+	case StateRunning:
+		q.stats.Running--
+	}
+	switch to {
+	case StateQueued:
+		q.stats.Queued++
+		q.stats.Retried++
+	case StateRunning:
+		q.stats.Running++
+	case StateDone:
+		q.stats.Done++
+	case StateFailed:
+		q.stats.Failed++
+	case StateCancelled:
+		q.stats.Cancelled++
+	}
+	if to.Terminal() {
+		q.live--
+		if q.index[j.Key] == j {
+			delete(q.index, j.Key)
+		}
+		for _, b := range q.owners[j.ID] {
+			b.remaining--
+			if b.remaining == 0 && b.doneAt.IsZero() {
+				b.doneAt = now
+			}
+		}
+	}
+	if len(q.subs) > 0 {
+		snap := j.Snapshot(now)
+		for _, b := range q.owners[j.ID] {
+			for _, s := range q.subs {
+				if s.batchID == b.id {
+					select {
+					case s.ch <- Event{BatchID: b.id, From: from, To: to, Job: snap}:
+					default: // slow subscriber: drop, polling recovers
+					}
+				}
+			}
+		}
+	}
+	q.mu.Unlock()
+	if to.Terminal() {
+		q.quotas.release(j.Tenant, 1)
+	}
+	return true
+}
+
+// Cancel moves one job to cancelled: immediately when queued, via context
+// cancellation when running (the worker then completes the bookkeeping).
+// Cancelling a job shared by several batches cancels it for all of them;
+// terminal jobs are left untouched.
+func (q *Queue) Cancel(jobID string) error {
+	q.mu.Lock()
+	j, ok := q.jobs[jobID]
+	q.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	q.cancelJob(j)
+	return nil
+}
+
+// cancelJob implements Cancel for a resolved job.
+func (q *Queue) cancelJob(j *Job) {
+	j.mu.Lock()
+	j.cancelled = true
+	j.mu.Unlock()
+	when := q.now()
+	if q.transitionJob(j, StateCancelled, func() {
+		j.err = context.Canceled
+		j.doneAt = when
+	}) {
+		// If the job was running, unwind its executor; the worker's own
+		// terminal transition will then be a no-op.
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// CancelBatch cancels every non-terminal job of a batch.
+func (q *Queue) CancelBatch(batchID string) error {
+	q.mu.Lock()
+	b, ok := q.batches[batchID]
+	var jobs []*Job
+	if ok {
+		jobs = append(jobs, b.jobs...)
+	}
+	q.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	for _, j := range jobs {
+		q.cancelJob(j)
+	}
+	return nil
+}
+
+// Batch returns the status of one batch.
+func (q *Queue) Batch(batchID string) (BatchStatus, bool) {
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sweepLocked(now)
+	b, ok := q.batches[batchID]
+	if !ok {
+		return BatchStatus{}, false
+	}
+	return q.batchStatusLocked(b, now), true
+}
+
+// Job resolves one job of one batch; ok is false when either is unknown
+// or the job does not belong to the batch.
+func (q *Queue) Job(batchID, jobID string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.batches[batchID]
+	if !ok {
+		return nil, false
+	}
+	j, ok := q.jobs[jobID]
+	if !ok {
+		return nil, false
+	}
+	for _, owned := range b.jobs {
+		if owned == j {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// batchStatusLocked assembles a BatchStatus; caller holds q.mu.
+func (q *Queue) batchStatusLocked(b *batch, now time.Time) BatchStatus {
+	st := BatchStatus{
+		ID:     b.id,
+		Tenant: b.tenant,
+		JobIDs: append([]string(nil), b.jobIDs...),
+		Counts: make(map[State]int),
+		Done:   true,
+	}
+	for _, j := range b.jobs {
+		snap := j.Snapshot(now)
+		st.Jobs = append(st.Jobs, snap)
+		st.Counts[snap.State]++
+		if !snap.State.Terminal() {
+			st.Done = false
+		}
+	}
+	return st
+}
+
+// Subscribe registers a listener for the batch's job transitions. The
+// channel is buffered; events overflowing a slow listener are dropped
+// (poll Batch to recover). The returned stop function unregisters and
+// must be called exactly once.
+func (q *Queue) Subscribe(batchID string) (<-chan Event, func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.batches[batchID]
+	if !ok {
+		return nil, nil, false
+	}
+	s := &subscriber{batchID: b.id, ch: make(chan Event, 4*len(b.jobs)+16)}
+	q.subs = append(q.subs, s)
+	stop := func() {
+		q.mu.Lock()
+		for i, cur := range q.subs {
+			if cur == s {
+				q.subs = append(q.subs[:i], q.subs[i+1:]...)
+				break
+			}
+		}
+		q.mu.Unlock()
+	}
+	return s.ch, stop, true
+}
+
+// Depth returns the queued-job gauge (jobs admitted but not yet running),
+// the serving layer's backpressure signal.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats.Queued
+}
+
+// Stats returns a consistent snapshot of the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stats
+	st.Live = q.live
+	return st
+}
+
+// sweepLocked drops batches (and jobs no batch references any more) whose
+// retention TTL has expired; caller holds q.mu. A job shared with a live
+// batch stays until its last owner expires.
+func (q *Queue) sweepLocked(now time.Time) {
+	cutoff := now.Add(-q.cfg.ResultTTL)
+	for id, b := range q.batches {
+		if b.doneAt.IsZero() || b.doneAt.After(cutoff) {
+			continue
+		}
+		delete(q.batches, id)
+		for _, j := range b.jobs {
+			owners := q.owners[j.ID]
+			for i, cur := range owners {
+				if cur == b {
+					owners = append(owners[:i], owners[i+1:]...)
+					break
+				}
+			}
+			if len(owners) == 0 {
+				delete(q.owners, j.ID)
+				delete(q.jobs, j.ID)
+				if q.index[j.Key] == j {
+					delete(q.index, j.Key)
+				}
+			} else {
+				q.owners[j.ID] = owners
+			}
+		}
+	}
+}

@@ -1,0 +1,462 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestQueue builds a queue with a fast retry cadence and registers
+// cleanup. The executor is supplied per test.
+func newTestQueue(t *testing.T, cfg Config, exec Executor) *Queue {
+	t.Helper()
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	q, err := New(cfg, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(q.Close)
+	return q
+}
+
+// specs builds n unique specs keyed k0..k(n-1).
+func specs(n int) []Spec {
+	out := make([]Spec, n)
+	for i := range out {
+		out[i] = Spec{Key: fmt.Sprintf("k%d", i), Kind: "study", Payload: i}
+	}
+	return out
+}
+
+// waitDone polls until the batch reports done or the deadline passes.
+func waitDone(t *testing.T, q *Queue, batchID string) BatchStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := q.Batch(batchID)
+		if !ok {
+			t.Fatalf("batch %s vanished while waiting", batchID)
+		}
+		if st.Done {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, _ := q.Batch(batchID)
+	t.Fatalf("batch %s not done before deadline: %+v", batchID, st.Counts)
+	return BatchStatus{}
+}
+
+func TestValidTransitions(t *testing.T) {
+	valid := []struct{ from, to State }{
+		{StateQueued, StateRunning}, {StateQueued, StateCancelled},
+		{StateRunning, StateDone}, {StateRunning, StateFailed},
+		{StateRunning, StateQueued}, {StateRunning, StateCancelled},
+	}
+	for _, e := range valid {
+		if !validTransition(e.from, e.to) {
+			t.Errorf("%s→%s should be valid", e.from, e.to)
+		}
+	}
+	for _, terminal := range []State{StateDone, StateFailed, StateCancelled} {
+		for _, to := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+			if validTransition(terminal, to) {
+				t.Errorf("%s→%s should be invalid (terminal states are final)", terminal, to)
+			}
+		}
+	}
+	if validTransition(StateQueued, StateDone) {
+		t.Error("queued→done must pass through running")
+	}
+}
+
+// TestSubmitRunsEachUniqueJobOnce: a batch with intra-batch duplicates
+// executes one run per distinct key, positions map onto shared IDs, and
+// every result is retrievable.
+func TestSubmitRunsEachUniqueJobOnce(t *testing.T) {
+	var runs atomic.Int64
+	q := newTestQueue(t, Config{Workers: 4}, func(ctx context.Context, j *Job) (any, error) {
+		runs.Add(1)
+		return "result:" + j.Key, nil
+	})
+
+	sp := []Spec{
+		{Key: "a", Kind: "study"}, {Key: "b", Kind: "study"},
+		{Key: "a", Kind: "study"}, {Key: "b", Kind: "study"}, {Key: "a", Kind: "study"},
+	}
+	st, err := q.Submit("t1", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.JobIDs) != 5 || len(st.Jobs) != 2 {
+		t.Fatalf("job_ids=%d unique=%d, want 5/2", len(st.JobIDs), len(st.Jobs))
+	}
+	if st.JobIDs[0] != st.JobIDs[2] || st.JobIDs[0] != st.JobIDs[4] || st.JobIDs[1] != st.JobIDs[3] {
+		t.Fatalf("duplicate positions should share IDs: %v", st.JobIDs)
+	}
+
+	final := waitDone(t, q, st.ID)
+	if got := runs.Load(); got != 2 {
+		t.Errorf("executor ran %d times, want 2", got)
+	}
+	if final.Counts[StateDone] != 2 {
+		t.Errorf("done count = %d, want 2", final.Counts[StateDone])
+	}
+	for _, snap := range final.Jobs {
+		j, ok := q.Job(st.ID, snap.ID)
+		if !ok {
+			t.Fatalf("job %s not found", snap.ID)
+		}
+		res, ok := j.Result()
+		if !ok || res != "result:"+snap.Key {
+			t.Errorf("job %s result = %v (ok=%v)", snap.ID, res, ok)
+		}
+		if snap.Percent != 100 {
+			t.Errorf("done job percent = %v, want 100", snap.Percent)
+		}
+	}
+	stats := q.Stats()
+	if stats.Submitted != 2 || stats.Deduped != 3 || stats.Done != 2 || stats.Live != 0 {
+		t.Errorf("stats = %+v, want submitted 2, deduped 3, done 2, live 0", stats)
+	}
+}
+
+// TestDedupAgainstLiveJobs: a second batch naming a key that is still
+// in flight reuses the live job instead of enqueueing a duplicate.
+func TestDedupAgainstLiveJobs(t *testing.T) {
+	release := make(chan struct{})
+	var runs atomic.Int64
+	q := newTestQueue(t, Config{Workers: 2}, func(ctx context.Context, j *Job) (any, error) {
+		runs.Add(1)
+		<-release
+		return j.Key, nil
+	})
+
+	st1, err := q.Submit("t1", []Spec{{Key: "shared", Kind: "study"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := q.Submit("t2", []Spec{{Key: "shared", Kind: "study"}, {Key: "own", Kind: "study"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.JobIDs[0] != st2.JobIDs[0] {
+		t.Fatalf("cross-batch duplicate got a fresh job: %s vs %s", st1.JobIDs[0], st2.JobIDs[0])
+	}
+	close(release)
+	waitDone(t, q, st1.ID)
+	waitDone(t, q, st2.ID)
+	if got := runs.Load(); got != 2 {
+		t.Errorf("executor ran %d times, want 2 (shared ran once)", got)
+	}
+}
+
+// TestRetryWithBackoff: transient failures re-queue with backoff until
+// success; the attempt counter and the retried total record the journey.
+func TestRetryWithBackoff(t *testing.T) {
+	var calls atomic.Int64
+	q := newTestQueue(t, Config{Workers: 1, MaxAttempts: 3}, func(ctx context.Context, j *Job) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return "ok", nil
+	})
+	st, err := q.Submit("t", specs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, q, st.ID)
+	if final.Counts[StateDone] != 1 {
+		t.Fatalf("job not done after retries: %+v", final.Counts)
+	}
+	if final.Jobs[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", final.Jobs[0].Attempts)
+	}
+	if got := q.Stats().Retried; got != 2 {
+		t.Errorf("retried total = %d, want 2", got)
+	}
+}
+
+// TestAttemptsExhaustedFails: a persistently transient error fails the job
+// once MaxAttempts is reached, and the terminal error names the attempts.
+func TestAttemptsExhaustedFails(t *testing.T) {
+	q := newTestQueue(t, Config{Workers: 1, MaxAttempts: 2}, func(ctx context.Context, j *Job) (any, error) {
+		return nil, errors.New("always broken")
+	})
+	st, _ := q.Submit("t", specs(1))
+	final := waitDone(t, q, st.ID)
+	if final.Counts[StateFailed] != 1 {
+		t.Fatalf("want failed, got %+v", final.Counts)
+	}
+	j, _ := q.Job(st.ID, final.Jobs[0].ID)
+	if err := j.Err(); err == nil || j.Snapshot(time.Now()).Attempts != 2 {
+		t.Errorf("failed job err=%v attempts=%d, want wrapped error after 2 attempts",
+			err, j.Snapshot(time.Now()).Attempts)
+	}
+}
+
+// TestPermanentErrorSkipsRetry: the Retryable classifier short-circuits
+// retries for permanent failures.
+func TestPermanentErrorSkipsRetry(t *testing.T) {
+	permanent := errors.New("bad input")
+	var calls atomic.Int64
+	q := newTestQueue(t, Config{
+		Workers:     1,
+		MaxAttempts: 5,
+		Retryable:   func(err error) bool { return !errors.Is(err, permanent) },
+	}, func(ctx context.Context, j *Job) (any, error) {
+		calls.Add(1)
+		return nil, permanent
+	})
+	st, _ := q.Submit("t", specs(1))
+	final := waitDone(t, q, st.ID)
+	if final.Counts[StateFailed] != 1 || calls.Load() != 1 {
+		t.Errorf("permanent error: counts=%+v calls=%d, want 1 failed after 1 call",
+			final.Counts, calls.Load())
+	}
+}
+
+// TestCancelQueuedJob: cancelling a job that is still waiting prevents it
+// from ever executing.
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	var ran sync.Map
+	q := newTestQueue(t, Config{Workers: 1}, func(ctx context.Context, j *Job) (any, error) {
+		ran.Store(j.Key, true)
+		<-release
+		return nil, nil
+	})
+	st, _ := q.Submit("t", specs(2)) // worker 1 takes k0; k1 waits
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := ran.Load("k0"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := q.Cancel(st.JobIDs[1]); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	final := waitDone(t, q, st.ID)
+	if final.Counts[StateCancelled] != 1 || final.Counts[StateDone] != 1 {
+		t.Fatalf("counts = %+v, want 1 done + 1 cancelled", final.Counts)
+	}
+	if _, ok := ran.Load("k1"); ok {
+		t.Error("cancelled-while-queued job still executed")
+	}
+}
+
+// TestCancelRunningJob: cancelling a running job cancels its executor
+// context and the job lands in cancelled, not failed.
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{})
+	q := newTestQueue(t, Config{Workers: 1}, func(ctx context.Context, j *Job) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	st, _ := q.Submit("t", specs(1))
+	<-started
+	if err := q.Cancel(st.JobIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, q, st.ID)
+	if final.Counts[StateCancelled] != 1 {
+		t.Fatalf("counts = %+v, want cancelled", final.Counts)
+	}
+	if got := q.Stats().Cancelled; got != 1 {
+		t.Errorf("cancelled total = %d, want 1", got)
+	}
+}
+
+// TestCancelBatch cancels everything non-terminal in one call.
+func TestCancelBatch(t *testing.T) {
+	release := make(chan struct{})
+	q := newTestQueue(t, Config{Workers: 1}, func(ctx context.Context, j *Job) (any, error) {
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	st, _ := q.Submit("t", specs(3))
+	if err := q.CancelBatch(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	final := waitDone(t, q, st.ID)
+	if final.Counts[StateCancelled] != 3 {
+		t.Errorf("counts = %+v, want 3 cancelled", final.Counts)
+	}
+	if err := q.CancelBatch("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown batch cancel err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestQueueFullAllOrNothing: a submission that would exceed capacity is
+// rejected whole — no partial enqueue, no quota charge.
+func TestQueueFullAllOrNothing(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	q := newTestQueue(t, Config{Capacity: 2, Workers: 1,
+		Quota: QuotaConfig{MaxInflight: 10}},
+		func(ctx context.Context, j *Job) (any, error) { <-release; return nil, nil })
+	if _, err := q.Submit("t", specs(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := q.Submit("t", specs(3)[2:]) // one more than capacity allows
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if got := q.Stats().Live; got != 2 {
+		t.Errorf("live after rejection = %d, want 2 (nothing partially enqueued)", got)
+	}
+}
+
+// TestTenantInflightQuota: MaxInflight rejects per tenant while other
+// tenants keep their own budget; slots free as jobs finish.
+func TestTenantInflightQuota(t *testing.T) {
+	release := make(chan struct{})
+	q := newTestQueue(t, Config{Workers: 1, Quota: QuotaConfig{MaxInflight: 2}},
+		func(ctx context.Context, j *Job) (any, error) { <-release; return nil, nil })
+	st, err := q.Submit("alice", specs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quotaErr *QuotaError
+	if _, err := q.Submit("alice", []Spec{{Key: "k9", Kind: "study"}}); !errors.As(err, &quotaErr) {
+		t.Fatalf("over-quota err = %v, want *QuotaError", err)
+	} else if quotaErr.Limit != "inflight" {
+		t.Errorf("quota limit = %q, want inflight", quotaErr.Limit)
+	}
+	if _, err := q.Submit("bob", []Spec{{Key: "k8", Kind: "study"}}); err != nil {
+		t.Errorf("other tenant blocked by alice's quota: %v", err)
+	}
+	close(release)
+	waitDone(t, q, st.ID)
+	if _, err := q.Submit("alice", []Spec{{Key: "k7", Kind: "study"}}); err != nil {
+		t.Errorf("quota slot not released after completion: %v", err)
+	}
+}
+
+// TestTenantRateQuota: the token bucket throttles sustained submission
+// and refills with the (fake) clock.
+func TestTenantRateQuota(t *testing.T) {
+	var clock atomic.Int64 // unix nanos
+	base := time.Unix(1700000000, 0)
+	clock.Store(int64(0))
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+	q := newTestQueue(t, Config{
+		Workers: 1,
+		Quota:   QuotaConfig{JobsPerSecond: 2, Burst: 2},
+		Now:     now,
+	}, func(ctx context.Context, j *Job) (any, error) { return nil, nil })
+
+	if _, err := q.Submit("t", specs(2)); err != nil {
+		t.Fatal(err)
+	}
+	var quotaErr *QuotaError
+	if _, err := q.Submit("t", []Spec{{Key: "x1", Kind: "study"}}); !errors.As(err, &quotaErr) {
+		t.Fatalf("rate-limited err = %v, want *QuotaError", err)
+	}
+	clock.Store(int64(time.Second)) // refill 2 tokens
+	if _, err := q.Submit("t", []Spec{{Key: "x2", Kind: "study"}, {Key: "x3", Kind: "study"}}); err != nil {
+		t.Errorf("bucket did not refill: %v", err)
+	}
+}
+
+// TestResultTTLSweep: finished batches expire ResultTTL after completion
+// and their jobs are garbage-collected with them.
+func TestResultTTLSweep(t *testing.T) {
+	var clock atomic.Int64
+	base := time.Unix(1700000000, 0)
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+	q := newTestQueue(t, Config{Workers: 1, ResultTTL: time.Minute, Now: now},
+		func(ctx context.Context, j *Job) (any, error) { return "r", nil })
+	st, _ := q.Submit("t", specs(1))
+	waitDone(t, q, st.ID)
+
+	clock.Store(int64(30 * time.Second))
+	if _, ok := q.Batch(st.ID); !ok {
+		t.Fatal("batch expired before its TTL")
+	}
+	clock.Store(int64(2 * time.Minute))
+	if _, ok := q.Batch(st.ID); ok {
+		t.Error("batch survived past its TTL")
+	}
+	if _, ok := q.Job(st.ID, st.JobIDs[0]); ok {
+		t.Error("job survived its batch's expiry")
+	}
+}
+
+// TestSubscribe: subscribers see the queued→running→done transitions of
+// their batch and nothing from other batches.
+func TestSubscribe(t *testing.T) {
+	gate := make(chan struct{})
+	q := newTestQueue(t, Config{Workers: 1}, func(ctx context.Context, j *Job) (any, error) {
+		<-gate
+		return nil, nil
+	})
+	st, _ := q.Submit("t", specs(1))
+	events, stop, ok := q.Subscribe(st.ID)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer stop()
+	close(gate)
+	var seen []State
+	deadline := time.After(5 * time.Second)
+	for len(seen) < 2 {
+		select {
+		case ev := <-events:
+			if ev.BatchID != st.ID {
+				t.Fatalf("event for foreign batch %s", ev.BatchID)
+			}
+			seen = append(seen, ev.To)
+		case <-deadline:
+			t.Fatalf("saw only %v before deadline", seen)
+		}
+	}
+	if seen[0] != StateRunning || seen[1] != StateDone {
+		t.Errorf("transition order = %v, want [running done]", seen)
+	}
+}
+
+// TestSubmitAfterClose fails with ErrClosed.
+func TestSubmitAfterClose(t *testing.T) {
+	q := newTestQueue(t, Config{}, func(ctx context.Context, j *Job) (any, error) { return nil, nil })
+	q.Close()
+	if _, err := q.Submit("t", specs(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSetPercentOnlyWhileRunning: progress is clamped and ignored outside
+// the running state.
+func TestSetPercentOnlyWhileRunning(t *testing.T) {
+	j := &Job{ID: "j1", state: StateQueued, createdAt: time.Now()}
+	j.SetPercent(50)
+	if p := j.Snapshot(time.Now()).Percent; p != 0 {
+		t.Errorf("queued job accepted percent %v", p)
+	}
+	j.state = StateRunning
+	j.SetPercent(150)
+	if p := j.Snapshot(time.Now()).Percent; p != 100 {
+		t.Errorf("percent not clamped: %v", p)
+	}
+	j.SetPercent(10) // regressions ignored
+	if p := j.Snapshot(time.Now()).Percent; p != 100 {
+		t.Errorf("percent regressed to %v", p)
+	}
+}

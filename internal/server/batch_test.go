@@ -1,0 +1,627 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ramp-sim/ramp/internal/jobs"
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// postJSON issues a POST with a JSON body against the handler.
+func postJSON(t *testing.T, s *Server, target string, body any, header map[string]string) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, target, bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s: bad JSON response %q: %v", target, rec.Body.String(), err)
+	}
+	return rec, decoded
+}
+
+// submitBatch posts jobs and decodes the 202 payload.
+func submitBatch(t *testing.T, s *Server, jobs []BatchJobRequest, tenant string) BatchSubmitResponse {
+	t.Helper()
+	header := map[string]string{}
+	if tenant != "" {
+		header["X-Tenant"] = tenant
+	}
+	rec, _ := postJSON(t, s, "/v1/batch", BatchRequest{Jobs: jobs}, header)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202 (body %s)", rec.Code, rec.Body.String())
+	}
+	var resp BatchSubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// waitBatchDone polls the status endpoint until done or the deadline.
+func waitBatchDone(t *testing.T, s *Server, batchID string) jobs.BatchStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, _ := get(t, s, "/v1/batch/"+batchID)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d for batch %s (body %s)", rec.Code, batchID, rec.Body.String())
+		}
+		var resp BatchStatusResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Batch.Done {
+			return resp.Batch
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("batch %s not done before deadline", batchID)
+	return jobs.BatchStatus{}
+}
+
+// TestBatchRunsEachUniqueStudyOnce is the subsystem's acceptance test: a
+// 200-config batch with 50% duplicates runs each unique study exactly
+// once, every duplicate position shares the deduplicated job's ID, and a
+// job's result document is byte-identical to the one a serial /v1/study
+// request for the same config produces.
+func TestBatchRunsEachUniqueStudyOnce(t *testing.T) {
+	var calls atomic.Int64
+	// CacheSize must hold all unique results so the serial probe below is
+	// a guaranteed hit; the default LRU bound (64) would evict early keys.
+	s := newTestServer(t, func(c *Config) { c.BatchWorkers = 8; c.CacheSize = 256 })
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		calls.Add(1)
+		return stubResult(cfg, techs), nil
+	}
+
+	const unique, total = 100, 200
+	reqs := make([]BatchJobRequest, 0, total)
+	for i := 0; i < total; i++ {
+		var r BatchJobRequest
+		r.Apps = []string{"ammp"}
+		r.Instructions = int64(1000 + i%unique) // 100 distinct budgets, each twice
+		reqs = append(reqs, r)
+	}
+	resp := submitBatch(t, s, reqs, "")
+	if resp.UniqueJobs != unique || resp.Deduped != total-unique {
+		t.Fatalf("unique=%d deduped=%d, want %d/%d", resp.UniqueJobs, resp.Deduped, unique, total-unique)
+	}
+	if len(resp.JobIDs) != total {
+		t.Fatalf("job_ids = %d, want %d", len(resp.JobIDs), total)
+	}
+	for i := unique; i < total; i++ {
+		if resp.JobIDs[i] != resp.JobIDs[i-unique] {
+			t.Fatalf("position %d did not dedup onto %d: %s vs %s",
+				i, i-unique, resp.JobIDs[i], resp.JobIDs[i-unique])
+		}
+	}
+
+	final := waitBatchDone(t, s, resp.BatchID)
+	if got := calls.Load(); got != unique {
+		t.Errorf("simulations run = %d, want exactly %d", got, unique)
+	}
+	if final.Counts[jobs.StateDone] != unique {
+		t.Fatalf("done jobs = %d, want %d (counts %+v)", final.Counts[jobs.StateDone], unique, final.Counts)
+	}
+
+	// Byte-identical to the serial path: the batch job's "study" document
+	// must equal the /v1/study document for the same config.
+	rec, jobBody := get(t, s, "/v1/batch/"+resp.BatchID+"/jobs/"+resp.JobIDs[0])
+	if rec.Code != http.StatusOK {
+		t.Fatalf("job result status = %d (body %s)", rec.Code, rec.Body.String())
+	}
+	_, serialBody := get(t, s, "/v1/study?apps=ammp&instructions=1000")
+	if !bytes.Equal(jobBody["study"], serialBody["study"]) {
+		t.Error("batch job study document differs from serial /v1/study document")
+	}
+
+	// The batch's results warmed the shared result cache: the serial
+	// request above was a hit, not a new simulation.
+	if got := calls.Load(); got != unique {
+		t.Errorf("serial request after batch re-ran a simulation (calls %d)", got)
+	}
+}
+
+// TestBatchDedupsAgainstResultCache: configs already in the result cache
+// complete without touching the simulator again.
+func TestBatchDedupsAgainstResultCache(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, nil)
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		calls.Add(1)
+		return stubResult(cfg, techs), nil
+	}
+	get(t, s, "/v1/study?apps=ammp") // warm the cache
+	if calls.Load() != 1 {
+		t.Fatalf("warmup ran %d simulations", calls.Load())
+	}
+	var r BatchJobRequest
+	r.Apps = []string{"ammp"}
+	resp := submitBatch(t, s, []BatchJobRequest{r}, "")
+	final := waitBatchDone(t, s, resp.BatchID)
+	if final.Counts[jobs.StateDone] != 1 || calls.Load() != 1 {
+		t.Errorf("cached config re-simulated: counts=%+v calls=%d", final.Counts, calls.Load())
+	}
+}
+
+// TestBatchMCJob: an MC item runs the deterministic study through the
+// shared flight and then samples; the result document is served once done.
+func TestBatchMCJob(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, nil)
+	s.runStudy = mcStubRunStudy(&calls)
+	var r BatchJobRequest
+	r.Kind = "mc"
+	r.Apps = []string{"ammp"}
+	r.Techs = []string{"180nm"}
+	r.Samples = 64
+	r.Seed = 7
+	resp := submitBatch(t, s, []BatchJobRequest{r}, "")
+	final := waitBatchDone(t, s, resp.BatchID)
+	if final.Counts[jobs.StateDone] != 1 {
+		t.Fatalf("mc job counts = %+v", final.Counts)
+	}
+	rec, body := get(t, s, "/v1/batch/"+resp.BatchID+"/jobs/"+resp.JobIDs[0])
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mc result status = %d (body %s)", rec.Code, rec.Body.String())
+	}
+	var mc sim.MCResult
+	if err := json.Unmarshal(body["mc"], &mc); err != nil {
+		t.Fatal(err)
+	}
+	if mc.TotalReplicas == 0 || len(mc.Cells) == 0 {
+		t.Errorf("mc result empty: replicas=%d cells=%d", mc.TotalReplicas, len(mc.Cells))
+	}
+	if calls.Load() != 1 {
+		t.Errorf("deterministic study ran %d times, want 1", calls.Load())
+	}
+}
+
+// TestBatchSurvivesClientDisconnect: killing the status stream mid-batch
+// loses nothing — queued jobs still run to completion and the batch stays
+// pollable.
+func TestBatchSurvivesClientDisconnect(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int64
+	s := newTestServer(t, func(c *Config) { c.BatchWorkers = 1 })
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		calls.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return stubResult(cfg, techs), nil
+	}
+	reqs := make([]BatchJobRequest, 3)
+	for i := range reqs {
+		reqs[i].Apps = []string{"ammp"}
+		reqs[i].Instructions = int64(1000 + i)
+	}
+	resp := submitBatch(t, s, reqs, "")
+
+	// Open the stream with a cancellable request and sever it while the
+	// first job is still blocked in the executor.
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/batch/"+resp.BatchID+"/stream", nil).WithContext(ctx)
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+	}()
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-streamDone
+
+	close(release)
+	final := waitBatchDone(t, s, resp.BatchID)
+	if final.Counts[jobs.StateDone] != 3 {
+		t.Errorf("after disconnect: counts = %+v, want 3 done", final.Counts)
+	}
+}
+
+// TestBatchStreamEvents: the stream opens with meta, replays current job
+// states, and terminates with a batch event once everything is done.
+func TestBatchStreamEvents(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		return stubResult(cfg, techs), nil
+	}
+	var r BatchJobRequest
+	r.Apps = []string{"ammp"}
+	resp := submitBatch(t, s, []BatchJobRequest{r}, "")
+	waitBatchDone(t, s, resp.BatchID)
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/batch/"+resp.BatchID+"/stream", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("stream sent %d events, want ≥3 (meta, job, batch)", len(lines))
+	}
+	var first struct {
+		SchemaVersion int    `json:"schema_version"`
+		Event         string `json:"event"`
+		JobsTotal     int    `json:"jobs_total"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Event != "meta" || first.SchemaVersion != SchemaVersion || first.JobsTotal != 1 {
+		t.Errorf("first event = %+v, want meta with schema_version and jobs_total", first)
+	}
+	var last struct {
+		Event string           `json:"event"`
+		Batch jobs.BatchStatus `json:"batch"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != "batch" || !last.Batch.Done {
+		t.Errorf("last event = %+v, want terminal batch event with done=true", last)
+	}
+}
+
+// TestBatchCancellation: DELETE cancels the whole batch; blocked jobs
+// unwind via context cancellation and their result endpoint reports the
+// failure envelope.
+func TestBatchCancellation(t *testing.T) {
+	started := make(chan struct{}, 8)
+	s := newTestServer(t, func(c *Config) { c.BatchWorkers = 1 })
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	reqs := make([]BatchJobRequest, 2)
+	for i := range reqs {
+		reqs[i].Apps = []string{"ammp"}
+		reqs[i].Instructions = int64(1000 + i)
+	}
+	resp := submitBatch(t, s, reqs, "")
+	<-started
+
+	req := httptest.NewRequest(http.MethodDelete, "/v1/batch/"+resp.BatchID, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel status = %d (body %s)", rec.Code, rec.Body.String())
+	}
+	final := waitBatchDone(t, s, resp.BatchID)
+	if final.Counts[jobs.StateCancelled] != 2 {
+		t.Errorf("counts = %+v, want 2 cancelled", final.Counts)
+	}
+	rec, body := get(t, s, "/v1/batch/"+resp.BatchID+"/jobs/"+resp.JobIDs[0])
+	if rec.Code == http.StatusOK {
+		t.Fatalf("cancelled job served a result (status %d)", rec.Code)
+	}
+	if _, ok := body["error"]; !ok {
+		t.Error("cancelled job's result endpoint carries no error envelope")
+	}
+}
+
+// TestBatchTenantQuota429: per-tenant admission rejections surface as 429
+// with the queue-aware Retry-After header and the overloaded code.
+func TestBatchTenantQuota429(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := newTestServer(t, func(c *Config) { c.TenantInflight = 1; c.BatchWorkers = 1 })
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		<-release
+		return stubResult(cfg, techs), nil
+	}
+	var r1, r2 BatchJobRequest
+	r1.Apps = []string{"ammp"}
+	r2.Apps = []string{"gcc"}
+	submitBatch(t, s, []BatchJobRequest{r1}, "alice")
+
+	rec, body := postJSON(t, s, "/v1/batch", BatchRequest{Jobs: []BatchJobRequest{r2}},
+		map[string]string{"X-Tenant": "alice"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, want 429 (body %s)", rec.Code, rec.Body.String())
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", rec.Header().Get("Retry-After"))
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body["error"], &eb); err != nil || eb.Code != CodeOverloaded {
+		t.Errorf("error code = %q (%v), want %q", eb.Code, err, CodeOverloaded)
+	}
+
+	// A different tenant is unaffected.
+	if rec, _ := postJSON(t, s, "/v1/batch", BatchRequest{Jobs: []BatchJobRequest{r2}},
+		map[string]string{"X-Tenant": "bob"}); rec.Code != http.StatusAccepted {
+		t.Errorf("bob blocked by alice's quota: %d", rec.Code)
+	}
+}
+
+// TestBatchValidation covers the submission-side 400s.
+func TestBatchValidation(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.BatchMaxJobs = 4 })
+	mkStudy := func(app string) BatchJobRequest {
+		var r BatchJobRequest
+		r.Apps = []string{app}
+		return r
+	}
+	t.Run("empty", func(t *testing.T) {
+		rec, _ := postJSON(t, s, "/v1/batch", BatchRequest{}, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", rec.Code)
+		}
+	})
+	t.Run("over max jobs", func(t *testing.T) {
+		reqs := make([]BatchJobRequest, 5)
+		for i := range reqs {
+			reqs[i] = mkStudy("ammp")
+		}
+		rec, _ := postJSON(t, s, "/v1/batch", BatchRequest{Jobs: reqs}, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", rec.Code)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		r := mkStudy("ammp")
+		r.Kind = "bogus"
+		rec, _ := postJSON(t, s, "/v1/batch", BatchRequest{Jobs: []BatchJobRequest{r}}, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", rec.Code)
+		}
+	})
+	t.Run("mc fields on study kind", func(t *testing.T) {
+		r := mkStudy("ammp")
+		r.Samples = 100
+		rec, body := postJSON(t, s, "/v1/batch", BatchRequest{Jobs: []BatchJobRequest{r}}, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", rec.Code)
+		}
+		var eb ErrorBody
+		_ = json.Unmarshal(body["error"], &eb)
+		if !strings.Contains(eb.Message, "jobs[0]") {
+			t.Errorf("error does not name the offending item: %q", eb.Message)
+		}
+	})
+	t.Run("bad tenant", func(t *testing.T) {
+		rec, _ := postJSON(t, s, "/v1/batch", BatchRequest{Jobs: []BatchJobRequest{mkStudy("ammp")}},
+			map[string]string{"X-Tenant": "no spaces allowed"})
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", rec.Code)
+		}
+	})
+	t.Run("unknown batch", func(t *testing.T) {
+		rec, _ := get(t, s, "/v1/batch/nope")
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", rec.Code)
+		}
+	})
+}
+
+// TestReadyzBacklogHighWater: /readyz flips to 503 while the job queue is
+// past the high-water mark and recovers when it drains.
+func TestReadyzBacklogHighWater(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) { c.BatchWorkers = 1; c.ReadyHighWater = 1 })
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return stubResult(cfg, techs), nil
+	}
+	reqs := make([]BatchJobRequest, 4)
+	for i := range reqs {
+		reqs[i].Apps = []string{"ammp"}
+		reqs[i].Instructions = int64(1000 + i)
+	}
+	resp := submitBatch(t, s, reqs, "")
+	// One job runs; with ≥2 queued the backlog exceeds the high-water mark.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.jobs.Depth() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rec, body := get(t, s, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("backlogged /readyz = %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	var status string
+	_ = json.Unmarshal(body["status"], &status)
+	if status != "backlogged" {
+		t.Errorf("status = %q, want backlogged", status)
+	}
+	close(release)
+	waitBatchDone(t, s, resp.BatchID)
+	if rec, _ := get(t, s, "/readyz"); rec.Code != http.StatusOK {
+		t.Errorf("drained /readyz = %d, want 200", rec.Code)
+	}
+}
+
+// TestErrorEnvelopeEverywhere is the cross-endpoint contract test: every
+// endpoint's failure responses carry schema_version and the
+// {"error":{code,message}} envelope.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	s := newTestServer(t, nil)
+	cases := []struct {
+		name   string
+		method string
+		target string
+		body   string
+		status int
+	}{
+		{"study bad app", http.MethodGet, "/v1/study?apps=nope", "", http.StatusBadRequest},
+		{"study bad method", http.MethodDelete, "/v1/study", "", http.StatusBadRequest},
+		{"stream bad app", http.MethodGet, "/v1/study/stream?apps=nope", "", http.StatusBadRequest},
+		{"mc bad samples", http.MethodGet, "/v1/study/mc?samples=-5", "", http.StatusBadRequest},
+		{"mttf bad tech", http.MethodGet, "/v1/mttf?techs=nope", "", http.StatusBadRequest},
+		{"profiles bad method", http.MethodPost, "/v1/profiles", "{}", http.StatusMethodNotAllowed},
+		{"trace no traces", http.MethodGet, "/v1/study/trace", "", http.StatusNotFound},
+		{"metrics bad format", http.MethodGet, "/metrics?format=bogus", "", http.StatusBadRequest},
+		{"batch bad method", http.MethodGet, "/v1/batch", "", http.StatusMethodNotAllowed},
+		{"batch bad body", http.MethodPost, "/v1/batch", "{not json", http.StatusBadRequest},
+		{"batch unknown id", http.MethodGet, "/v1/batch/nope", "", http.StatusNotFound},
+		{"batch unknown stream", http.MethodGet, "/v1/batch/nope/stream", "", http.StatusNotFound},
+		{"batch unknown job", http.MethodGet, "/v1/batch/nope/jobs/nope", "", http.StatusNotFound},
+		{"batch bad subpath", http.MethodGet, "/v1/batch/x/bogus/extra/deep", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req *http.Request
+			if tc.body != "" {
+				req = httptest.NewRequest(tc.method, tc.target, strings.NewReader(tc.body))
+			} else {
+				req = httptest.NewRequest(tc.method, tc.target, nil)
+			}
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.status, rec.Body.String())
+			}
+			var envelope ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+				t.Fatalf("response is not the error envelope: %q (%v)", rec.Body.String(), err)
+			}
+			if envelope.SchemaVersion != SchemaVersion {
+				t.Errorf("schema_version = %d, want %d", envelope.SchemaVersion, SchemaVersion)
+			}
+			if envelope.Error.Code == "" || envelope.Error.Message == "" {
+				t.Errorf("envelope incomplete: %+v", envelope.Error)
+			}
+		})
+	}
+}
+
+// TestJobMetricNamesPinned pins the jobs/admission metric names in both
+// expositions: renaming them is an observability contract break.
+func TestJobMetricNamesPinned(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		return stubResult(cfg, techs), nil
+	}
+	var r BatchJobRequest
+	r.Apps = []string{"ammp"}
+	resp := submitBatch(t, s, []BatchJobRequest{r}, "")
+	waitBatchDone(t, s, resp.BatchID)
+
+	_, body := get(t, s, "/metrics")
+	if _, ok := body["admission_queue_depth"]; !ok {
+		t.Error("JSON /metrics lacks admission_queue_depth")
+	}
+	var jobStats map[string]json.RawMessage
+	if err := json.Unmarshal(body["jobs"], &jobStats); err != nil {
+		t.Fatalf("JSON /metrics jobs block: %v (body %s)", err, body["jobs"])
+	}
+	for _, key := range []string{"queued", "running", "done_total", "failed_total", "capacity"} {
+		if _, ok := jobStats[key]; !ok {
+			t.Errorf("JSON /metrics jobs block lacks %q", key)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prometheus", nil))
+	text := rec.Body.String()
+	for _, name := range []string{
+		"ramp_admission_queue_depth",
+		"ramp_jobs_queued",
+		"ramp_jobs_running",
+		"ramp_jobs_done",
+		"ramp_jobs_failed",
+		"ramp_batches_submitted_total",
+		"ramp_job_runs_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("prometheus exposition lacks %s", name)
+		}
+	}
+	if !strings.Contains(text, `ramp_jobs_done`) || !strings.Contains(text, "ramp_jobs_done 1") {
+		t.Errorf("ramp_jobs_done should read 1 after one completed job:\n%s",
+			firstMatchingLine(text, "ramp_jobs_done"))
+	}
+}
+
+// firstMatchingLine returns the exposition lines containing substr, for
+// focused failure messages.
+func firstMatchingLine(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return fmt.Sprint(out)
+}
+
+// TestBatchRetryOnTransientFailure: a job whose executor fails twice with
+// a retryable error succeeds on the third attempt, visible in the
+// snapshot's attempt counter.
+func TestBatchRetryOnTransientFailure(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, func(c *Config) { c.JobRetryBackoff = time.Millisecond })
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		if calls.Add(1) < 3 {
+			return nil, fmt.Errorf("transient infrastructure wobble")
+		}
+		return stubResult(cfg, techs), nil
+	}
+	var r BatchJobRequest
+	r.Apps = []string{"ammp"}
+	resp := submitBatch(t, s, []BatchJobRequest{r}, "")
+	final := waitBatchDone(t, s, resp.BatchID)
+	if final.Counts[jobs.StateDone] != 1 {
+		t.Fatalf("counts = %+v, want done after retries", final.Counts)
+	}
+	if final.Jobs[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", final.Jobs[0].Attempts)
+	}
+}
+
+// TestBatchBadRequestNotRetried: a permanent (client) error fails the job
+// on the first attempt — no retry burn on hopeless work.
+func TestBatchBadRequestNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, func(c *Config) { c.JobRetryBackoff = time.Millisecond })
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		calls.Add(1)
+		return nil, &badRequestError{fmt.Errorf("synthetic client error")}
+	}
+	var r BatchJobRequest
+	r.Apps = []string{"ammp"}
+	resp := submitBatch(t, s, []BatchJobRequest{r}, "")
+	final := waitBatchDone(t, s, resp.BatchID)
+	if final.Counts[jobs.StateFailed] != 1 || calls.Load() != 1 {
+		t.Errorf("counts=%+v calls=%d, want 1 failed after exactly 1 attempt", final.Counts, calls.Load())
+	}
+}

@@ -234,9 +234,7 @@ func (s *Server) handleStudyMC(w http.ResponseWriter, r *http.Request) {
 	case s.admission <- struct{}{}:
 		defer func() { <-s.admission }()
 	default:
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.metrics.Shed.Add(1)
+		s.writeRetryAfter(w)
 		s.writeError(w, http.StatusTooManyRequests, CodeOverloaded,
 			errors.New("server overloaded, retry later"))
 		return
@@ -276,7 +274,7 @@ func (s *Server) handleStudyMC(w http.ResponseWriter, r *http.Request) {
 		defer close(done)
 		// The deterministic study coalesces with any identical in-flight
 		// request; admit=false because this stream already holds a slot.
-		base, _, err := s.studyFlight(ctx, cfg, profiles, techs, studyKey, false)
+		base, _, err := s.studyFlight(ctx, cfg, profiles, techs, studyKey, false, nil)
 		if err != nil {
 			runErr = err
 			return

@@ -49,6 +49,8 @@ type Metrics struct {
 	// MCReplicas counts Monte Carlo lifetime replicas drawn by completed
 	// /v1/study/mc computations (cache replays excluded).
 	MCReplicas expvar.Int
+	// Batches counts accepted POST /v1/batch submissions.
+	Batches expvar.Int
 }
 
 // NewMetrics returns a zeroed metric set.
@@ -89,6 +91,7 @@ func (m *Metrics) Snapshot(cache *Cache, stats sched.Stats, stage *sim.StageCach
 		"streams_total":     m.Streams.Value(),
 		"mc_studies_total":  m.MCStudies.Value(),
 		"mc_replicas_total": m.MCReplicas.Value(),
+		"batches_total":     m.Batches.Value(),
 	}
 	if cache != nil {
 		cs := cache.Stats()
@@ -135,6 +138,18 @@ func (m *Metrics) Snapshot(cache *Cache, stats sched.Stats, stage *sim.StageCach
 			"fit":     storeSnapshot(ss.FIT),
 		}
 	}
+	return out
+}
+
+// metricsSnapshot assembles the full /metrics JSON document: the expvar
+// counters plus the admission-queue and batch-job gauges only the server
+// can see. The jobs block marshals jobs.Stats (queued, running, live,
+// capacity, *_total counters).
+func (s *Server) metricsSnapshot() map[string]any {
+	out := s.metrics.Snapshot(s.cache, s.schedStats, s.stageCache)
+	out["admission_queue_depth"] = len(s.admission)
+	out["admission_capacity"] = cap(s.admission)
+	out["jobs"] = s.jobs.Stats()
 	return out
 }
 
@@ -188,7 +203,7 @@ func (s *Server) Publish(name string) {
 			if srv == nil {
 				return nil
 			}
-			return srv.metrics.Snapshot(srv.cache, srv.schedStats, srv.stageCache)
+			return srv.metricsSnapshot()
 		}))
 	}
 	p.Store(s)

@@ -33,6 +33,11 @@ type serverObs struct {
 	mcStudies  *obs.Counter // ramp_mc_studies_total
 	mcReplicas *obs.Counter // ramp_mc_replicas_total
 
+	// Batch job queue.
+	batches    *obs.Counter      // ramp_batches_submitted_total
+	jobRuns    *obs.CounterVec   // ramp_job_runs_total{kind,outcome}
+	jobLatency *obs.HistogramVec // ramp_job_duration_seconds{kind}
+
 	// Pipeline-stage latency (timing|thermal|fit), fed by the span sink.
 	stageLatency *obs.HistogramVec // ramp_stage_duration_seconds{stage}
 	// Scheduler-task latency, fed by the sched.StageObserver hook.
@@ -43,6 +48,32 @@ type serverObs struct {
 	// sink bridges completed pipeline-stage spans into stageLatency; it is
 	// part of every study's tracer fan-out.
 	sink *obs.MetricsSink
+	// jobSink is the batch executor's span sink: per-job "jobs.run" spans
+	// land in jobLatency, and any pipeline-stage spans emitted under the
+	// job's context still reach the shared stage histogram via sink.
+	jobSink obs.SpanSink
+}
+
+// spanJobRun names the span wrapping one batch-job execution.
+const spanJobRun = "jobs.run"
+
+// jobSpanSink observes completed jobs.run spans into the per-kind job
+// latency histogram.
+type jobSpanSink struct {
+	hist *obs.HistogramVec
+}
+
+func (s *jobSpanSink) SpanEnded(sp *obs.Span) {
+	if sp.Name != spanJobRun {
+		return
+	}
+	kind := "unknown"
+	for _, a := range sp.Attrs() {
+		if a.Key == "kind" {
+			kind = a.Value
+		}
+	}
+	s.hist.With(kind).Observe(sp.End.Sub(sp.Start).Seconds())
 }
 
 // newServerObs registers the push-style instruments on a fresh registry.
@@ -63,6 +94,11 @@ func newServerObs() *serverObs {
 		streams:       reg.Counter("ramp_streams_started_total", "NDJSON study streams that began streaming."),
 		mcStudies:     reg.Counter("ramp_mc_studies_total", "Monte Carlo study streams that began streaming."),
 		mcReplicas:    reg.Counter("ramp_mc_replicas_total", "Monte Carlo lifetime replicas drawn by completed studies."),
+		batches:       reg.Counter("ramp_batches_submitted_total", "Batch submissions accepted by POST /v1/batch."),
+		jobRuns: reg.CounterVec("ramp_job_runs_total",
+			"Batch job executions finished, by kind and outcome.", "kind", "outcome"),
+		jobLatency: reg.HistogramVec("ramp_job_duration_seconds",
+			"Batch job execution latency in seconds, by kind.", nil, "kind"),
 		stageLatency: reg.HistogramVec("ramp_stage_duration_seconds",
 			"Simulation pipeline stage latency in seconds, by stage (timing|thermal|fit).", nil, "stage"),
 		schedLatency: reg.HistogramVec("ramp_sched_task_duration_seconds",
@@ -71,6 +107,7 @@ func newServerObs() *serverObs {
 			"Stage-cache operations, by stage, operation, and outcome.", "stage", "op", "outcome"),
 	}
 	o.sink = obs.NewMetricsSink(o.stageLatency)
+	o.jobSink = obs.MultiSink(&jobSpanSink{hist: o.jobLatency}, o.sink)
 	return o
 }
 
@@ -120,6 +157,17 @@ func (o *serverObs) bindServer(s *Server) {
 
 	reg.GaugeFunc("ramp_study_traces_retained", "Study traces retained for /v1/study/trace.", nil,
 		func() float64 { return float64(s.traces.Len()) })
+
+	reg.GaugeFunc("ramp_admission_queue_depth", "Interactive admission slots currently held.", nil,
+		func() float64 { return float64(len(s.admission)) })
+	reg.GaugeFunc("ramp_jobs_queued", "Batch jobs admitted and waiting for a worker.", nil,
+		func() float64 { return float64(s.jobs.Stats().Queued) })
+	reg.GaugeFunc("ramp_jobs_running", "Batch jobs currently executing.", nil,
+		func() float64 { return float64(s.jobs.Stats().Running) })
+	reg.GaugeFunc("ramp_jobs_done", "Batch jobs finished successfully since start.", nil,
+		func() float64 { return float64(s.jobs.Stats().Done) })
+	reg.GaugeFunc("ramp_jobs_failed", "Batch jobs failed permanently since start.", nil,
+		func() float64 { return float64(s.jobs.Stats().Failed) })
 }
 
 // schedRecorder is the server's sched.Recorder: the shared atomic counters

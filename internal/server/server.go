@@ -25,11 +25,13 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/ramp-sim/ramp/internal/jobs"
 	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/report"
 	"github.com/ramp-sim/ramp/internal/scaling"
@@ -70,6 +72,10 @@ const (
 	CodeUnavailable = "unavailable"
 	// CodeInternal: everything else.
 	CodeInternal = "internal"
+	// CodeNotReady: the requested job has not finished yet; poll the batch
+	// status endpoint. (Additive to the original code set, same schema
+	// version: clients switching on codes must ignore unknown ones.)
+	CodeNotReady = "not_ready"
 )
 
 // ErrorBody is the machine-readable error payload of the envelope.
@@ -143,6 +149,38 @@ type Config struct {
 	// TraceSpanLimit bounds the spans captured per study trace
 	// (default 16384); excess spans are dropped, not buffered.
 	TraceSpanLimit int
+	// BatchCapacity bounds live (queued + running) batch jobs across all
+	// tenants (default 256); submissions past it are shed with 429.
+	BatchCapacity int
+	// BatchWorkers is the batch queue's executor pool size (default 2).
+	// Batch jobs bypass the interactive admission queue — this bound is
+	// what keeps background batches from starving interactive traffic.
+	BatchWorkers int
+	// BatchMaxJobs caps the configs one POST /v1/batch may carry
+	// (default 512).
+	BatchMaxJobs int
+	// JobMaxAttempts bounds executions per batch job including the first
+	// (default 3); transient failures below it retry with backoff.
+	JobMaxAttempts int
+	// JobRetryBackoff is the delay before a job's first retry, doubling
+	// per attempt (default 250ms).
+	JobRetryBackoff time.Duration
+	// JobTTL is how long finished batches and their job results stay
+	// queryable after completion (default 15m).
+	JobTTL time.Duration
+	// TenantQPS is the sustained per-tenant job-admission rate on
+	// /v1/batch, keyed by the X-Tenant header; 0 disables rate limiting.
+	TenantQPS float64
+	// TenantBurst is the token-bucket depth behind TenantQPS; 0 derives
+	// it from TenantQPS.
+	TenantBurst int
+	// TenantInflight caps a tenant's live (queued + running) batch jobs;
+	// 0 disables the cap.
+	TenantInflight int
+	// ReadyHighWater is the queued-batch-job depth beyond which /readyz
+	// reports 503 so load balancers route new work elsewhere; 0 defaults
+	// to 90% of BatchCapacity.
+	ReadyHighWater int
 	// Now overrides the clock for tests; nil uses time.Now.
 	Now func() time.Time
 }
@@ -161,6 +199,7 @@ type Server struct {
 	traces     *obs.TraceRing
 	schedStats *sched.Counters
 	schedRec   *schedRecorder
+	jobs       *jobs.Queue
 	admission  chan struct{}
 	mux        *http.ServeMux
 	now        func() time.Time
@@ -218,6 +257,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxMCReplicas <= 0 {
 		cfg.MaxMCReplicas = 2_000_000
 	}
+	if cfg.BatchCapacity <= 0 {
+		cfg.BatchCapacity = 256
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = 2
+	}
+	if cfg.BatchMaxJobs <= 0 {
+		cfg.BatchMaxJobs = 512
+	}
+	if cfg.ReadyHighWater <= 0 {
+		cfg.ReadyHighWater = cfg.BatchCapacity * 9 / 10
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = obs.NopLogger()
@@ -257,6 +308,24 @@ func New(cfg Config) (*Server, error) {
 		baseCancel: baseCancel,
 		runStudy:   sim.RunStudyContext,
 	}
+	s.jobs, err = jobs.New(jobs.Config{
+		Capacity:     cfg.BatchCapacity,
+		Workers:      cfg.BatchWorkers,
+		MaxAttempts:  cfg.JobMaxAttempts,
+		RetryBackoff: cfg.JobRetryBackoff,
+		ResultTTL:    cfg.JobTTL,
+		Quota: jobs.QuotaConfig{
+			JobsPerSecond: cfg.TenantQPS,
+			Burst:         cfg.TenantBurst,
+			MaxInflight:   cfg.TenantInflight,
+		},
+		Retryable: retryableJobError,
+		Now:       now,
+	}, s.executeJob)
+	if err != nil {
+		baseCancel()
+		return nil, fmt.Errorf("server: job queue: %w", err)
+	}
 	so.bindServer(s)
 	s.flights.onCoalesce = func() {
 		s.metrics.Coalesced.Add(1)
@@ -268,7 +337,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/study/trace", s.instrument("/v1/study/trace", s.handleStudyTrace))
 	s.mux.Handle("/v1/mttf", s.instrument("/v1/mttf", s.handleMTTF))
 	s.mux.Handle("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
+	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	s.mux.Handle("/v1/batch/", s.instrument("/v1/batch/", s.handleBatchSub))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return s, nil
 }
@@ -282,8 +354,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // SchedStats exposes the shared scheduler counters.
 func (s *Server) SchedStats() sched.Stats { return s.schedStats }
 
-// BeginDrain flips /healthz to 503 so load balancers stop routing new
-// work while the HTTP server drains in-flight requests. Idempotent.
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// work while the HTTP server drains in-flight requests. Liveness
+// (/healthz) is unaffected: the process is healthy, just not accepting.
+// Idempotent.
 func (s *Server) BeginDrain() {
 	select {
 	case <-s.draining:
@@ -292,10 +366,17 @@ func (s *Server) BeginDrain() {
 	}
 }
 
-// Close cancels the base context underlying all in-flight simulations.
-// Call only after the HTTP server has finished draining: cancelling early
-// would abort simulations that admitted requests are still waiting on.
-func (s *Server) Close() { s.baseCancel() }
+// Close cancels the base context underlying all in-flight simulations and
+// shuts the batch job queue down, waiting for its workers. Call only after
+// the HTTP server has finished draining: cancelling early would abort
+// simulations that admitted requests are still waiting on.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.jobs.Close()
+}
+
+// Jobs exposes the batch job queue (facade and test use).
+func (s *Server) Jobs() *jobs.Queue { return s.jobs }
 
 // statusWriter captures the response code for metrics.
 type statusWriter struct {
@@ -462,19 +543,46 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-// handleHealthz reports ok until BeginDrain, then 503 so balancers stop
-// sending new work while in-flight requests finish.
+// healthStatus is the /healthz and /readyz payload.
+type healthStatus struct {
+	SchemaVersion int    `json:"schema_version"`
+	Status        string `json:"status"`
+	// QueueDepth and QueueHighWater report the batch-job backlog /readyz
+	// keys off; zero on /healthz.
+	QueueDepth     int `json:"queue_depth,omitempty"`
+	QueueHighWater int `json:"queue_high_water,omitempty"`
+}
+
+// handleHealthz is pure liveness: 200 for as long as the process can
+// serve HTTP at all, draining included. Restart decisions key off this;
+// routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	type health struct {
-		SchemaVersion int    `json:"schema_version"`
-		Status        string `json:"status"`
+	s.writeJSON(w, http.StatusOK, healthStatus{SchemaVersion: SchemaVersion, Status: "ok"})
+}
+
+// handleReadyz is readiness: 503 while draining or while the batch job
+// queue is beyond its high-water mark, so load balancers steer new work
+// to less-loaded replicas without the process being restarted.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := healthStatus{
+		SchemaVersion:  SchemaVersion,
+		Status:         "ok",
+		QueueDepth:     s.jobs.Depth(),
+		QueueHighWater: s.cfg.ReadyHighWater,
 	}
 	select {
 	case <-s.draining:
-		s.writeJSON(w, http.StatusServiceUnavailable, health{SchemaVersion, "draining"})
+		st.Status = "draining"
 	default:
-		s.writeJSON(w, http.StatusOK, health{SchemaVersion, "ok"})
+		if st.QueueDepth > st.QueueHighWater {
+			st.Status = "backlogged"
+		}
 	}
+	if st.Status != "ok" {
+		s.writeJSON(w, http.StatusServiceUnavailable, st)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
 }
 
 // handleMetrics serves the metric snapshot: the JSON document by default,
@@ -482,7 +590,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
-		s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.schedStats, s.stageCache))
+		s.writeJSON(w, http.StatusOK, s.metricsSnapshot())
 	case "prometheus":
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
@@ -633,7 +741,7 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 	}
 
 	start := s.now()
-	res, coalesced, err := s.studyFlight(ctx, cfg, profiles, techs, key, true)
+	res, coalesced, err := s.studyFlight(ctx, cfg, profiles, techs, key, true, nil)
 	if err != nil {
 		return nil, StudyMeta{}, err
 	}
@@ -647,9 +755,13 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 // in-flight one and, as the flight leader, runs the simulation under the
 // compute deadline. admit selects whether the leader takes an admission
 // slot; callers that already hold one for the life of the call — the MC
-// stream does — pass false to avoid a self-deadlock on the queue.
+// stream does — or that are bounded elsewhere — batch jobs, by their
+// worker pool — pass false to avoid a self-deadlock on the queue. onApp,
+// when non-nil, receives per-cell completion events if this call leads
+// the flight (followers joined mid-run and see none).
 func (s *Server) studyFlight(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
-	techs []scaling.Technology, key string, admit bool) (*sim.StudyResult, bool, error) {
+	techs []scaling.Technology, key string, admit bool,
+	onApp func(sim.AppEvent)) (*sim.StudyResult, bool, error) {
 	// The flight runs detached from the request context, so the leader's
 	// request ID is captured here for the trace entry and the study log.
 	reqID := obs.RequestIDFrom(ctx)
@@ -682,6 +794,7 @@ func (s *Server) studyFlight(ctx context.Context, cfg sim.Config, profiles []wor
 			Parallelism: s.cfg.Parallelism,
 			Metrics:     s.schedRec,
 			Cache:       s.stageCache,
+			OnApp:       onApp,
 		})
 		if err != nil {
 			// Failed runs — deadline exceeded, cancelled, model errors —
@@ -733,12 +846,37 @@ func (s *Server) studyErrorStatus(err error) (status int, code string, msg error
 func (s *Server) writeStudyError(w http.ResponseWriter, err error) {
 	status, code, msg := s.studyErrorStatus(err)
 	if code == CodeOverloaded {
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.metrics.Shed.Add(1)
-		s.obs.shed.Inc()
+		s.writeRetryAfter(w)
 	}
 	s.writeError(w, status, code, msg)
+}
+
+// retryAfter computes the 429 Retry-After hint from the configured base,
+// scaled by how loaded the admission queue and the batch job queue are
+// and spread with ±25% jitter so one burst of shed clients does not
+// return in lockstep and overload the server again. Always ≥1s.
+func (s *Server) retryAfter() time.Duration {
+	base := float64(s.cfg.RetryAfter)
+	admLoad := float64(len(s.admission)) / float64(cap(s.admission))
+	var jobLoad float64
+	if st := s.jobs.Stats(); st.Capacity > 0 {
+		jobLoad = float64(st.Queued) / float64(st.Capacity)
+	}
+	d := base * (1 + 2*admLoad + 2*jobLoad)
+	d *= 0.75 + 0.5*rand.Float64()
+	if d < float64(time.Second) {
+		return time.Second
+	}
+	return time.Duration(d)
+}
+
+// writeRetryAfter stamps the queue-aware Retry-After header on a 429 and
+// counts the shed. The header value rounds up to whole seconds.
+func (s *Server) writeRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After",
+		strconv.Itoa(int((s.retryAfter()+time.Second-1)/time.Second)))
+	s.metrics.Shed.Add(1)
+	s.obs.shed.Inc()
 }
 
 // writeJSON writes an indented JSON response.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -216,8 +217,11 @@ func TestAdmissionQueueSheds(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("overload status = %d, want 429 (body %s)", rec.Code, rec.Body.String())
 	}
-	if got := rec.Header().Get("Retry-After"); got != "3" {
-		t.Errorf("Retry-After = %q, want 3", got)
+	// The hint is queue-aware and jittered: with the admission queue full
+	// (load 1.0) it scales the 3s base by 3× ±25%, so 7–12s after ceiling.
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 7 || ra > 12 {
+		t.Errorf("Retry-After = %q, want 7..12s (3s base × full-queue scaling ± jitter)",
+			rec.Header().Get("Retry-After"))
 	}
 	if _, hasErr := body["error"]; !hasErr {
 		t.Error("429 body carries no error field")
@@ -328,23 +332,28 @@ func TestProfilesEndpoint(t *testing.T) {
 	}
 }
 
-// TestHealthzDrain checks the ok→draining transition.
+// TestHealthzDrain checks the liveness/readiness split: /readyz flips to
+// 503 on drain while /healthz keeps reporting the process alive.
 func TestHealthzDrain(t *testing.T) {
 	s := newTestServer(t, nil)
-	rec, _ := get(t, s, "/healthz")
-	if rec.Code != http.StatusOK {
-		t.Fatalf("healthy status = %d, want 200", rec.Code)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if rec, _ := get(t, s, path); rec.Code != http.StatusOK {
+			t.Fatalf("healthy %s status = %d, want 200", path, rec.Code)
+		}
 	}
 	s.BeginDrain()
 	s.BeginDrain() // idempotent
-	rec, body := get(t, s, "/healthz")
+	rec, body := get(t, s, "/readyz")
 	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("draining status = %d, want 503", rec.Code)
+		t.Fatalf("draining /readyz status = %d, want 503", rec.Code)
 	}
 	var st string
 	_ = json.Unmarshal(body["status"], &st)
 	if st != "draining" {
 		t.Errorf("draining body status = %q", st)
+	}
+	if rec, _ := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("draining /healthz status = %d, want 200 (liveness is not readiness)", rec.Code)
 	}
 }
 

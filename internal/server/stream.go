@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
-	"strconv"
 	"time"
 
 	"github.com/ramp-sim/ramp/internal/obs"
@@ -125,9 +124,7 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 	case s.admission <- struct{}{}:
 		defer func() { <-s.admission }()
 	default:
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.metrics.Shed.Add(1)
+		s.writeRetryAfter(w)
 		s.writeError(w, http.StatusTooManyRequests, CodeOverloaded,
 			errors.New("server overloaded, retry later"))
 		return
@@ -259,6 +256,12 @@ func streamEventName(v any) string {
 		return "heartbeat"
 	case streamStudyEvent:
 		return "study"
+	case batchMetaEvent:
+		return "meta"
+	case batchJobEvent:
+		return "job"
+	case batchDoneEvent:
+		return "batch"
 	case mcMetaEvent:
 		return "meta"
 	case mcProgressEvent:

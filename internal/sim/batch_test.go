@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// batchFixtures builds two distinct study items and one MC item.
+func batchFixtures(t *testing.T) (BatchItem, BatchItem, BatchItem) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Instructions = 10_000
+	profiles := workload.DefaultRegistry().All()[:2]
+	techs := scaling.Generations()[:2]
+	study := BatchItem{Kind: JobStudy, Config: cfg, Profiles: profiles, Techs: techs}
+	narrower := study
+	narrower.Profiles = profiles[:1]
+	mc := BatchItem{Kind: JobMC, Config: cfg, Profiles: profiles, Techs: techs,
+		MC: MCConfig{Samples: 100}.Normalized()}
+	return study, narrower, mc
+}
+
+func TestBatchItemKeyMatchesStudyKey(t *testing.T) {
+	study, _, mc := batchFixtures(t)
+	want, err := StudyKey(study.Config, study.Profiles, study.Techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := study.Key()
+	if err != nil || got != want {
+		t.Errorf("study item key = %q (%v), want StudyKey %q", got, err, want)
+	}
+	mcWant, err := MCStudyKey(mc.Config, mc.MC, mc.Profiles, mc.Techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcGot, err := mc.Key()
+	if err != nil || mcGot != mcWant {
+		t.Errorf("mc item key = %q (%v), want MCStudyKey %q", mcGot, err, mcWant)
+	}
+	if got == mcGot {
+		t.Error("study and MC items over the same grid must key differently")
+	}
+	if _, err := (BatchItem{Kind: "bogus"}).Key(); err == nil {
+		t.Error("unknown kind should fail to key")
+	}
+}
+
+func TestPlanBatchDedup(t *testing.T) {
+	study, narrower, mc := batchFixtures(t)
+	items := []BatchItem{study, narrower, study, mc, narrower, study}
+	plan, err := PlanBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Keys) != 6 || len(plan.First) != 6 {
+		t.Fatalf("plan sized %d/%d, want 6/6", len(plan.Keys), len(plan.First))
+	}
+	wantFirst := []int{0, 1, 0, 3, 1, 0}
+	for i, w := range wantFirst {
+		if plan.First[i] != w {
+			t.Errorf("First[%d] = %d, want %d", i, plan.First[i], w)
+		}
+	}
+	if len(plan.Unique) != 3 || plan.Unique[0] != 0 || plan.Unique[1] != 1 || plan.Unique[2] != 3 {
+		t.Errorf("Unique = %v, want [0 1 3]", plan.Unique)
+	}
+	if plan.Duplicates() != 3 {
+		t.Errorf("Duplicates() = %d, want 3", plan.Duplicates())
+	}
+}
+
+func TestPlanBatchEmpty(t *testing.T) {
+	plan, err := PlanBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Keys) != 0 || plan.Duplicates() != 0 {
+		t.Errorf("empty plan = %+v", plan)
+	}
+}
+
+func TestPlanBatchPropagatesKeyError(t *testing.T) {
+	study, _, _ := batchFixtures(t)
+	if _, err := PlanBatch([]BatchItem{study, {Kind: "bogus"}}); err == nil {
+		t.Fatal("bad item should fail the whole plan")
+	}
+}

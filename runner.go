@@ -3,6 +3,7 @@ package ramp
 import (
 	"context"
 
+	"github.com/ramp-sim/ramp/internal/jobs"
 	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/sched"
 	"github.com/ramp-sim/ramp/internal/sim"
@@ -54,6 +55,8 @@ type Runner struct {
 	metrics     MetricsRecorder
 	cache       *sim.StageCache
 	tracer      *Tracer
+	batchOpts   *BatchOptions
+	jobs        *jobs.Queue
 }
 
 // Option configures a Runner. Options are applied in order; an option
@@ -70,6 +73,13 @@ func New(opts ...Option) (*Runner, error) {
 	r := &Runner{}
 	for _, opt := range opts {
 		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	// The batch queue is built last so its executor sees the final policy
+	// regardless of option order.
+	if r.batchOpts != nil {
+		if err := r.initBatchQueue(); err != nil {
 			return nil, err
 		}
 	}
