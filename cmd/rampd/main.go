@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	rampd [-addr :8080] [-n 200000] [-max-n 2000000] [-cache-size 64]
+//	rampd [-addr :8080] [-n 200000] [-max-n 2000000] [-default-fidelity exact]
+//	      [-cache-size 64]
 //	      [-cache-ttl 1h] [-queue 4] [-timeout 5m] [-drain 30s]
 //	      [-parallelism N] [-cache-dir DIR] [-stage-cache 256] [-heartbeat 10s]
 //	      [-mc-samples 200000] [-mc-replicas 2000000]
@@ -17,7 +18,7 @@
 //
 // Endpoints:
 //
-//	GET/POST /v1/study         full study document  (?apps=a,b&techs=x,y&instructions=n)
+//	GET/POST /v1/study         full study document  (?apps=a,b&techs=x,y&instructions=n&fidelity=m)
 //	GET/POST /v1/study/stream  the same study as NDJSON, one event per
 //	                           completed (app × tech) cell, then the document
 //	GET/POST /v1/study/mc      Monte Carlo lifetime distributions as NDJSON —
@@ -86,6 +87,8 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	fs.SetOutput(out)
 	addr := fs.String("addr", ":8080", "listen address")
 	n := fs.Int64("n", 200_000, "default instructions per application per request")
+	defaultFidelity := fs.String("default-fidelity", "",
+		"fidelity mode for requests that name none: exact, adaptive, or phase (empty = exact)")
 	maxN := fs.Int64("max-n", 2_000_000, "per-request instruction cap")
 	cacheSize := fs.Int("cache-size", 64, "result cache entries (LRU bound)")
 	cacheTTL := fs.Duration("cache-ttl", time.Hour, "result cache TTL (0 = no expiry)")
@@ -122,6 +125,11 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 
 	simCfg := sim.DefaultConfig()
 	simCfg.Instructions = *n
+	fd, err := sim.ParseFidelityMode(*defaultFidelity)
+	if err != nil {
+		return err
+	}
+	simCfg.Fidelity = fd
 	srv, err := server.New(server.Config{
 		Sim:                 simCfg,
 		DefaultInstructions: *n,

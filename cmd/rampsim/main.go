@@ -55,6 +55,7 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	fs.SetOutput(out)
 	instructions := fs.Int64("n", 2_000_000, "instructions to simulate per application")
 	apps := fs.String("apps", "", "comma-separated benchmark subset (default: all 16)")
+	fidelity := fs.String("fidelity", "", "fidelity mode: exact (default), adaptive, or phase")
 	figure := fs.Int("figure", 0, "print one figure's data series (2, 3, 4, or 5)")
 	headline := fs.Bool("headline", false, "print the headline paper-vs-measured comparison")
 	all := fs.Bool("all", false, "print every figure and the headline comparison")
@@ -95,6 +96,14 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 		fmt.Fprintf(out, "scenario: %s\n", spec.Name)
 		if spec.Description != "" {
 			fmt.Fprintf(out, "  %s\n", spec.Description)
+		}
+	}
+	// The fidelity flag applies after scenario resolution so it also
+	// governs scenario runs; empty inherits the scenario/default (exact).
+	if *fidelity != "" {
+		cfg.Fidelity, err = ramp.ParseFidelityMode(*fidelity)
+		if err != nil {
+			return err
 		}
 	}
 	ropts := []ramp.Option{ramp.WithParallelism(*parallelism)}

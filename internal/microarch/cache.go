@@ -130,6 +130,36 @@ func (c *Cache) Prefetch(addr uint64) {
 	c.lru[victim] = c.clock
 }
 
+// Warm looks up addr exactly like Access — refreshing recency on a hit,
+// allocating over the LRU way on a miss — but counts no demand statistics
+// and reports whether it hit. It exists for statistical warming of
+// sampled-out trace spans: the cache contents evolve as if the skipped
+// accesses had happened, while miss rates keep describing only the
+// instructions actually simulated.
+func (c *Cache) Warm(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line + 1
+	base := set * c.cfg.Assoc
+	c.clock++
+	victim := base
+	victimLRU := ^uint64(0)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		idx := base + w
+		if c.tags[idx] == tag {
+			c.lru[idx] = c.clock
+			return true
+		}
+		if c.lru[idx] < victimLRU {
+			victimLRU = c.lru[idx]
+			victim = idx
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
+	return false
+}
+
 // Contains reports whether addr is present without touching LRU state or
 // statistics (useful for tests and warm-up checks).
 func (c *Cache) Contains(addr uint64) bool {

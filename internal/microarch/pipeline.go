@@ -209,6 +209,25 @@ func (s *Simulator) Run(stream trace.Stream) (Result, error) {
 	return s.result(), nil
 }
 
+// WarmAccess replays one sampled-out memory access through the data
+// hierarchy, implementing trace.MemWarmer for systematic sampling. It
+// mirrors the demand path's cache-content effects — L1D lookup, L2 on an
+// L1D miss, the next-line prefetch loads trigger — without touching the
+// demand statistics or consuming pipeline time, so the caches evolve as if
+// the skipped span had executed while the activity samples keep describing
+// only the instructions actually simulated.
+func (s *Simulator) WarmAccess(addr uint64, store bool) {
+	if s.l1d.Warm(addr) {
+		return
+	}
+	s.l2.Warm(addr)
+	if !store && s.cfg.NextLinePrefetch {
+		next := addr + uint64(s.cfg.L1D.LineBytes)
+		s.l1d.Prefetch(next)
+		s.l2.Prefetch(next)
+	}
+}
+
 // step advances the model by one instruction, computing its fetch,
 // dispatch, issue, completion, and retirement cycles under all structural
 // constraints, and accumulating activity events.

@@ -1,0 +1,122 @@
+package phase
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+)
+
+// decodeTrace deterministically expands fuzz bytes into an activity trace:
+// each byte drives one sample's duration bucket and base AF, with a rolling
+// per-structure perturbation so traces exercise both coalescing and
+// splitting. The decoding is total — every byte string is a valid trace.
+func decodeTrace(data []byte) []microarch.ActivitySample {
+	if len(data) > 4096 {
+		data = data[:4096]
+	}
+	samples := make([]microarch.ActivitySample, 0, len(data))
+	var roll uint32 = 0x9e3779b9
+	for i, b := range data {
+		var s microarch.ActivitySample
+		// Duration: mostly 1µs (1100 cycles), sometimes 0 or longer.
+		switch b >> 6 {
+		case 0:
+			s.Cycles = 1100
+		case 1:
+			s.Cycles = 550
+		case 2:
+			s.Cycles = int64(b) * 100
+		default:
+			if b == 0xff {
+				s.Cycles = 0
+			} else {
+				s.Cycles = 1100 + int64(i%7)*100
+			}
+		}
+		base := float64(b&0x3f) / 63.0
+		for st := range s.AF {
+			roll = roll*1664525 + 1013904223 + uint32(st)
+			jitter := float64(roll%1000)/1000.0*0.05 - 0.025
+			af := base + jitter
+			if af < 0 {
+				af = 0
+			}
+			if af > 1 {
+				af = 1
+			}
+			s.AF[st] = af
+		}
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+// FuzzCompress feeds random activity traces to the phase detector: the
+// compressed plan must always re-expand to the original total duration and
+// time-weighted mean AF within tolerance (Plan.Check), for any epsilon,
+// and never panic.
+func FuzzCompress(f *testing.F) {
+	// Seed corpus: stationary, alternating, ramping, spiky, and degenerate
+	// traces, across the epsilon range.
+	f.Add([]byte{}, 0.0)
+	f.Add([]byte{0x20, 0x20, 0x20, 0x20}, 0.02)
+	flat := make([]byte, 256)
+	for i := range flat {
+		flat[i] = 0x15
+	}
+	f.Add(flat, 0.02)
+	alt := make([]byte, 128)
+	for i := range alt {
+		if i/16%2 == 0 {
+			alt[i] = 0x08
+		} else {
+			alt[i] = 0x38
+		}
+	}
+	f.Add(alt, 0.05)
+	ramp := make([]byte, 64)
+	for i := range ramp {
+		ramp[i] = byte(i)
+	}
+	f.Add(ramp, 0.01)
+	spiky := make([]byte, 96)
+	for i := range spiky {
+		spiky[i] = 0x10
+		if i%13 == 0 {
+			spiky[i] = 0x3f
+		}
+		if i%29 == 0 {
+			spiky[i] = 0xff // zero-duration sample
+		}
+	}
+	f.Add(spiky, 0.02)
+	seeded := make([]byte, 8)
+	binary.LittleEndian.PutUint64(seeded, 0xdeadbeefcafe)
+	f.Add(seeded, 1.0)
+
+	f.Fuzz(func(t *testing.T, data []byte, eps float64) {
+		samples := decodeTrace(data)
+		opt := Options{EpsilonAF: eps}
+		p, err := Compress(samples, 1100, opt)
+		if err != nil {
+			// Only invalid epsilons may fail, and they must fail cleanly.
+			if o := (Options{EpsilonAF: eps}).norm(); o.Validate() == nil {
+				t.Fatalf("valid options rejected: %v", err)
+			}
+			return
+		}
+		if err := p.Check(samples, 1100); err != nil {
+			t.Fatalf("re-expansion failed: %v", err)
+		}
+		if p.CompressionRatio() < 1 && len(p.Phases) > 0 {
+			t.Fatalf("compression ratio %v below 1", p.CompressionRatio())
+		}
+		for b, m := range p.MaxAF {
+			if math.IsNaN(m) || m < 0 || m > 1 {
+				t.Fatalf("structure %d max AF %v out of range", b, m)
+			}
+		}
+	})
+}

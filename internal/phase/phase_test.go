@@ -1,0 +1,137 @@
+package phase
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/microarch"
+)
+
+// mkSamples builds a trace of 1µs samples (1100 cycles each) from a list
+// of (af, count) segments where every structure carries the same af.
+func mkSamples(segments ...[2]float64) []microarch.ActivitySample {
+	var out []microarch.ActivitySample
+	for _, seg := range segments {
+		af, n := seg[0], int(seg[1])
+		for i := 0; i < n; i++ {
+			var s microarch.ActivitySample
+			s.Cycles = 1100
+			for b := range s.AF {
+				s.AF[b] = af
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestCompressCoalescesStationaryRuns(t *testing.T) {
+	samples := mkSamples([2]float64{0.2, 50}, [2]float64{0.6, 30}, [2]float64{0.2, 20})
+	p, err := Compress(samples, 1100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Phases); got != 3 {
+		t.Fatalf("got %d phases, want 3", got)
+	}
+	if got := len(p.Classes); got != 2 {
+		t.Fatalf("got %d classes, want 2 (0.2 recurs)", got)
+	}
+	if p.Phases[0].Class != p.Phases[2].Class {
+		t.Fatal("recurring 0.2 phases not classed together")
+	}
+	c := p.Classes[p.Phases[0].Class]
+	if c.Count != 2 {
+		t.Fatalf("recurring class count %d, want 2", c.Count)
+	}
+	if c.Rep != 0 {
+		t.Fatalf("representative %d, want the longest occurrence 0", c.Rep)
+	}
+	if math.Abs(c.DurUS-70) > 1e-9 {
+		t.Fatalf("occupancy %v, want 70µs", c.DurUS)
+	}
+	if err := p.Check(samples, 1100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressWithinEpsilonStaysOneRun(t *testing.T) {
+	// AF wanders ±0.01 around 0.5: inside the default 0.02 epsilon.
+	var samples []microarch.ActivitySample
+	for i := 0; i < 100; i++ {
+		var s microarch.ActivitySample
+		s.Cycles = 1100
+		for b := range s.AF {
+			s.AF[b] = 0.5 + 0.01*math.Sin(float64(i))
+		}
+		samples = append(samples, s)
+	}
+	p, err := Compress(samples, 1100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 1 {
+		t.Fatalf("wander within epsilon split into %d phases", len(p.Phases))
+	}
+	if r := p.CompressionRatio(); r != 100 {
+		t.Fatalf("compression ratio %v, want 100", r)
+	}
+	if err := p.Check(samples, 1100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressPreservesMeanAndMax(t *testing.T) {
+	samples := mkSamples([2]float64{0.1, 10}, [2]float64{0.9, 10})
+	// Make one sample's single structure spike to 1.0: the max must survive.
+	samples[5].AF[microarch.StructFPU] = 1.0
+	p, err := Compress(samples, 1100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxAF[microarch.StructFPU] != 1.0 {
+		t.Fatalf("per-structure max lost: %v", p.MaxAF[microarch.StructFPU])
+	}
+	mean := p.MeanAF()
+	want := (0.1*10 + 0.9*10) / 20
+	if math.Abs(mean[microarch.StructIFU]-want) > 1e-12 {
+		t.Fatalf("mean AF %v, want %v", mean[microarch.StructIFU], want)
+	}
+	if err := p.Check(samples, 1100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressSkipsZeroDurationSamples(t *testing.T) {
+	samples := mkSamples([2]float64{0.3, 5})
+	samples[2].Cycles = 0 // must be skipped, not crash or count
+	p, err := Compress(samples, 1100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.TotalDurUS-4) > 1e-9 {
+		t.Fatalf("total duration %v, want 4µs", p.TotalDurUS)
+	}
+	if err := p.Check(samples, 1100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressEmptyAndValidation(t *testing.T) {
+	p, err := Compress(nil, 1100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 0 || p.TotalDurUS != 0 {
+		t.Fatal("empty trace produced phases")
+	}
+	if _, err := Compress(nil, 0, Options{}); err == nil {
+		t.Fatal("cyclesPerUS 0 accepted")
+	}
+	if _, err := Compress(nil, 1100, Options{EpsilonAF: math.NaN()}); err == nil {
+		t.Fatal("NaN epsilon accepted")
+	}
+	if _, err := Compress(nil, 1100, Options{EpsilonAF: 2}); err == nil {
+		t.Fatal("epsilon above 1 accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// post issues a JSON POST against the handler and decodes the envelope.
+func post(t *testing.T, s *Server, target, body string) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	s.Handler().ServeHTTP(rec, req)
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: bad JSON response %q: %v", target, rec.Body.String(), err)
+	}
+	return rec, out
+}
+
+// TestStudyFidelityParameter pins the fidelity knob end to end: the wire
+// parameter reaches the simulation config, "exact" and an absent mode are
+// the same request (same cache key), and every distinct mode gets its own
+// key so responses never cross-serve between fidelities.
+func TestStudyFidelityParameter(t *testing.T) {
+	s := newTestServer(t, nil)
+	var lastFidelity *sim.Fidelity
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		lastFidelity = cfg.Fidelity
+		return stubResult(cfg, techs), nil
+	}
+
+	keys := map[string]string{}
+	for _, mode := range []string{"", "exact", "adaptive", "phase"} {
+		target := "/v1/study?apps=ammp&techs=130nm"
+		if mode != "" {
+			target += "&fidelity=" + mode
+		}
+		rec, body := get(t, s, target)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("fidelity=%q: status %d: %s", mode, rec.Code, rec.Body.String())
+		}
+		keys[mode] = meta(t, body).Key
+		switch mode {
+		case "", "exact":
+			if lastFidelity != nil && lastFidelity.Mode != sim.FidelityExact {
+				t.Errorf("fidelity=%q reached the simulation as %+v", mode, lastFidelity)
+			}
+		default:
+			if lastFidelity == nil || string(lastFidelity.Mode) != mode {
+				t.Errorf("fidelity=%q reached the simulation as %+v", mode, lastFidelity)
+			}
+		}
+	}
+	if keys[""] != keys["exact"] {
+		t.Errorf("explicit exact keyed differently from the default: %q vs %q",
+			keys["exact"], keys[""])
+	}
+	if keys["adaptive"] == keys[""] || keys["phase"] == keys[""] || keys["adaptive"] == keys["phase"] {
+		t.Errorf("fidelity modes share cache keys: %v", keys)
+	}
+}
+
+// TestStudyFidelityUnknownMode pins the failure shape: an unknown mode is
+// a 400 with the stable error envelope, on both the GET parameter and the
+// POST body, and never reaches the simulator.
+func TestStudyFidelityUnknownMode(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		t.Error("simulation ran for an invalid fidelity mode")
+		return stubResult(cfg, techs), nil
+	}
+	rec, body := get(t, s, "/v1/study?fidelity=turbo")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("GET status %d, want 400", rec.Code)
+	}
+	if !strings.Contains(string(body["error"]), CodeBadRequest) {
+		t.Errorf("GET error envelope missing code: %s", body["error"])
+	}
+
+	rec2, body2 := post(t, s, "/v1/study", `{"fidelity":"turbo"}`)
+	if rec2.Code != http.StatusBadRequest {
+		t.Fatalf("POST status %d, want 400", rec2.Code)
+	}
+	if !strings.Contains(string(body2["error"]), CodeBadRequest) {
+		t.Errorf("POST error envelope missing code: %s", body2["error"])
+	}
+}
+
+// TestServerDefaultFidelity pins the server-level default (the rampd
+// -default-fidelity flag lands in Config.Sim.Fidelity): requests naming no
+// mode inherit it, and an explicit "exact" overrides it back to nil.
+func TestServerDefaultFidelity(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Sim.Fidelity = &sim.Fidelity{Mode: sim.FidelityPhase}
+	})
+	var lastFidelity *sim.Fidelity
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		lastFidelity = cfg.Fidelity
+		return stubResult(cfg, techs), nil
+	}
+	if rec, _ := get(t, s, "/v1/study?apps=ammp&techs=130nm"); rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if lastFidelity == nil || lastFidelity.Mode != sim.FidelityPhase {
+		t.Errorf("default fidelity not inherited: %+v", lastFidelity)
+	}
+	if rec, _ := get(t, s, "/v1/study?apps=ammp&techs=130nm&fidelity=exact"); rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if lastFidelity != nil {
+		t.Errorf("explicit exact did not override the server default: %+v", lastFidelity)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/ramp-sim/ramp/internal/obs"
@@ -88,7 +89,7 @@ const mcEventBuffer = 1024
 
 // parseMCStudyRequest accepts POST application/json bodies and GET query
 // parameters (?apps=a,b&techs=x&samples=n&model=m&percentiles=5,50,95&
-// ci=0.95&seed=n&batch=n&instructions=n).
+// ci=0.95&seed=n&batch=n&instructions=n&fidelity=m).
 func parseMCStudyRequest(r *http.Request) (MCStudyRequest, error) {
 	var req MCStudyRequest
 	switch r.Method {
@@ -102,6 +103,7 @@ func parseMCStudyRequest(r *http.Request) (MCStudyRequest, error) {
 		q := r.URL.Query()
 		req.Apps = splitList(q.Get("apps"))
 		req.Techs = splitList(q.Get("techs"))
+		req.Fidelity = strings.TrimSpace(q.Get("fidelity"))
 		if v := q.Get("instructions"); v != "" {
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {

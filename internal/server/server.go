@@ -452,6 +452,11 @@ type StudyRequest struct {
 	Techs []string `json:"techs"`
 	// Instructions overrides the per-application trace length.
 	Instructions int64 `json:"instructions"`
+	// Fidelity selects the simulation fidelity mode: "exact" (or empty,
+	// the default), "adaptive", or "phase". The mode participates in the
+	// request's cache key and every stage key below it, so responses at
+	// different fidelities never cross-serve.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // StudyMeta describes how a response was produced.
@@ -651,6 +656,7 @@ func parseStudyRequest(r *http.Request) (StudyRequest, error) {
 		q := r.URL.Query()
 		req.Apps = splitList(q.Get("apps"))
 		req.Techs = splitList(q.Get("techs"))
+		req.Fidelity = strings.TrimSpace(q.Get("fidelity"))
 		if v := q.Get("instructions"); v != "" {
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
@@ -694,6 +700,16 @@ func (s *Server) resolve(req StudyRequest) (sim.Config, []workload.Profile, []sc
 			req.Instructions, s.cfg.MaxInstructions)
 	default:
 		cfg.Instructions = req.Instructions
+	}
+
+	// An explicit mode — "exact" included — overrides the server default;
+	// an absent one inherits it.
+	if req.Fidelity != "" {
+		fd, err := sim.ParseFidelityMode(req.Fidelity)
+		if err != nil {
+			return cfg, nil, nil, err
+		}
+		cfg.Fidelity = fd
 	}
 
 	profiles, err := s.registry.Resolve(req.Apps)

@@ -84,10 +84,16 @@ func hashKey(v any) (string, error) {
 // thermal, and reliability parameters deliberately do not appear — the
 // paper keeps the microarchitecture (and hence the activity behaviour)
 // fixed across technology points (§1.3).
+// The optional Fidelity block appears only when the mode changes what the
+// timing stage simulates (phase-mode systematic sampling); exact and
+// adaptive omit it — they run the identical full simulation and share the
+// artifact, and omission keeps exact keys byte-identical to pre-fidelity
+// releases.
 type timingStageInputs struct {
-	Machine      microarch.Config `json:"machine"`
-	Instructions int64            `json:"instructions"`
-	Profile      workload.Profile `json:"profile"`
+	Machine      microarch.Config      `json:"machine"`
+	Instructions int64                 `json:"instructions"`
+	Profile      workload.Profile      `json:"profile"`
+	Fidelity     *fidelityTimingInputs `json:"fidelity,omitempty"`
 }
 
 // TimingKey returns the content-addressed key of the timing stage for one
@@ -97,6 +103,7 @@ func TimingKey(cfg Config, prof workload.Profile) (string, error) {
 		Machine:      cfg.Machine,
 		Instructions: cfg.Instructions,
 		Profile:      prof,
+		Fidelity:     timingFidelityKeyInputs(cfg.Fidelity),
 	})
 }
 
@@ -106,13 +113,17 @@ func TimingKey(cfg Config, prof workload.Profile) (string, error) {
 // — the latter because a scaled cell's sink-temperature target and
 // app-power scale are functions of the base cell, which these same inputs
 // determine. Config.RAMP deliberately does not appear.
+// The optional Fidelity block appears for adaptive and phase modes, which
+// replace the per-sample transient with phase-compressed error-bounded
+// integration; exact omits it so pre-fidelity keys stay valid.
 type thermalStageInputs struct {
-	TimingKey string             `json:"timing_key"`
-	Power     power.Params       `json:"power"`
-	Thermal   thermal.Params     `json:"thermal"`
-	Calibrate bool               `json:"calibrate_app_power"`
-	Base      scaling.Technology `json:"base"`
-	Tech      scaling.Technology `json:"tech"`
+	TimingKey string                 `json:"timing_key"`
+	Power     power.Params           `json:"power"`
+	Thermal   thermal.Params         `json:"thermal"`
+	Calibrate bool                   `json:"calibrate_app_power"`
+	Base      scaling.Technology     `json:"base"`
+	Tech      scaling.Technology     `json:"tech"`
+	Fidelity  *fidelityThermalInputs `json:"fidelity,omitempty"`
 }
 
 // ThermalKey returns the content-addressed key of the power+thermal stage
@@ -129,6 +140,7 @@ func ThermalKey(cfg Config, prof workload.Profile, tech scaling.Technology) (str
 		Calibrate: cfg.CalibrateAppPower,
 		Base:      scaling.Base(),
 		Tech:      tech,
+		Fidelity:  thermalFidelityKeyInputs(cfg.Fidelity),
 	})
 }
 

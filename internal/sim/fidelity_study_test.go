@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// TestPhaseStudyParallelismDeterminism extends the determinism contract to
+// phase mode: sampling and coarse integration are pure functions of the
+// inputs, so the scheduler may reorder cells but never change a byte of
+// the result.
+func TestPhaseStudyParallelismDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study run is slow; skipped with -short")
+	}
+	cfg := testConfig()
+	cfg.Instructions = 100_000
+	cfg.Fidelity = &Fidelity{Mode: FidelityPhase}
+	profiles := testProfiles(t)
+	techs := scaling.Generations()[:3]
+
+	runAt := func(parallelism int) []byte {
+		t.Helper()
+		res, err := RunStudyContext(context.Background(), cfg, profiles, techs,
+			StudyOptions{Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if string(runAt(1)) != string(runAt(8)) {
+		t.Error("phase-mode StudyResult not byte-identical across parallelism levels")
+	}
+}
+
+// TestPhaseStudyAccuracy is the regression bound behind the fidelity
+// framework's accuracy claim: across every built-in profile and every
+// Table 4 technology point, the phase-mode calibrated SOFR MTTF stays
+// within documented bounds of the exact result. Study self-calibration
+// (§4.4) runs independently per fidelity, so the bounds cover the
+// end-to-end pipeline — sampling, statistical warming, and coarse
+// integration included.
+//
+// The bounds are the phase-mode error contract at this short trace length
+// (200k instructions, where sampling keeps only ~56k):
+//
+//   - per-cell SOFR MTTF within 3% (measured worst ~1.5%, at the
+//     temperature-hypersensitive 65nm point of branchy SPECint profiles);
+//   - grid-mean deviation within 1% (measured ~0.5%);
+//   - per-tech worst-case (§5.2) MTTF within 6%: the worst case is a
+//     maximum statistic, and a sampled trace takes its max over ~10× fewer
+//     samples, so it is intrinsically softer than the time-average SOFR
+//     numbers.
+//
+// The headline ≤1% claim is made where phase mode is meant to run — long
+// traces on the benchmark application set — and is enforced in CI by
+// bench/coldstudy at 2M instructions.
+func TestPhaseStudyAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid exact study is slow; skipped with -short")
+	}
+	cfg := testConfig()
+	profiles := workload.Profiles()
+	techs := scaling.Generations()
+
+	run := func(fd *Fidelity) *StudyResult {
+		t.Helper()
+		c := cfg
+		c.Fidelity = fd
+		res, err := RunStudyContext(context.Background(), c, profiles, techs, StudyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exact := run(nil)
+	phase := run(&Fidelity{Mode: FidelityPhase})
+
+	if len(exact.Apps) != len(phase.Apps) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(exact.Apps), len(phase.Apps))
+	}
+	var worstDev, sumDev float64
+	var worstCell string
+	for i := range exact.Apps {
+		e, p := exact.Apps[i], phase.Apps[i]
+		if e.App != p.App || e.Tech.Name != p.Tech.Name {
+			t.Fatalf("grid order differs at %d: %s@%s vs %s@%s",
+				i, e.App, e.Tech.Name, p.App, p.Tech.Name)
+		}
+		em := exact.FIT(e).MTTFYears()
+		pm := phase.FIT(p).MTTFYears()
+		dev := math.Abs(pm-em) / em
+		sumDev += dev
+		if dev > worstDev {
+			worstDev, worstCell = dev, e.App+"@"+e.Tech.Name
+		}
+	}
+	meanDev := sumDev / float64(len(exact.Apps))
+	t.Logf("SOFR-MTTF deviation: max %.3f%% at %s, mean %.3f%%",
+		100*worstDev, worstCell, 100*meanDev)
+	if worstDev > 0.03 {
+		t.Errorf("phase-mode SOFR MTTF deviates %.3f%% at %s, bound is 3%%",
+			100*worstDev, worstCell)
+	}
+	if meanDev > 0.01 {
+		t.Errorf("phase-mode grid-mean SOFR MTTF deviation %.3f%%, bound is 1%%",
+			100*meanDev)
+	}
+
+	// The §5.2 worst-case analysis rides the same artifacts but keys on
+	// trajectory maxima, which sampling estimates from far fewer points.
+	for i := range exact.Worst {
+		em := exact.WorstFIT(i).MTTFYears()
+		pm := phase.WorstFIT(i).MTTFYears()
+		if dev := math.Abs(pm-em) / em; dev > 0.06 {
+			t.Errorf("worst-case MTTF deviates %.3f%% at %s, bound is 6%%",
+				100*dev, exact.Techs[i].Name)
+		}
+	}
+}

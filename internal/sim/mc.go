@@ -324,6 +324,14 @@ func sampleSegment(ctx context.Context, rr *core.ReplicaRand, sampler *core.Life
 	seed int64, ci, r0, r1 int, lifetimes []float64) error {
 	_, span := obs.StartSpan(ctx, obs.SpanMCBatch)
 	for r := r0; r < r1; r++ {
+		// Same cancellation cadence as the thermal transient loop: a
+		// cancelled study stops within one cancelCheckInterval window of
+		// replicas.
+		if (r-r0)&(cancelCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		rr.Seed(seed, uint64(ci), uint64(r))
 		lifetimes[r] = sampler.Sample(rr.Rand())
 	}

@@ -3,16 +3,27 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/microarch"
 	"github.com/ramp-sim/ramp/internal/obs"
+	"github.com/ramp-sim/ramp/internal/phase"
 	"github.com/ramp-sim/ramp/internal/power"
 	"github.com/ramp-sim/ramp/internal/scaling"
 	"github.com/ramp-sim/ramp/internal/stats"
 	"github.com/ramp-sim/ramp/internal/thermal"
 	"github.com/ramp-sim/ramp/internal/workload"
 )
+
+// cancelCheckInterval is the cancellation-poll cadence of the tight
+// numeric loops: the thermal transient polls ctx.Err() every
+// cancelCheckInterval intervals, and the Monte Carlo replica loop every
+// cancelCheckInterval replicas. A power of two so the check compiles to a
+// mask; 256 iterations is well under a millisecond of work in either
+// loop, so cancellation is always observed promptly, at negligible
+// steady-state cost.
+const cancelCheckInterval = 256
 
 // ThermalInterval is one 1µs-granularity step of the transient thermal
 // run: everything the reliability stage needs to evaluate the instant
@@ -113,14 +124,32 @@ func RunThermalContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech 
 
 	// ---- Pass 1 (§4.3): solve the average-power steady state, adjusting
 	// the sink resistance to the target sink temperature if requested.
-	steady, err := SolveOperatingPoint(pm, net, tr.Timing.AvgAF, sinkTempTargetK)
+	// Under phase fidelity the activity trace is a sampled stream in which
+	// the contiguous head carries ~Period/Window times its true weight, so
+	// the raw stream average would skew toward cold-start behaviour; the
+	// compressed plan re-expands window durations to the source time base,
+	// and its mean restores the true weighting for the steady solve.
+	fd := cfg.Fidelity.norm()
+	var plan *phase.Plan
+	avgAF := tr.Timing.AvgAF
+	if fd.Mode != FidelityExact {
+		if plan, err = compressPlan(cfg, tr, fd); err != nil {
+			return nil, err
+		}
+		if fd.Mode == FidelityPhase {
+			avgAF = plan.MeanAF()
+		}
+	}
+	steady, err := SolveOperatingPoint(pm, net, avgAF, sinkTempTargetK)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s @ %s: %w", tr.Profile.Name, tech.Name, err)
 	}
 
-	// ---- Pass 2: transient run over the activity samples at 1µs
-	// granularity, recording the interval series and the power/temperature
-	// statistics.
+	// ---- Pass 2: the transient run, recording the interval series and the
+	// power/temperature statistics. Exact fidelity integrates every 1µs
+	// activity sample; adaptive and phase fidelity compress the trace into
+	// stationary phases first and advance each with error-bounded coarse
+	// steps.
 	net.Init(steady)
 	ts := &ThermalSeries{
 		App:           tr.Profile.Name,
@@ -128,23 +157,70 @@ func RunThermalContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech 
 		TechName:      tech.Name,
 		IPC:           tr.Timing.IPC(),
 		AppPowerScale: appPowerScale,
-		Intervals:     make([]ThermalInterval, 0, len(tr.Timing.Samples)),
 	}
+	if fd.Mode == FidelityExact {
+		err = runTransientExact(ctx, cfg, net, pm, tr, ts)
+	} else {
+		err = runTransientPhases(ctx, net, pm, plan, ts, fd)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(ts.Intervals) == 0 {
+		return nil, fmt.Errorf("sim: %s @ %s: no evaluable intervals", tr.Profile.Name, tech.Name)
+	}
+	return ts, nil
+}
+
+// transientScratch holds the per-run mutable buffers of the transient
+// loops. Runs borrow one from transientPool, so a study sweep reuses the
+// same scratch across its (profile × technology) cells instead of
+// allocating per cell, and the inner loops themselves stay at zero
+// allocations per interval (CI-gated).
+type transientScratch struct {
+	cur thermal.State
+}
+
+var transientPool = sync.Pool{New: func() any { return new(transientScratch) }}
+
+// state returns the scratch temperature state sized for n blocks.
+func (s *transientScratch) state(n int) *thermal.State {
+	if cap(s.cur.Blocks) < n {
+		s.cur.Blocks = make([]float64, n)
+	}
+	s.cur.Blocks = s.cur.Blocks[:n]
+	return &s.cur
+}
+
+// runTransientExact is the exact-fidelity transient: forward Euler over
+// every 1µs activity sample, bit-identical to the historical pipeline.
+// The loop body performs no heap allocation: the temperature snapshot
+// lives in pooled scratch (net.CurrentInto), the power vectors are stack
+// arrays, and the interval slice is preallocated to the sample count.
+func runTransientExact(ctx context.Context, cfg Config, net *thermal.Network, pm *power.Model,
+	tr *ActivityTrace, ts *ThermalSeries) error {
+	scratch := transientPool.Get().(*transientScratch)
+	defer transientPool.Put(scratch)
+	cur := scratch.state(net.NumBlocks())
+	if ts.Intervals == nil {
+		ts.Intervals = make([]ThermalInterval, 0, len(tr.Timing.Samples))
+	}
+	cyclesPerUS := float64(cfg.Machine.CyclesPerMicrosecond())
 	var twDyn, twLeak, twSink, twDieAvg, twMaxT stats.TimeWeighted
+	var blockP [microarch.NumStructures]float64
 	for i := range tr.Timing.Samples {
-		if i&255 == 0 {
+		if i&(cancelCheckInterval-1) == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		s := &tr.Timing.Samples[i]
-		dur := float64(s.Cycles) / float64(cfg.Machine.CyclesPerMicrosecond()) // µs
+		dur := float64(s.Cycles) / cyclesPerUS // µs
 		if dur <= 0 {
 			continue
 		}
-		cur := net.Current()
+		net.CurrentInto(cur)
 		dyn := pm.Dynamic(s.AF)
-		var blockP [microarch.NumStructures]float64
 		var dynSum, leakSum float64
 		for b := range blockP {
 			leak := pm.LeakageActive(microarch.StructureID(b), cur.Blocks[b], s.AF[b])
@@ -153,8 +229,8 @@ func RunThermalContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech 
 			leakSum += leak
 		}
 		net.Step(blockP[:], dur*1e-6)
-		cur = net.Current()
-		dieAvg := net.DieAverage(cur)
+		net.CurrentInto(cur)
+		dieAvg := net.DieAverage(*cur)
 		iv := ThermalInterval{DurUS: dur, AF: s.AF, DieAvgTempK: dieAvg}
 		copy(iv.TempK[:], cur.Blocks)
 		ts.Intervals = append(ts.Intervals, iv)
@@ -175,8 +251,145 @@ func RunThermalContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech 
 			}
 		}
 	}
+	finishTransientStats(ts, &twDyn, &twLeak, &twSink, &twDieAvg, &twMaxT)
+	return nil
+}
+
+// Adaptive step-size bounds of the coarse integrator, in µs. The step
+// starts at the exact loop's 1µs, doubles whenever the embedded error
+// estimate sits below a quarter of the tolerance, and halves on
+// rejection. The ceiling keeps each step well below the spreader/sink
+// time constants; the floor guarantees forward progress even under an
+// unreachably tight tolerance.
+const (
+	initialCoarseStepUS = 1.0
+	maxCoarseStepUS     = 512.0
+	minCoarseStepUS     = 0.25
+)
+
+// compressPlan builds the phase plan for the non-exact transients. Under
+// phase fidelity the trace was systematically sampled, so the plan
+// re-expands post-head window durations by the period/window ratio —
+// behaviour observed through the windows regains the duration weight it
+// has in the unsampled stream, while the contiguous head (the cold-start
+// transient, simulated in full) keeps weight 1. The head boundary is
+// located by accumulating per-sample retired-instruction counts.
+func compressPlan(cfg Config, tr *ActivityTrace, fd Fidelity) (*phase.Plan, error) {
+	opt := phase.Options{EpsilonAF: fd.PhaseEpsilonAF}
+	if fd.Mode == FidelityPhase {
+		opt.ExpandFactor = float64(fd.SamplePeriodInstrs) / float64(fd.SampleWindowInstrs)
+		opt.ExpandStart = len(tr.Timing.Samples)
+		var retired int64
+		for i := range tr.Timing.Samples {
+			if retired >= fd.SampleHeadInstrs {
+				opt.ExpandStart = i
+				break
+			}
+			retired += tr.Timing.Samples[i].Retired
+		}
+	}
+	return phase.Compress(tr.Timing.Samples, cfg.Machine.CyclesPerMicrosecond(), opt)
+}
+
+// runTransientPhases is the adaptive/phase-fidelity transient: the
+// activity trace is compressed into stationary phases (internal/phase),
+// the dynamic-power vector is evaluated once per recurring phase class
+// (SimPoint-style memoization), and each phase is advanced with
+// error-bounded coarse Heun steps — leakage recomputed from the current
+// temperature at every substep, the step size halving whenever the
+// embedded local error estimate exceeds the fidelity's ThermalTolK and
+// growing when it sits far below. Per-structure MaxAF comes from the raw
+// samples via the plan; MaxTempK is tracked across substeps.
+func runTransientPhases(ctx context.Context, net *thermal.Network, pm *power.Model,
+	plan *phase.Plan, ts *ThermalSeries, fd Fidelity) error {
+	scratch := transientPool.Get().(*transientScratch)
+	defer transientPool.Put(scratch)
+	cur := scratch.state(net.NumBlocks())
+
+	// Class-level memoization: one dynamic-power evaluation per recurring
+	// phase class, weighted by occupancy through the phases that share it.
+	dynByClass := make([][microarch.NumStructures]float64, len(plan.Classes))
+	for ci := range plan.Classes {
+		dynByClass[ci] = pm.Dynamic(plan.Classes[ci].AF)
+	}
+	if ts.Intervals == nil {
+		ts.Intervals = make([]ThermalInterval, 0, 4*len(plan.Phases))
+	}
+
+	var twDyn, twLeak, twSink, twDieAvg, twMaxT stats.TimeWeighted
+	var blockP [microarch.NumStructures]float64
+	tol := fd.ThermalTolK
+	dtUS := initialCoarseStepUS
+	steps := 0
+	for pi := range plan.Phases {
+		ph := &plan.Phases[pi]
+		dyn := &dynByClass[ph.Class]
+		remaining := ph.DurUS
+		for remaining > 0 {
+			if steps&(cancelCheckInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			steps++
+			dt := dtUS
+			if dt > remaining {
+				dt = remaining
+			}
+			net.CurrentInto(cur)
+			var dynSum, leakSum float64
+			for b := range blockP {
+				leak := pm.LeakageActive(microarch.StructureID(b), cur.Blocks[b], ph.AF[b])
+				blockP[b] = dyn[b] + leak
+				dynSum += dyn[b]
+				leakSum += leak
+			}
+			errK, applied := net.StepHeunErr(blockP[:], dt*1e-6, tol)
+			if !applied {
+				if dt > minCoarseStepUS {
+					// Reject: halve and retry from the same state.
+					dtUS = dt / 2
+					continue
+				}
+				// At the step floor the error bound is unreachable;
+				// advance anyway — the floor is 4× finer than the exact
+				// loop's own step.
+				net.StepHeunErr(blockP[:], dt*1e-6, 0)
+			}
+			remaining -= dt
+			net.CurrentInto(cur)
+			dieAvg := net.DieAverage(*cur)
+			iv := ThermalInterval{DurUS: dt, AF: ph.AF, DieAvgTempK: dieAvg}
+			copy(iv.TempK[:], cur.Blocks)
+			ts.Intervals = append(ts.Intervals, iv)
+
+			twDyn.Add(dynSum, dt)
+			twLeak.Add(leakSum, dt)
+			twSink.Add(cur.Sink, dt)
+			twDieAvg.Add(dieAvg, dt)
+			twMaxT.Add(cur.MaxBlock(), dt)
+			for b := range cur.Blocks {
+				if cur.Blocks[b] > ts.MaxTempK[b] {
+					ts.MaxTempK[b] = cur.Blocks[b]
+				}
+			}
+			if applied && errK < tol/4 && dtUS < maxCoarseStepUS {
+				dtUS *= 2
+			}
+		}
+	}
+	// Worst-case analysis (§5.2) reads true per-sample activity maxima,
+	// which phase means would understate — the plan preserves them.
+	ts.MaxAF = plan.MaxAF
+	finishTransientStats(ts, &twDyn, &twLeak, &twSink, &twDieAvg, &twMaxT)
+	return nil
+}
+
+// finishTransientStats folds the time-weighted accumulators into the
+// series aggregates (no-op on an empty run; the caller rejects those).
+func finishTransientStats(ts *ThermalSeries, twDyn, twLeak, twSink, twDieAvg, twMaxT *stats.TimeWeighted) {
 	if twMaxT.TotalTime() == 0 {
-		return nil, fmt.Errorf("sim: %s @ %s: no evaluable intervals", tr.Profile.Name, tech.Name)
+		return
 	}
 	ts.AvgDynamicW = twDyn.Mean()
 	ts.AvgLeakageW = twLeak.Mean()
@@ -185,7 +398,6 @@ func RunThermalContext(ctx context.Context, cfg Config, tr *ActivityTrace, tech 
 	ts.AvgMaxStructTempK = twMaxT.Mean()
 	ts.MaxStructTempK = twMaxT.Max()
 	ts.MaxDieAvgTempK = twDieAvg.Max()
-	return ts, nil
 }
 
 // AccumulateFIT is AccumulateFITContext without cancellation.

@@ -46,6 +46,11 @@ type Config struct {
 	// hottest-structure temperature in AppRun.TempTraceK (one sample per
 	// 1µs interval) for small-thermal-cycle analysis (internal/cycles).
 	RecordThermalTrace bool
+	// Fidelity selects the speed/accuracy trade (nil means exact — the
+	// bit-identical historical pipeline). A pointer with omitempty keeps
+	// exact-mode configs, and hence every content-addressed key derived
+	// from them, byte-identical to configs that predate the field.
+	Fidelity *Fidelity `json:"Fidelity,omitempty"`
 }
 
 // DefaultConfig returns the paper's experimental setup with a trace length
@@ -84,6 +89,9 @@ func (c Config) Validate() error {
 	if !(c.QualFITPerMechanism > 0) || math.IsInf(c.QualFITPerMechanism, 0) {
 		return fmt.Errorf("sim: qualification FIT must be positive and finite")
 	}
+	if err := c.Fidelity.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -102,6 +110,14 @@ func RunTiming(cfg Config, prof workload.Profile) (*ActivityTrace, error) {
 
 // RunTimingContext is RunTiming with cancellation: the simulation aborts
 // with ctx.Err() shortly after ctx is cancelled.
+//
+// Under phase fidelity the generated stream is systematically sampled
+// (§4.5): a contiguous head of SampleHeadInstrs covers the cold-start
+// transient in full, then one window of SampleWindowInstrs is simulated in
+// detail out of every SamplePeriodInstrs, with the generator's O(1) Skip
+// jumping the inter-window gaps — the timing stage does ~Window/Period of
+// the exact work past the head. Exact and adaptive fidelity simulate the
+// full stream.
 func RunTimingContext(ctx context.Context, cfg Config, prof workload.Profile) (*ActivityTrace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -110,7 +126,19 @@ func RunTimingContext(ctx context.Context, cfg Config, prof workload.Profile) (*
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", prof.Name, err)
 	}
-	return RunTimingStreamContext(ctx, cfg, prof, gen)
+	var stream trace.Stream = gen
+	if fd := cfg.Fidelity.norm(); fd.Mode == FidelityPhase {
+		sampler, err := trace.NewSystematicSampler(gen, trace.SamplerConfig{
+			WindowInstrs: fd.SampleWindowInstrs,
+			PeriodInstrs: fd.SamplePeriodInstrs,
+			HeadInstrs:   fd.SampleHeadInstrs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", prof.Name, err)
+		}
+		stream = sampler
+	}
+	return RunTimingStreamContext(ctx, cfg, prof, stream)
 }
 
 // RunTimingStream executes the timing stage over an arbitrary instruction
@@ -134,6 +162,11 @@ func RunTimingStreamContext(ctx context.Context, cfg Config, prof workload.Profi
 	ms, err := microarch.NewSimulator(cfg.Machine)
 	if err != nil {
 		return nil, err
+	}
+	// A sampling stream that can statistically warm the memory hierarchy
+	// across skipped spans gets the simulator's caches to warm into.
+	if w, ok := stream.(interface{ SetWarmer(trace.MemWarmer) }); ok {
+		w.SetWarmer(ms)
 	}
 	res, err := ms.Run(&cancellableStream{ctx: ctx, src: stream})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/ramp-sim/ramp/internal/microarch"
 	"github.com/ramp-sim/ramp/internal/trace"
 	"github.com/ramp-sim/ramp/internal/workload"
 )
@@ -82,11 +83,15 @@ func TestRunTimingStreamRejectsNil(t *testing.T) {
 
 func TestSampledTraceIsRepresentative(t *testing.T) {
 	// The paper's §4.5 sampling-validation property: a systematic sample
-	// spread across the whole program behaves like any other equal-length
-	// view of it. Compare ten 10k-instruction windows drawn from a 1M
-	// stream against a contiguous 100k prefix — same simulation budget,
-	// so cache/predictor warm-up affects both alike, isolating the
-	// sampling effect itself.
+	// spread across the whole program, with skipped spans statistically
+	// warmed, behaves like the full trace it summarizes. The comparison
+	// excludes the cold-start head from both runs — the head region is not
+	// stationary, and the study pipeline weights it separately (weight 1
+	// via SampleHeadInstrs, re-expanding only post-head windows) — so what
+	// is asserted here is that the post-head windows reproduce the full
+	// trace's stationary IPC and activity from a tenth of the simulation
+	// budget. An unwarmed sampler fails this by a wide margin: frozen
+	// caches replay the cold-start bias into every window.
 	if testing.Short() {
 		t.Skip("sampling comparison is slow; skipped with -short")
 	}
@@ -95,9 +100,10 @@ func TestSampledTraceIsRepresentative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	const head = 40_000
 
-	cfg.Instructions = 100_000
-	contiguous, err := RunTiming(cfg, prof)
+	cfg.Instructions = 1_000_000
+	full, err := RunTiming(cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,6 +115,7 @@ func TestSampledTraceIsRepresentative(t *testing.T) {
 	sampler, err := trace.NewSystematicSampler(gen, trace.SamplerConfig{
 		WindowInstrs: 10_000,
 		PeriodInstrs: 100_000,
+		HeadInstrs:   head,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -117,20 +124,48 @@ func TestSampledTraceIsRepresentative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sampled.Timing.Instructions != 100_000 {
-		t.Fatalf("sampled %d instructions, want 100000", sampled.Timing.Instructions)
+	// Ten windows fit after the head: one per 100k period over the
+	// remaining 960k instructions.
+	if got := sampled.Timing.Instructions; got != head+10*10_000 {
+		t.Fatalf("sampled %d instructions, want %d", got, head+10*10_000)
 	}
-	if rel := sampled.Timing.IPC()/contiguous.Timing.IPC() - 1; math.Abs(rel) > 0.10 {
-		t.Errorf("sampled IPC %.3f vs contiguous %.3f (%.1f%% off, want ≤ 10%%)",
-			sampled.Timing.IPC(), contiguous.Timing.IPC(), rel*100)
+
+	// afterHead aggregates instruction-weighted IPC and duration-weighted
+	// AF past the first head retired instructions.
+	afterHead := func(r microarch.Result) (ipc float64, af []float64) {
+		var retired, cycles, skip int64
+		af = make([]float64, len(r.AvgAF))
+		for i := range r.Samples {
+			s := &r.Samples[i]
+			if skip < head {
+				skip += s.Retired
+				continue
+			}
+			retired += s.Retired
+			cycles += s.Cycles
+			for b := range af {
+				af[b] += s.AF[b] * float64(s.Cycles)
+			}
+		}
+		for b := range af {
+			af[b] /= float64(cycles)
+		}
+		return float64(retired) / float64(cycles), af
 	}
-	for s := range contiguous.Timing.AvgAF {
-		f, g := contiguous.Timing.AvgAF[s], sampled.Timing.AvgAF[s]
+	fullIPC, fullAF := afterHead(full.Timing)
+	sampIPC, sampAF := afterHead(sampled.Timing)
+
+	if rel := sampIPC/fullIPC - 1; math.Abs(rel) > 0.05 {
+		t.Errorf("sampled stationary IPC %.3f vs full-trace %.3f (%.1f%% off, want ≤ 5%%)",
+			sampIPC, fullIPC, rel*100)
+	}
+	for s := range fullAF {
+		f, g := fullAF[s], sampAF[s]
 		if f < 0.01 {
 			continue
 		}
-		if math.Abs(g/f-1) > 0.15 {
-			t.Errorf("structure %d: sampled AF %.4f vs contiguous %.4f", s, g, f)
+		if math.Abs(g/f-1) > 0.10 {
+			t.Errorf("structure %d: sampled stationary AF %.4f vs full-trace %.4f", s, g, f)
 		}
 	}
 }

@@ -142,6 +142,9 @@ type Network struct {
 	temps []float64
 	// scratch buffers reused across Step calls.
 	next []float64
+	// k1, mid, k2 are Heun-stage scratch buffers reused across StepHeun
+	// calls so coarse-step integration stays allocation-free.
+	k1, mid, k2 []float64
 	// areaFrac is each block's fraction of die area (for averages).
 	areaFrac []float64
 }
@@ -171,6 +174,9 @@ func NewNetwork(fp floorplan.Floorplan, params Params) (*Network, error) {
 	n.c = make([]float64, n.nNodes)
 	n.temps = make([]float64, n.nNodes)
 	n.next = make([]float64, n.nNodes)
+	n.k1 = make([]float64, n.nNodes)
+	n.mid = make([]float64, n.nNodes)
+	n.k2 = make([]float64, n.nNodes)
 	n.areaFrac = make([]float64, nBlocks)
 
 	dieArea := fp.DieArea()
@@ -366,17 +372,35 @@ func (n *Network) derivatives(src, dst []float64, blockPowerW []float64) {
 // already accurate; StepHeun exists to verify that claim
 // (TestHeunAgreesWithEuler) and for coarse-step uses.
 func (n *Network) StepHeun(blockPowerW []float64, dt float64) {
-	k1 := make([]float64, n.nNodes)
-	mid := make([]float64, n.nNodes)
-	k2 := make([]float64, n.nNodes)
-	n.derivatives(n.temps, k1, blockPowerW)
-	for i := range mid {
-		mid[i] = n.temps[i] + dt*k1[i]
+	n.StepHeunErr(blockPowerW, dt, 0)
+}
+
+// StepHeunErr is the error-controlled Heun step behind coarse-grained
+// integration: it computes one Heun step of dt seconds and the embedded
+// local error estimate max_i |dt·(k2_i−k1_i)/2| — the difference between
+// the second-order (Heun) and first-order (Euler) solutions, the standard
+// embedded-pair estimate. When tolK > 0 and the estimate exceeds it, the
+// step is rejected: the transient state is left untouched so the caller
+// can retry with a smaller dt. tolK <= 0 always applies the step. The
+// Heun stages use network-owned scratch, so the call never allocates.
+func (n *Network) StepHeunErr(blockPowerW []float64, dt, tolK float64) (errK float64, applied bool) {
+	n.derivatives(n.temps, n.k1, blockPowerW)
+	for i := range n.mid {
+		n.mid[i] = n.temps[i] + dt*n.k1[i]
 	}
-	n.derivatives(mid, k2, blockPowerW)
+	n.derivatives(n.mid, n.k2, blockPowerW)
+	for i := range n.k1 {
+		if e := math.Abs(dt * (n.k2[i] - n.k1[i]) / 2); e > errK {
+			errK = e
+		}
+	}
+	if tolK > 0 && errK > tolK {
+		return errK, false
+	}
 	for i := range n.temps {
-		n.temps[i] += dt * (k1[i] + k2[i]) / 2
+		n.temps[i] += dt * (n.k1[i] + n.k2[i]) / 2
 	}
+	return errK, true
 }
 
 // Current returns the transient temperatures.

@@ -23,6 +23,14 @@ type SamplerConfig struct {
 	// instructions are skipped after each window. PeriodInstrs ==
 	// WindowInstrs passes the trace through unchanged.
 	PeriodInstrs int64
+	// HeadInstrs is a contiguous prefix passed through before the
+	// window/period cadence starts. Execution out of cold structures
+	// (compulsory cache misses, untrained predictors) is transient, not
+	// stationary — sampling it periodically would replay fragments of it
+	// at the sampled stream's inflated weight. Keeping the head whole
+	// confines the transient to a region consumers can weight exactly
+	// once.
+	HeadInstrs int64
 }
 
 // Validate checks the sampling geometry.
@@ -33,6 +41,9 @@ func (c SamplerConfig) Validate() error {
 	if c.PeriodInstrs < c.WindowInstrs {
 		return fmt.Errorf("trace: sampling period %d below window %d", c.PeriodInstrs, c.WindowInstrs)
 	}
+	if c.HeadInstrs < 0 {
+		return fmt.Errorf("trace: sampling head must be non-negative, got %d", c.HeadInstrs)
+	}
 	return nil
 }
 
@@ -41,13 +52,47 @@ func (c SamplerConfig) Ratio() float64 {
 	return float64(c.WindowInstrs) / float64(c.PeriodInstrs)
 }
 
-// SystematicSampler filters a Stream down to periodic windows.
+// Skipper is an optional Stream extension for sources that can discard
+// upcoming instructions cheaply (a synthetic generator reseeding past the
+// gap, a trace reader seeking). Skip discards up to n instructions and
+// returns how many were discarded; it must either make progress (skipped >
+// 0) or return an error (io.EOF at end of stream), so callers can loop
+// without livelock.
+type Skipper interface {
+	Skip(n int64) (skipped int64, err error)
+}
+
+// MemWarmer absorbs the expected memory traffic of a skipped span — the
+// cache-content side effects of instructions that are never simulated.
+// Long-lived microarchitectural state (an L2 being churned by streaming
+// accesses) evolves over millions of instructions; a sampler that discards
+// spans without this replay freezes that evolution and biases every
+// window behind it. Implementations update cache contents only, never
+// demand statistics. store distinguishes write traffic (no prefetch on
+// the demand path).
+type MemWarmer interface {
+	WarmAccess(addr uint64, store bool)
+}
+
+// WarmSkipper is a Skipper that can also replay the skipped span's
+// expected memory traffic into a MemWarmer. The replay must be a
+// deterministic function of the span's absolute trace positions, so that
+// skipping a span in chunks and in one call leave identical state.
+type WarmSkipper interface {
+	Skipper
+	SkipWarm(n int64, w MemWarmer) (skipped int64, err error)
+}
+
+// SystematicSampler filters a Stream down to an optional contiguous head
+// followed by periodic windows.
 type SystematicSampler struct {
-	src     Stream
-	cfg     SamplerConfig
-	pos     int64 // position within the current period
-	kept    int64
-	dropped int64
+	src      Stream
+	cfg      SamplerConfig
+	warmer   MemWarmer
+	headLeft int64 // head instructions still to pass through
+	pos      int64 // position within the current period
+	kept     int64
+	dropped  int64
 }
 
 var _ Stream = (*SystematicSampler)(nil)
@@ -60,13 +105,57 @@ func NewSystematicSampler(src Stream, cfg SamplerConfig) (*SystematicSampler, er
 	if src == nil {
 		return nil, errors.New("trace: nil source stream")
 	}
-	return &SystematicSampler{src: src, cfg: cfg}, nil
+	return &SystematicSampler{src: src, cfg: cfg, headLeft: cfg.HeadInstrs}, nil
 }
 
+// SetWarmer registers the consumer's memory hierarchy for statistical
+// warming of skipped spans: when the source implements WarmSkipper, each
+// inter-window gap replays its expected memory traffic into w instead of
+// being discarded outright. A nil warmer (the default) falls back to the
+// plain Skip path.
+func (s *SystematicSampler) SetWarmer(w MemWarmer) { s.warmer = w }
+
 // Next returns the next sampled instruction, skipping out-of-window
-// instructions from the source.
+// instructions from the source. Sources implementing Skipper discard each
+// inter-window gap in one cheap jump instead of generating and dropping
+// every instruction in it.
 func (s *SystematicSampler) Next() (Instruction, error) {
+	if s.headLeft > 0 {
+		in, err := s.src.Next()
+		if err != nil {
+			return Instruction{}, err
+		}
+		s.headLeft--
+		s.kept++
+		return in, nil
+	}
 	for {
+		if s.pos >= s.cfg.WindowInstrs {
+			if ws, ok := s.src.(WarmSkipper); ok && s.warmer != nil {
+				n, err := ws.SkipWarm(s.cfg.PeriodInstrs-s.pos, s.warmer)
+				s.dropped += n
+				s.pos += n
+				if s.pos >= s.cfg.PeriodInstrs {
+					s.pos = 0
+				}
+				if err != nil {
+					return Instruction{}, err
+				}
+				continue
+			}
+			if sk, ok := s.src.(Skipper); ok {
+				n, err := sk.Skip(s.cfg.PeriodInstrs - s.pos)
+				s.dropped += n
+				s.pos += n
+				if s.pos >= s.cfg.PeriodInstrs {
+					s.pos = 0
+				}
+				if err != nil {
+					return Instruction{}, err
+				}
+				continue
+			}
+		}
 		in, err := s.src.Next()
 		if err != nil {
 			return Instruction{}, err

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/trace"
+)
+
+// TestSkipIsChunkingInvariant pins the Skip contract: the generator state
+// after discarding N instructions depends only on the absolute stream
+// position, never on how the discard was chunked, so sampled runs are
+// bit-reproducible regardless of sampler geometry bookkeeping.
+func TestSkipIsChunkingInvariant(t *testing.T) {
+	prof := Profiles()[0]
+	mk := func() *Generator {
+		g, err := New(prof, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	drive := func(g *Generator, skips []int64) []trace.Instruction {
+		var out []trace.Instruction
+		for _, n := range skips {
+			if n < 0 {
+				for i := int64(0); i < -n; i++ {
+					in, err := g.Next()
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, in)
+				}
+				continue
+			}
+			if _, err := g.Skip(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	// Generate 50, skip 1000 (one way vs three chunks), generate 50.
+	a := drive(mk(), []int64{-50, 1000, -50})
+	b := drive(mk(), []int64{-50, 400, 300, 300, -50})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs after re-chunked skip: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSkipAdvancesPositionAndEOF pins the bookkeeping: produced counts
+// skipped instructions (the phase schedule is driven by it), the bounded
+// stream still ends after exactly its budget, and skipping at EOF errors.
+func TestSkipAdvancesPositionAndEOF(t *testing.T) {
+	prof := Profiles()[0]
+	g, err := New(prof, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Next(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.Skip(400)
+	if err != nil || n != 400 {
+		t.Fatalf("Skip(400) = %d, %v", n, err)
+	}
+	if got := g.Produced(); got != 401 {
+		t.Fatalf("produced %d, want 401", got)
+	}
+	// Short skip at the tail: only the remaining budget is discarded.
+	n, err = g.Skip(10_000)
+	if err != nil || n != 599 {
+		t.Fatalf("Skip past end = %d, %v; want 599, nil", n, err)
+	}
+	if _, err := g.Next(); err != io.EOF {
+		t.Fatalf("Next after exhaustion = %v, want EOF", err)
+	}
+	if _, err := g.Skip(1); err != io.EOF {
+		t.Fatalf("Skip after exhaustion = %v, want EOF", err)
+	}
+}
+
+// TestSamplerSkipFastPath pins the sampler/skipper integration: sampling
+// a skippable generator yields the configured keep ratio, is
+// deterministic run to run, and terminates at the stream budget.
+func TestSamplerSkipFastPath(t *testing.T) {
+	prof := Profiles()[0]
+	run := func() ([]trace.Instruction, int64, int64) {
+		g, err := New(prof, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := trace.NewSystematicSampler(g, trace.SamplerConfig{WindowInstrs: 1000, PeriodInstrs: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []trace.Instruction
+		for {
+			in, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, in)
+		}
+		return out, s.Kept(), s.Dropped()
+	}
+	a, kept, dropped := run()
+	if kept != 10_000 {
+		t.Fatalf("kept %d instructions, want 10000 (1/5 of 50k)", kept)
+	}
+	if kept+dropped != 50_000 {
+		t.Fatalf("kept %d + dropped %d != stream budget", kept, dropped)
+	}
+	b, _, _ := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampled stream not deterministic at instruction %d", i)
+		}
+	}
+}
+
+// recordWarmer captures the replayed warming traffic for comparison.
+type recordWarmer struct {
+	addrs  []uint64
+	stores []bool
+}
+
+func (r *recordWarmer) WarmAccess(addr uint64, store bool) {
+	r.addrs = append(r.addrs, addr)
+	r.stores = append(r.stores, store)
+}
+
+// TestSkipWarmIsChunkingInvariant extends the chunking contract to warmed
+// skips: both the generated instructions around the gap and the replayed
+// warming traffic inside it are pure functions of absolute stream
+// position — the draws are keyed on position hashes, not shared RNG state
+// — so a gap skipped in chunks and in one call is indistinguishable.
+func TestSkipWarmIsChunkingInvariant(t *testing.T) {
+	prof := Profiles()[0]
+	drive := func(skips []int64) ([]trace.Instruction, *recordWarmer) {
+		g, err := New(prof, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &recordWarmer{}
+		var out []trace.Instruction
+		for _, n := range skips {
+			if n < 0 {
+				for i := int64(0); i < -n; i++ {
+					in, err := g.Next()
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, in)
+				}
+				continue
+			}
+			if _, err := g.SkipWarm(n, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out, w
+	}
+	a, wa := drive([]int64{-5000, 20_000, -50})
+	b, wb := drive([]int64{-5000, 7000, 6000, 7000, -50})
+	if len(a) != len(b) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs after re-chunked warm skip", i)
+		}
+	}
+	if len(wa.addrs) == 0 {
+		t.Fatal("warming replayed no accesses across a 20k-instruction gap")
+	}
+	if len(wa.addrs) != len(wb.addrs) {
+		t.Fatalf("warming access counts differ: %d vs %d", len(wa.addrs), len(wb.addrs))
+	}
+	for i := range wa.addrs {
+		if wa.addrs[i] != wb.addrs[i] || wa.stores[i] != wb.stores[i] {
+			t.Fatalf("warming access %d differs after re-chunked skip", i)
+		}
+	}
+}
+
+// TestSkipWarmMatchesDemandRate pins the replay's statistical fidelity:
+// over a long gap, the warming traffic volume tracks the generator's
+// dynamic memory-access rate and its store fraction tracks the mix.
+func TestSkipWarmMatchesDemandRate(t *testing.T) {
+	prof := Profiles()[0]
+	g, err := New(prof, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a long prefix so the dynamic-rate estimate is armed, and
+	// count its memory instructions as the reference rate.
+	const prefix = 200_000
+	var mem int64
+	for i := 0; i < prefix; i++ {
+		in, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Class == trace.ClassLoad || in.Class == trace.ClassStore {
+			mem++
+		}
+	}
+	w := &recordWarmer{}
+	const gap = 1_000_000
+	if _, err := g.SkipWarm(gap, w); err != nil {
+		t.Fatal(err)
+	}
+	demandRate := float64(mem) / float64(prefix)
+	warmRate := float64(len(w.addrs)) / float64(gap)
+	if rel := warmRate/demandRate - 1; rel > 0.02 || rel < -0.02 {
+		t.Errorf("warming rate %.4f vs demand rate %.4f (%.1f%% off, want ≤ 2%%)",
+			warmRate, demandRate, rel*100)
+	}
+	var stores int
+	for _, s := range w.stores {
+		if s {
+			stores++
+		}
+	}
+	wantStore := prof.Mix.Store / (prof.Mix.Load + prof.Mix.Store)
+	gotStore := float64(stores) / float64(len(w.stores))
+	if rel := gotStore/wantStore - 1; rel > 0.05 || rel < -0.05 {
+		t.Errorf("store fraction %.4f vs mix %.4f (%.1f%% off, want ≤ 5%%)",
+			gotStore, wantStore, rel*100)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"github.com/ramp-sim/ramp/internal/trace"
@@ -228,9 +229,22 @@ type Generator struct {
 	coldPtr   uint64
 	remaining int64
 	produced  int64
+	// genCount/genMem tally instructions actually generated (not skipped)
+	// and how many were loads or stores, giving SkipWarm the stream's
+	// dynamic memory-access rate. The static Mix underestimates the branch
+	// fraction — block lengths vary around 1/Mix.Branch and the dynamic
+	// rate is the frequency-weighted mean of 1/length — so the dynamic
+	// memory rate runs a few percent below Mix.Load+Mix.Store on
+	// branch-heavy profiles.
+	genCount int64
+	genMem   int64
 }
 
-var _ trace.Stream = (*Generator)(nil)
+var (
+	_ trace.Stream      = (*Generator)(nil)
+	_ trace.Skipper     = (*Generator)(nil)
+	_ trace.WarmSkipper = (*Generator)(nil)
+)
 
 // New builds a deterministic generator for profile p producing n
 // instructions (n <= 0 means unbounded).
@@ -348,11 +362,152 @@ func (g *Generator) Next() (trace.Instruction, error) {
 		g.remaining--
 	}
 	g.produced++
+	g.genCount++
+	if in.Class == trace.ClassLoad || in.Class == trace.ClassStore {
+		g.genMem++
+	}
 	return in, nil
 }
 
 // Produced returns the number of instructions generated so far.
 func (g *Generator) Produced() int64 { return g.produced }
+
+// Skip discards up to n upcoming instructions in O(1), implementing
+// trace.Skipper for systematic sampling. The generator advances its
+// position counters — the phase schedule (phaseScale) and the cold-stream
+// pointer are driven by absolute trace position, so memory/compute phases
+// stay aligned across skips — while the control-flow walk, dependency
+// rings, and RNG carry over unchanged: the next window continues the walk
+// where the previous one stopped. Restarting the walk at a skip-derived
+// random block was tried first and rejected — it destroys the reuse
+// structure the I-cache and branch predictor have learned, biasing the
+// sampled IPC far below a contiguous run's. No random draws happen during
+// a skip, so the post-skip state depends only on the windows actually
+// generated, never on how the skip was chunked — sampled runs stay
+// bit-reproducible.
+func (g *Generator) Skip(n int64) (int64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if g.remaining == 0 {
+		return 0, io.EOF
+	}
+	if g.remaining > 0 && n > g.remaining {
+		n = g.remaining
+	}
+	g.produced += n
+	if g.remaining > 0 {
+		g.remaining -= n
+	}
+	// Advance the cold-stream pointer as if the skipped instructions had
+	// issued their expected share of cold accesses (one line each).
+	coldAccesses := float64(n) * (g.prof.Mix.Load + g.prof.Mix.Store) * g.prof.ColdProb
+	g.coldPtr += 64 * uint64(coldAccesses)
+	return n, nil
+}
+
+// SkipWarm discards up to n upcoming instructions like Skip, but replays
+// the span's expected memory traffic into w, implementing
+// trace.WarmSkipper. Skip keeps cache contents frozen across the gap;
+// over long skips that freezes an evolution — the cold stream churning
+// the L2, the warm set refreshing its recency — that in a contiguous run
+// takes on the order of a million instructions to reach steady state, so
+// every window behind the gap observes biased miss rates. SkipWarm drives
+// that evolution statistically: each skipped position draws "was this a
+// memory access, which region, load or store" from a splitmix64 hash of
+// (seed, absolute position) — not from g.rng — and feeds the resulting
+// address to w. Position-keyed draws make the replay a pure function of
+// which positions were skipped, so chunked and whole-gap skips leave
+// bit-identical generator and cache state, preserving Skip's
+// reproducibility guarantee. The cold-stream pointer advances per
+// replayed cold access (superseding Skip's bulk estimate) so the warmed
+// lines and the pointer agree.
+func (g *Generator) SkipWarm(n int64, w trace.MemWarmer) (int64, error) {
+	if w == nil {
+		return g.Skip(n)
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	if g.remaining == 0 {
+		return 0, io.EOF
+	}
+	if g.remaining > 0 && n > g.remaining {
+		n = g.remaining
+	}
+	// Replay at the stream's measured dynamic memory-access rate once
+	// enough instructions have been observed; the static Mix rate seeds the
+	// estimate before that. Within one gap no instructions are generated
+	// between chunks, so the rate — like the position-keyed draws — is
+	// identical however the gap is chunked.
+	memProb := g.prof.Mix.Load + g.prof.Mix.Store
+	if g.genCount >= 4096 {
+		memProb = float64(g.genMem) / float64(g.genCount)
+	}
+	var storeProb float64
+	if m := g.prof.Mix.Load + g.prof.Mix.Store; m > 0 {
+		storeProb = g.prof.Mix.Store / m
+	}
+	// The replay runs for every skipped instruction, so the draws are
+	// integer threshold compares on hash bits rather than float64
+	// conversions, and region offsets use a multiply-high (Lemire)
+	// reduction rather than a 64-bit modulo. Thresholds for the two phase
+	// parities are precomputed; built-in profiles have phases off.
+	const unit = 1 << 53
+	memThresh := uint64(memProb * unit)
+	storeThresh := uint64(storeProb * (1 << 11))
+	mkThresh := func(scale float64) (cold, warm uint64) {
+		c := g.prof.ColdProb * scale
+		return uint64(c * unit), uint64((c + g.prof.WarmProb*scale) * unit)
+	}
+	coldEven, warmEven := mkThresh(g.phaseScaleAt(0))
+	coldOdd, warmOdd := coldEven, warmEven
+	if g.prof.PhaseInstrs > 0 {
+		coldOdd, warmOdd = mkThresh(g.prof.PhaseMemScale)
+	}
+	const golden = 0x9e3779b97f4a7c15
+	x := uint64(g.prof.Seed) + uint64(g.produced)*golden
+	for i := int64(0); i < n; i++ {
+		h := splitmix64(x)
+		x += golden
+		if h>>11 >= memThresh {
+			continue
+		}
+		coldT, warmT := coldEven, warmEven
+		if g.prof.PhaseInstrs > 0 && ((g.produced+i)/g.prof.PhaseInstrs)&1 == 1 {
+			coldT, warmT = coldOdd, warmOdd
+		}
+		store := h&(1<<11-1) < storeThresh
+		h2 := splitmix64(h)
+		var addr uint64
+		switch r := h2 >> 11; {
+		case r < coldT:
+			g.coldPtr += 64
+			addr = coldBase + g.coldPtr&(1<<30-1)
+		case r < warmT:
+			hi, _ := bits.Mul64(splitmix64(h2), g.prof.WarmBytes)
+			addr = warmBase + hi&^7
+		default:
+			hi, _ := bits.Mul64(splitmix64(h2), g.prof.HotBytes)
+			addr = hotBase + hi&^7
+		}
+		w.WarmAccess(addr, store)
+	}
+	g.produced += n
+	if g.remaining > 0 {
+		g.remaining -= n
+	}
+	return n, nil
+}
+
+// splitmix64 is the SplitMix64 finaliser: a bijective mixer cheap enough
+// to derive several independent draws per skipped instruction.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
 
 func (g *Generator) makeBranch(pc uint64, b *block) trace.Instruction {
 	in := trace.Instruction{
@@ -447,25 +602,31 @@ func (g *Generator) makeLCR(pc uint64) trace.Instruction {
 // phaseScale returns the current multiplier on the warm/cold access
 // probabilities: >1 in the memory phase, <1 in the compute phase, 1 with
 // phases disabled.
-func (g *Generator) phaseScale() float64 {
+func (g *Generator) phaseScale() float64 { return g.phaseScaleAt(g.produced) }
+
+// phaseScaleAt evaluates the phase schedule at absolute trace position p.
+func (g *Generator) phaseScaleAt(p int64) float64 {
 	if g.prof.PhaseInstrs <= 0 {
 		return 1
 	}
-	if (g.produced/g.prof.PhaseInstrs)%2 == 1 {
+	if (p/g.prof.PhaseInstrs)%2 == 1 {
 		return g.prof.PhaseMemScale
 	}
 	return 1 / g.prof.PhaseMemScale
 }
 
+// Disjoint base addresses of the three-level data-locality model, shared
+// by demand generation (dataAddress) and skip-span warming (SkipWarm).
+const (
+	hotBase  = 0x1000_0000
+	warmBase = 0x2000_0000
+	coldBase = 0x4000_0000
+)
+
 // dataAddress draws an effective address from the three-level locality
 // model: hot (L1-resident), warm (L2-resident), or cold (streaming past
 // the L2). Regions are disjoint so cache behaviour is controllable.
 func (g *Generator) dataAddress() uint64 {
-	const (
-		hotBase  = 0x1000_0000
-		warmBase = 0x2000_0000
-		coldBase = 0x4000_0000
-	)
 	scale := g.phaseScale()
 	warmProb := g.prof.WarmProb * scale
 	coldProb := g.prof.ColdProb * scale

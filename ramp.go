@@ -75,6 +75,11 @@ type (
 	StudyProgress = sched.Progress
 	// WorstCase is the worst-case ("max") operating-point evaluation.
 	WorstCase = sim.WorstCase
+	// Fidelity selects the speed/accuracy trade of a study (nil/zero
+	// means exact); see FidelityExact, FidelityAdaptive, FidelityPhase.
+	Fidelity = sim.Fidelity
+	// FidelityMode names one fidelity level.
+	FidelityMode = sim.FidelityMode
 	// Technology is one Table 4 technology generation/operating point.
 	Technology = scaling.Technology
 	// Profile is one synthetic SPEC2K-like benchmark description.
@@ -236,6 +241,22 @@ const (
 	SuiteInt = workload.SuiteInt
 	SuiteFP  = workload.SuiteFP
 )
+
+// Fidelity modes: exact is the bit-identical full pipeline; adaptive
+// phase-compresses the thermal transient under an error bound; phase adds
+// systematic trace sampling on top. Non-exact modes are content-addressed
+// into every stage and result cache key, so results from different modes
+// never mix.
+const (
+	FidelityExact    = sim.FidelityExact
+	FidelityAdaptive = sim.FidelityAdaptive
+	FidelityPhase    = sim.FidelityPhase
+)
+
+// ParseFidelityMode validates a fidelity-mode name from a flag or API
+// request; it returns nil (meaning exact) for "" and "exact" so
+// exact-mode configs keep their pre-fidelity cache keys.
+func ParseFidelityMode(mode string) (*Fidelity, error) { return sim.ParseFidelityMode(mode) }
 
 // DefaultConfig returns the paper's experimental setup (Table 2 machine,
 // calibrated 180nm power model, HotSpot-like package, RAMP constants).

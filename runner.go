@@ -57,6 +57,7 @@ type Runner struct {
 	tracer      *Tracer
 	batchOpts   *BatchOptions
 	jobs        *jobs.Queue
+	fidelity    *Fidelity
 }
 
 // Option configures a Runner. Options are applied in order; an option
@@ -143,6 +144,32 @@ func WithTracer(t *Tracer) Option {
 	}
 }
 
+// WithFidelity sets the Runner's default fidelity mode, applied to every
+// study whose Config leaves Fidelity nil. An explicit Config.Fidelity
+// always wins. The fidelity participates in every content-addressed stage
+// and result key, so a Runner serving mixed fidelities never cross-serves
+// cached results. Passing nil (or a validation failure) rejects the
+// option.
+func WithFidelity(f *Fidelity) Option {
+	return func(r *Runner) error {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		r.fidelity = f
+		return nil
+	}
+}
+
+// applyFidelity fills the Runner's default fidelity into a config that
+// does not set its own.
+func (r *Runner) applyFidelity(cfg Config) Config {
+	if cfg.Fidelity == nil && r.fidelity != nil {
+		f := *r.fidelity
+		cfg.Fidelity = &f
+	}
+	return cfg
+}
+
 // traceCtx installs the Runner's tracer, if any, on the study context.
 func (r *Runner) traceCtx(ctx context.Context) context.Context {
 	if r.tracer != nil {
@@ -168,7 +195,8 @@ func (r *Runner) options(onApp func(AppEvent)) StudyOptions {
 // execution policy. techs must start with the base (180nm) technology.
 func (r *Runner) Study(ctx context.Context, cfg Config, profiles []Profile,
 	techs []Technology) (*StudyResult, error) {
-	return sim.RunStudyContext(r.traceCtx(ctx), cfg, profiles, techs, r.options(nil))
+	return sim.RunStudyContext(r.traceCtx(ctx), r.applyFidelity(cfg), profiles, techs,
+		r.options(nil))
 }
 
 // MCStudy executes the scaling study (through the Runner's stage cache,
@@ -185,15 +213,15 @@ func (r *Runner) Study(ctx context.Context, cfg Config, profiles []Profile,
 // defaults.
 func (r *Runner) MCStudy(ctx context.Context, cfg Config, profiles []Profile,
 	techs []Technology, mcfg MCConfig, onEvent func(MCEvent)) (*MCResult, error) {
-	return sim.RunMCStudyContext(r.traceCtx(ctx), cfg, mcfg, profiles, techs,
-		r.options(nil), onEvent)
+	return sim.RunMCStudyContext(r.traceCtx(ctx), r.applyFidelity(cfg), mcfg, profiles,
+		techs, r.options(nil), onEvent)
 }
 
 // Timing executes only the timing stage for one profile, through the
 // Runner's stage cache when one is attached. The returned trace is
 // immutable and may be shared across concurrent evaluations.
 func (r *Runner) Timing(ctx context.Context, cfg Config, prof Profile) (*ActivityTrace, error) {
-	return sim.RunTimingCachedContext(r.traceCtx(ctx), cfg, prof, r.cache)
+	return sim.RunTimingCachedContext(r.traceCtx(ctx), r.applyFidelity(cfg), prof, r.cache)
 }
 
 // CacheStats snapshots the Runner's stage cache. ok is false when the
@@ -239,6 +267,7 @@ type StudyEvent struct {
 // so a repeated request resumes where the cancelled one left off.
 func (r *Runner) StreamStudy(ctx context.Context, cfg Config, profiles []Profile,
 	techs []Technology) (<-chan StudyEvent, error) {
+	cfg = r.applyFidelity(cfg)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
