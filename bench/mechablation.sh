@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench/mechablation.sh — mechanism-set ablation report.
+#
+# Runs the reduced study under the paper's four mechanisms, then with each
+# registry extension (NBTI, HCI, rainflow-TC) added, then all seven, and
+# writes BENCH_mechablation.json in the repo root with the suite-average
+# SOFR-MTTF per technology node and each set's delta against the paper-4
+# baseline. All sets share one stage cache, so the ablation costs one cold
+# study plus cheap reliability re-accumulations. Pass extra flags (e.g.
+# -check) to enforce the delta and cache-reuse gates.
+#
+# Usage: ./bench/mechablation.sh [instructions] [extra mechablation flags...]
+#        (default 300000)
+set -eu
+
+N="${1:-300000}"
+[ "$#" -gt 0 ] && shift
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+go run ./bench/mechablation -n "$N" -out "$ROOT/BENCH_mechablation.json" "$@"

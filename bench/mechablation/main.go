@@ -1,0 +1,171 @@
+// Command mechablation runs the mechanism-set ablation: the same reduced
+// application × technology study under the paper's four mechanisms, then
+// with each registry extension (NBTI, HCI, rainflow-TC) added, then with
+// all seven, and reports the suite-average SOFR-MTTF at every technology
+// node plus each set's delta against the paper-4 baseline.
+//
+// All sets share one stage cache: the mechanism selection participates
+// only in the reliability-stage key, so every study after the first
+// replays the timing and thermal artifacts — the ablation costs one cold
+// study plus cheap reliability re-accumulations. The report records the
+// cache stats to prove it.
+//
+// With -check the process exits non-zero when an extended set fails to
+// lower MTTF at every node (each §4.4-qualified mechanism adds a positive
+// calibrated failure rate, so the delta must be strictly negative), or
+// when the thermal stage was not reused across sets.
+//
+// Usage: mechablation [-n 300000] [-apps ammp,mesa,gzip,crafty]
+//
+//	[-out BENCH_mechablation.json] [-check]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+type nodeMTTF struct {
+	Tech      string  `json:"tech"`
+	FIT       float64 `json:"suite_avg_fit"`
+	MTTFYears float64 `json:"sofr_mttf_years"`
+	// DeltaYears and DeltaPct compare against the paper-4 baseline at the
+	// same node; zero for the baseline itself.
+	DeltaYears float64 `json:"delta_years_vs_paper4"`
+	DeltaPct   float64 `json:"delta_pct_vs_paper4"`
+}
+
+type setResult struct {
+	Set        string     `json:"set"`
+	Mechanisms []string   `json:"mechanisms"`
+	Seconds    float64    `json:"seconds"`
+	Nodes      []nodeMTTF `json:"nodes"`
+}
+
+type result struct {
+	Instructions int64       `json:"instructions"`
+	Apps         []string    `json:"apps"`
+	Sets         []setResult `json:"sets"`
+	// ThermalHits counts thermal-stage cache hits across the whole
+	// ablation; > 0 proves mechanism sets share upstream artifacts.
+	ThermalHits int64 `json:"thermal_cache_hits"`
+}
+
+const hoursPerYear = 24 * 365.25
+
+func mttfYears(fit float64) float64 {
+	if fit <= 0 {
+		return 0
+	}
+	return 1e9 / fit / hoursPerYear
+}
+
+func main() {
+	n := flag.Int64("n", 300_000, "instructions per application")
+	apps := flag.String("apps", "ammp,mesa,gzip,crafty", "comma-separated benchmark subset")
+	out := flag.String("out", "BENCH_mechablation.json", "output JSON path")
+	check := flag.Bool("check", false, "exit non-zero unless every extended set lowers MTTF at every node and the thermal stage is reused")
+	flag.Parse()
+
+	if err := run(*n, strings.Split(*apps, ","), *out, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "mechablation:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int64, appNames []string, out string, check bool) error {
+	profiles := make([]ramp.Profile, 0, len(appNames))
+	for _, name := range appNames {
+		p, err := ramp.ProfileByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		profiles = append(profiles, p)
+	}
+	sets := []struct {
+		name  string
+		mechs []string
+	}{
+		{"paper4", nil},
+		{"plus-nbti", []string{"em", "sm", "tc", "tddb", "nbti"}},
+		{"plus-hci", []string{"em", "sm", "tc", "tddb", "hci"}},
+		{"plus-tc-rainflow", []string{"em", "sm", "tc", "tddb", "tc-rainflow"}},
+		{"all7", []string{"em", "sm", "tc", "tddb", "nbti", "hci", "tc-rainflow"}},
+	}
+
+	// One shared stage cache: only the reliability stage re-runs per set.
+	runner, err := ramp.New(ramp.WithCache(ramp.CacheOptions{}))
+	if err != nil {
+		return err
+	}
+	techs := ramp.Technologies()
+	rep := result{Instructions: n, Apps: appNames}
+	var baseline []nodeMTTF
+	for _, set := range sets {
+		cfg := ramp.DefaultConfig()
+		cfg.Instructions = n
+		cfg.Mechanisms = set.mechs
+		start := time.Now()
+		res, err := runner.Study(context.Background(), cfg, profiles, techs)
+		if err != nil {
+			return fmt.Errorf("set %s: %w", set.name, err)
+		}
+		sr := setResult{
+			Set:        set.name,
+			Mechanisms: res.MechanismNames(),
+			Seconds:    time.Since(start).Seconds(),
+		}
+		for ti, tech := range res.Techs {
+			fit := res.SuiteAverageFIT(ti, 0)
+			node := nodeMTTF{Tech: tech.Name, FIT: fit, MTTFYears: mttfYears(fit)}
+			if baseline != nil {
+				node.DeltaYears = node.MTTFYears - baseline[ti].MTTFYears
+				node.DeltaPct = 100 * node.DeltaYears / baseline[ti].MTTFYears
+			}
+			sr.Nodes = append(sr.Nodes, node)
+		}
+		if baseline == nil {
+			baseline = sr.Nodes
+		}
+		rep.Sets = append(rep.Sets, sr)
+	}
+	if stats, ok := runner.CacheStats(); ok {
+		rep.ThermalHits = stats.Thermal.MemHits + stats.Thermal.DiskHits
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, sr := range rep.Sets {
+		last := sr.Nodes[len(sr.Nodes)-1]
+		fmt.Printf("%-16s %d mechanisms  %s MTTF %6.1f y  (delta %+6.1f y, %+5.1f%%)  %.2fs\n",
+			sr.Set, len(sr.Mechanisms), last.Tech, last.MTTFYears, last.DeltaYears, last.DeltaPct, sr.Seconds)
+	}
+	fmt.Printf("thermal cache hits across sets: %d\n", rep.ThermalHits)
+
+	if check {
+		for _, sr := range rep.Sets[1:] {
+			for _, node := range sr.Nodes {
+				if node.DeltaYears >= 0 {
+					return fmt.Errorf("set %s @ %s: MTTF delta %+.3f y; an added qualified mechanism must lower MTTF",
+						sr.Set, node.Tech, node.DeltaYears)
+				}
+			}
+		}
+		if rep.ThermalHits == 0 {
+			return fmt.Errorf("no thermal-stage cache hits: mechanism selection leaked into upstream stage keys")
+		}
+	}
+	return nil
+}

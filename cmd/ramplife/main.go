@@ -57,12 +57,20 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	migrate := fs.Int("migrate", 100, "migration period in µs, 0 = static (cmp mode)")
 	parallelism := fs.Int("parallelism", 0, "max concurrent timing runs (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "report per-task progress on stderr")
+	mechanisms := fs.String("mechanisms", "", "comma-separated failure mechanisms (default em,sm,tc,tddb)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := ramp.DefaultConfig()
 	cfg.Instructions = *n
+	if *mechanisms != "" {
+		names, err := ramp.CanonicalMechanismNames(strings.Split(*mechanisms, ","))
+		if err != nil {
+			return err
+		}
+		cfg.Mechanisms = names
+	}
 	tech, err := ramp.TechnologyByName(*techName)
 	if err != nil {
 		return err

@@ -56,6 +56,7 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	instructions := fs.Int64("n", 2_000_000, "instructions to simulate per application")
 	apps := fs.String("apps", "", "comma-separated benchmark subset (default: all 16)")
 	fidelity := fs.String("fidelity", "", "fidelity mode: exact (default), adaptive, or phase")
+	mechanisms := fs.String("mechanisms", "", "comma-separated failure mechanisms (default em,sm,tc,tddb; e.g. em,sm,tc,tddb,nbti,hci)")
 	figure := fs.Int("figure", 0, "print one figure's data series (2, 3, 4, or 5)")
 	headline := fs.Bool("headline", false, "print the headline paper-vs-measured comparison")
 	all := fs.Bool("all", false, "print every figure and the headline comparison")
@@ -102,6 +103,14 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	// governs scenario runs; empty inherits the scenario/default (exact).
 	if *fidelity != "" {
 		cfg.Fidelity, err = ramp.ParseFidelityMode(*fidelity)
+		if err != nil {
+			return err
+		}
+	}
+	// Likewise for the mechanism selection; empty keeps the scenario's (or
+	// the paper's default four).
+	if *mechanisms != "" {
+		cfg.Mechanisms, err = ramp.CanonicalMechanismNames(strings.Split(*mechanisms, ","))
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/ramp-sim/ramp/internal/microarch"
 	"github.com/ramp-sim/ramp/internal/phys"
@@ -11,9 +12,15 @@ import (
 // Constants holds the per-mechanism proportionality constants that anchor
 // the relative rates of the mechanism models to absolute FIT values. They
 // come out of the reliability-qualification calibration (§4.4) and are
-// reused unchanged at every technology point.
+// reused unchanged at every technology point. The paper's four live in
+// the fixed K array; mechanisms selected from the registry beyond them
+// land in the name-keyed Extra map (omitted when empty, so default-set
+// constants marshal byte-identically to pre-registry releases).
 type Constants struct {
 	K [NumMechanisms]float64
+	// Extra holds constants of registry mechanisms outside the paper's
+	// four, keyed by canonical mechanism name.
+	Extra map[string]float64 `json:"Extra,omitempty"`
 }
 
 // UnitConstants returns all-ones constants, used during calibration.
@@ -23,6 +30,15 @@ func UnitConstants() Constants {
 		c.K[i] = 1
 	}
 	return c
+}
+
+// ExtraK returns the constant for a name-keyed mechanism, defaulting to 1
+// (unit constant) when the mechanism was never calibrated.
+func (c Constants) ExtraK(name string) float64 {
+	if k, ok := c.Extra[name]; ok {
+		return k
+	}
+	return 1
 }
 
 // ReferenceConstants returns the qualification constants solved by the
@@ -48,6 +64,11 @@ func (c Constants) Validate() error {
 			return fmt.Errorf("core: constant for %v must be positive, got %v", Mechanism(i), k)
 		}
 	}
+	for name, k := range c.Extra {
+		if k <= 0 {
+			return fmt.Errorf("core: constant for %s must be positive, got %v", name, k)
+		}
+	}
 	return nil
 }
 
@@ -55,6 +76,9 @@ func (c Constants) Validate() error {
 // raw (unit-constant) FIT of each mechanism at the 180nm base point, such
 // that each mechanism contributes perMechanismFIT on average — the paper
 // uses 1000 FIT per mechanism for a 4000-FIT, ≈30-year processor (§4.4).
+//
+// Calibrate covers only the paper's four fixed-slot mechanisms; studies
+// over registry-selected sets use CalibrateSet.
 func Calibrate(rawSuiteAvg [NumMechanisms]float64, perMechanismFIT float64) (Constants, error) {
 	if perMechanismFIT <= 0 {
 		return Constants{}, fmt.Errorf("core: target FIT must be positive, got %v", perMechanismFIT)
@@ -70,16 +94,60 @@ func Calibrate(rawSuiteAvg [NumMechanisms]float64, perMechanismFIT float64) (Con
 	return c, nil
 }
 
+// CalibrateSet solves the proportionality constants for an arbitrary
+// mechanism set: each named mechanism's suite-average raw FIT is anchored
+// to perMechanismFIT. Fixed-slot mechanisms land in K (unselected slots
+// keep the neutral unit constant — their raw rates are zero everywhere,
+// so the value never reaches a number); name-keyed mechanisms land in
+// Extra. For the default four-mechanism set the arithmetic — one division
+// per mechanism — is identical to Calibrate, so the solved constants are
+// bit-identical to pre-registry releases.
+func CalibrateSet(names []string, rawSuiteAvg map[string]float64, perMechanismFIT float64) (Constants, error) {
+	if perMechanismFIT <= 0 {
+		return Constants{}, fmt.Errorf("core: target FIT must be positive, got %v", perMechanismFIT)
+	}
+	c := UnitConstants()
+	for _, name := range names {
+		raw := rawSuiteAvg[name]
+		if raw <= 0 {
+			return Constants{}, fmt.Errorf("core: raw suite-average FIT for %s is %v; cannot calibrate",
+				name, raw)
+		}
+		k := perMechanismFIT / raw
+		if slot, ok := LegacySlot(name); ok {
+			c.K[slot] = k
+		} else {
+			if c.Extra == nil {
+				c.Extra = make(map[string]float64)
+			}
+			c.Extra[name] = k
+		}
+	}
+	return c, nil
+}
+
 // Breakdown is a full FIT decomposition: one rate per structure per
 // mechanism. The package-level thermal-cycling FIT is distributed across
 // structures by die-area fraction so that both views sum to the same
 // processor total (SOFR).
+//
+// The paper's four mechanisms occupy the fixed ByStructMech array;
+// registry mechanisms beyond them occupy the name-keyed Extra map. A
+// default-set breakdown has a nil Extra and marshals byte-identically to
+// pre-registry releases (cached artifacts included). The name-keyed
+// FITByName view is the primary result shape; ByMechanism remains as the
+// fixed-array compatibility accessor for the default four.
 type Breakdown struct {
 	ByStructMech [microarch.NumStructures][NumMechanisms]float64
+	// Extra holds per-structure rates of registry mechanisms outside the
+	// paper's four, keyed by canonical mechanism name.
+	Extra map[string][microarch.NumStructures]float64 `json:"Extra,omitempty"`
 }
 
 // Total returns the processor FIT: the SOFR sum over all structures and
-// mechanisms.
+// mechanisms (name-keyed mechanisms included). Extra entries accumulate
+// in sorted-name order — float addition is order-sensitive, and map
+// iteration order would otherwise make totals vary between runs.
 func (b Breakdown) Total() float64 {
 	var sum float64
 	for s := range b.ByStructMech {
@@ -87,10 +155,33 @@ func (b Breakdown) Total() float64 {
 			sum += b.ByStructMech[s][m]
 		}
 	}
+	for _, name := range b.sortedExtraNames() {
+		for _, v := range b.Extra[name] {
+			sum += v
+		}
+	}
 	return sum
 }
 
+// sortedExtraNames returns the Extra keys in sorted order, the canonical
+// iteration order for any float accumulation over name-keyed mechanisms.
+func (b Breakdown) sortedExtraNames() []string {
+	if len(b.Extra) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(b.Extra))
+	for name := range b.Extra {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ByMechanism returns per-mechanism FIT summed over structures.
+//
+// Deprecated: ByMechanism covers only the paper's four fixed-slot
+// mechanisms; name-keyed mechanisms are invisible to it. Use FITByName
+// for the complete decomposition.
 func (b Breakdown) ByMechanism() [NumMechanisms]float64 {
 	var out [NumMechanisms]float64
 	for s := range b.ByStructMech {
@@ -101,12 +192,72 @@ func (b Breakdown) ByMechanism() [NumMechanisms]float64 {
 	return out
 }
 
-// ByStructure returns per-structure FIT summed over mechanisms.
+// FITByName returns the per-mechanism FIT summed over structures, keyed
+// by canonical mechanism name — the primary decomposition view, covering
+// fixed-slot and name-keyed mechanisms alike. Zero-rate default
+// mechanisms are included (so the default view always lists the paper's
+// four); zero-valued Extra entries are preserved as reported.
+func (b Breakdown) FITByName() map[string]float64 {
+	mech := b.ByMechanism()
+	out := make(map[string]float64, NumMechanisms+len(b.Extra))
+	for m := 0; m < NumMechanisms; m++ {
+		out[mechanismKeyName(Mechanism(m))] = mech[m]
+	}
+	for name, arr := range b.Extra {
+		var sum float64
+		for _, v := range arr {
+			sum += v
+		}
+		out[name] = sum
+	}
+	return out
+}
+
+// MechanismFIT returns one mechanism's FIT summed over structures, by
+// canonical name; unknown names return 0.
+func (b Breakdown) MechanismFIT(name string) float64 {
+	if slot, ok := LegacySlot(name); ok {
+		var sum float64
+		for s := range b.ByStructMech {
+			sum += b.ByStructMech[s][slot]
+		}
+		return sum
+	}
+	var sum float64
+	for _, v := range b.Extra[name] {
+		sum += v
+	}
+	return sum
+}
+
+// mechanismKeyName maps a fixed slot onto its canonical registry name.
+func mechanismKeyName(m Mechanism) string {
+	switch m {
+	case EM:
+		return MechEM
+	case SM:
+		return MechSM
+	case TDDB:
+		return MechTDDB
+	case TC:
+		return MechTC
+	}
+	return m.String()
+}
+
+// ByStructure returns per-structure FIT summed over mechanisms
+// (name-keyed mechanisms included, accumulated in sorted-name order for
+// run-to-run bit identity).
 func (b Breakdown) ByStructure() [microarch.NumStructures]float64 {
 	var out [microarch.NumStructures]float64
 	for s := range b.ByStructMech {
 		for m := range b.ByStructMech[s] {
 			out[s] += b.ByStructMech[s][m]
+		}
+	}
+	for _, name := range b.sortedExtraNames() {
+		for s, v := range b.Extra[name] {
+			out[s] += v
 		}
 	}
 	return out
@@ -116,6 +267,25 @@ func (b Breakdown) ByStructure() [microarch.NumStructures]float64 {
 // SOFR total.
 func (b Breakdown) MTTFYears() float64 {
 	return phys.MTTFYearsFromFIT(b.Total())
+}
+
+// Equal reports exact (bitwise) equality of two breakdowns, treating nil
+// and empty Extra maps alike. Breakdown stopped being ==-comparable when
+// it gained the Extra map; use this instead.
+func (b Breakdown) Equal(o Breakdown) bool {
+	if b.ByStructMech != o.ByStructMech {
+		return false
+	}
+	if len(b.Extra) != len(o.Extra) {
+		return false
+	}
+	for name, arr := range b.Extra {
+		oarr, ok := o.Extra[name]
+		if !ok || arr != oarr {
+			return false
+		}
+	}
+	return true
 }
 
 // Calibrated returns the breakdown with each mechanism's rates multiplied
@@ -128,6 +298,14 @@ func (b Breakdown) Calibrated(c Constants) Breakdown {
 			out.ByStructMech[s][m] = b.ByStructMech[s][m] * c.K[m]
 		}
 	}
+	for name, arr := range b.Extra {
+		k := c.ExtraK(name)
+		var scaled [microarch.NumStructures]float64
+		for s, v := range arr {
+			scaled[s] = v * k
+		}
+		out.setExtra(name, scaled)
+	}
 	return out
 }
 
@@ -139,6 +317,13 @@ func (b Breakdown) scale(f float64) Breakdown {
 			out.ByStructMech[s][m] = b.ByStructMech[s][m] * f
 		}
 	}
+	for name, arr := range b.Extra {
+		var scaled [microarch.NumStructures]float64
+		for s, v := range arr {
+			scaled[s] = v * f
+		}
+		out.setExtra(name, scaled)
+	}
 	return out
 }
 
@@ -149,24 +334,54 @@ func (b *Breakdown) add(o Breakdown, w float64) {
 			b.ByStructMech[s][m] += o.ByStructMech[s][m] * w
 		}
 	}
+	for name, arr := range o.Extra {
+		acc := b.Extra[name]
+		for s, v := range arr {
+			acc[s] += v * w
+		}
+		b.setExtra(name, acc)
+	}
+}
+
+// setExtra stores one name-keyed mechanism's per-structure rates,
+// allocating the map on first use.
+func (b *Breakdown) setExtra(name string, arr [microarch.NumStructures]float64) {
+	if b.Extra == nil {
+		b.Extra = make(map[string][microarch.NumStructures]float64)
+	}
+	b.Extra[name] = arr
 }
 
 // Evaluator computes instantaneous failure rates for one technology point
 // and accumulates their time average over an application run, implementing
-// the paper's 1µs-interval running-average methodology (§2, §4.4).
+// the paper's 1µs-interval running-average methodology (§2, §4.4). The
+// mechanism set it evaluates comes from the registry; NewEvaluator uses
+// the paper's four, NewEvaluatorForSet any resolved selection.
 type Evaluator struct {
 	params   Params
 	consts   Constants
 	tech     scaling.Technology
 	areaFrac [microarch.NumStructures]float64
+	set      MechanismSet
 
 	accTime float64
 	accSum  Breakdown
+	// constRates holds series-mechanism rates (constant over the run,
+	// already multiplied by their calibration constants) folded into
+	// Average by area fraction.
+	constRates map[string]float64
 }
 
-// NewEvaluator builds an evaluator. areasMm2 are the per-structure areas
-// (any consistent scale; only the fractions matter).
+// NewEvaluator builds an evaluator over the paper's four mechanisms.
+// areasMm2 are the per-structure areas (any consistent scale; only the
+// fractions matter).
 func NewEvaluator(params Params, consts Constants, tech scaling.Technology, areasMm2 []float64) (*Evaluator, error) {
+	return NewEvaluatorForSet(params, consts, tech, areasMm2, DefaultMechanismSet())
+}
+
+// NewEvaluatorForSet builds an evaluator over a resolved mechanism set.
+func NewEvaluatorForSet(params Params, consts Constants, tech scaling.Technology,
+	areasMm2 []float64, set MechanismSet) (*Evaluator, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,6 +390,9 @@ func NewEvaluator(params Params, consts Constants, tech scaling.Technology, area
 	}
 	if err := tech.Validate(); err != nil {
 		return nil, err
+	}
+	if len(set.entries) == 0 {
+		return nil, fmt.Errorf("core: empty mechanism set")
 	}
 	if len(areasMm2) != microarch.NumStructures {
 		return nil, fmt.Errorf("core: got %d areas, want %d", len(areasMm2), microarch.NumStructures)
@@ -186,28 +404,65 @@ func NewEvaluator(params Params, consts Constants, tech scaling.Technology, area
 		}
 		total += a
 	}
-	e := &Evaluator{params: params, consts: consts, tech: tech}
+	e := &Evaluator{params: params, consts: consts, tech: tech, set: set}
 	for i, a := range areasMm2 {
 		e.areaFrac[i] = a / total
 	}
 	return e, nil
 }
 
+// kFor returns the calibration constant of one set entry.
+func (e *Evaluator) kFor(en setEntry) float64 {
+	if en.slot >= 0 {
+		return e.consts.K[en.slot]
+	}
+	return e.consts.ExtraK(en.model.Name())
+}
+
 // Instant evaluates the failure-rate breakdown at one operating point:
 // per-structure activity factors and temperatures, the instantaneous
-// supply voltage, and the area-weighted average die temperature (for the
-// package thermal-cycling model).
+// supply voltage, and the area-weighted average die temperature (for
+// package-scope mechanisms). Each selected mechanism contributes through
+// its registered model; for the default set the per-cell arithmetic —
+// (K·frac)·rate for structure scope, (K·rate)·frac for package scope —
+// is exactly the pre-registry expression, so results are bit-identical.
+// Series-only mechanisms (tc-rainflow) contribute 0 here.
 func (e *Evaluator) Instant(af, tempK [microarch.NumStructures]float64, vddV, dieAvgK float64) Breakdown {
 	var b Breakdown
-	tcTotal := e.consts.K[TC] * e.params.TCRate(dieAvgK)
-	for s := 0; s < microarch.NumStructures; s++ {
-		frac := e.areaFrac[s]
-		b.ByStructMech[s][EM] = e.consts.K[EM] * frac * e.params.EMRate(af[s], tempK[s], e.tech)
-		b.ByStructMech[s][SM] = e.consts.K[SM] * frac * e.params.SMRate(tempK[s])
-		b.ByStructMech[s][TDDB] = e.consts.K[TDDB] * frac * e.params.TDDBRate(vddV, tempK[s], e.tech)
-		// The TC FIT is a single package-level rate; distribute it by die
-		// area so per-structure and per-mechanism views stay consistent.
-		b.ByStructMech[s][TC] = tcTotal * frac
+	for _, en := range e.set.entries {
+		switch en.model.Scope() {
+		case ScopePackage:
+			// A package-scope FIT is a single die-level rate; distribute
+			// it by area so per-structure and per-mechanism views stay
+			// consistent.
+			total := e.kFor(en) * en.model.Rate(Sample{VddV: vddV, DieAvgTempK: dieAvgK}, e.params, e.tech)
+			if en.slot >= 0 {
+				for s := 0; s < microarch.NumStructures; s++ {
+					b.ByStructMech[s][en.slot] = total * e.areaFrac[s]
+				}
+			} else if total != 0 {
+				var arr [microarch.NumStructures]float64
+				for s := 0; s < microarch.NumStructures; s++ {
+					arr[s] = total * e.areaFrac[s]
+				}
+				b.setExtra(en.model.Name(), arr)
+			}
+		default:
+			k := e.kFor(en)
+			if en.slot >= 0 {
+				for s := 0; s < microarch.NumStructures; s++ {
+					b.ByStructMech[s][en.slot] = k * e.areaFrac[s] *
+						en.model.Rate(Sample{AF: af[s], TempK: tempK[s], VddV: vddV, DieAvgTempK: dieAvgK}, e.params, e.tech)
+				}
+			} else {
+				var arr [microarch.NumStructures]float64
+				for s := 0; s < microarch.NumStructures; s++ {
+					arr[s] = k * e.areaFrac[s] *
+						en.model.Rate(Sample{AF: af[s], TempK: tempK[s], VddV: vddV, DieAvgTempK: dieAvgK}, e.params, e.tech)
+				}
+				b.setExtra(en.model.Name(), arr)
+			}
+		}
 	}
 	return b
 }
@@ -223,13 +478,41 @@ func (e *Evaluator) Accumulate(b Breakdown, duration float64) {
 	e.accTime += duration
 }
 
-// Average returns the time-weighted average breakdown accumulated so far —
-// the application's effective failure-rate decomposition.
-func (e *Evaluator) Average() Breakdown {
-	if e.accTime == 0 {
-		return Breakdown{}
+// AddConstantRate folds a series-level mechanism's rate — constant over
+// the run, e.g. the rainflow-counted thermal-cycling damage rate — into
+// the breakdown Average returns. rate is the raw model output; it is
+// multiplied by the mechanism's calibration constant and distributed
+// across structures by area fraction (the time average of a constant is
+// the constant, so this is exact, not an approximation).
+func (e *Evaluator) AddConstantRate(name string, rate float64) {
+	if e.constRates == nil {
+		e.constRates = make(map[string]float64)
 	}
-	return e.accSum.scale(1 / e.accTime)
+	e.constRates[name] = e.consts.ExtraK(name) * rate
+}
+
+// Average returns the time-weighted average breakdown accumulated so far —
+// the application's effective failure-rate decomposition, including any
+// series-mechanism constant rates.
+func (e *Evaluator) Average() Breakdown {
+	var avg Breakdown
+	if e.accTime != 0 {
+		avg = e.accSum.scale(1 / e.accTime)
+	}
+	for name, rate := range e.constRates {
+		var arr [microarch.NumStructures]float64
+		for s := 0; s < microarch.NumStructures; s++ {
+			arr[s] = rate * e.areaFrac[s]
+		}
+		if slot, ok := LegacySlot(name); ok {
+			for s := 0; s < microarch.NumStructures; s++ {
+				avg.ByStructMech[s][slot] += arr[s]
+			}
+		} else {
+			avg.setExtra(name, arr)
+		}
+	}
+	return avg
 }
 
 // AccumulatedTime returns the total duration accumulated.
@@ -239,6 +522,7 @@ func (e *Evaluator) AccumulatedTime() float64 { return e.accTime }
 func (e *Evaluator) Reset() {
 	e.accSum = Breakdown{}
 	e.accTime = 0
+	e.constRates = nil
 }
 
 // TempForBudget solves the inverse qualification question: the uniform
@@ -284,3 +568,6 @@ func (e *Evaluator) Tech() scaling.Technology { return e.tech }
 
 // Params returns the evaluator's mechanism constants.
 func (e *Evaluator) Params() Params { return e.params }
+
+// Set returns the evaluator's resolved mechanism set.
+func (e *Evaluator) Set() MechanismSet { return e.set }

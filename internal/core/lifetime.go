@@ -129,29 +129,59 @@ func (l Lognormal) Quantile(mean, p float64) float64 {
 	return math.Exp(mu + l.Sigma*stats.NormalQuantile(p))
 }
 
-// LifetimeModel assigns a lifetime distribution to each failure mechanism.
+// LifetimeModel assigns a lifetime distribution to each failure
+// mechanism: the paper's four through the fixed Dist array, registry
+// mechanisms beyond them through the name-keyed Extra map, and any
+// mechanism neither covers through Fallback.
 type LifetimeModel struct {
 	Dist [NumMechanisms]Distribution
+	// Extra assigns distributions to registry mechanisms outside the
+	// paper's four, keyed by canonical mechanism name.
+	Extra map[string]Distribution
+	// Fallback covers mechanisms with no explicit assignment (future
+	// registry additions), keeping name resolution total.
+	Fallback Distribution
 }
 
-// SOFRLifetimes returns the SOFR assumption: exponential everywhere.
+// DistFor resolves the distribution for one mechanism by canonical name.
+func (m LifetimeModel) DistFor(name string) Distribution {
+	if slot, ok := LegacySlot(name); ok && m.Dist[slot] != nil {
+		return m.Dist[slot]
+	}
+	if d, ok := m.Extra[name]; ok {
+		return d
+	}
+	return m.Fallback
+}
+
+// SOFRLifetimes returns the SOFR assumption: exponential everywhere
+// (registry mechanisms included, through the fallback).
 func SOFRLifetimes() LifetimeModel {
 	var m LifetimeModel
 	for i := range m.Dist {
 		m.Dist[i] = Exponential{}
 	}
+	m.Fallback = Exponential{}
 	return m
 }
 
 // WearOutLifetimes returns a JEDEC-flavoured wear-out assignment:
-// lognormal EM, Weibull SM and TC (fatigue), and a steep Weibull for TDDB
-// (thin oxides have slopes well above 1 at end of life).
+// lognormal EM, Weibull SM and TC (fatigue), a steep Weibull for TDDB
+// (thin oxides have slopes well above 1 at end of life), and Weibull
+// slopes for the registry mechanisms (β=2 aging for NBTI/HCI and for
+// rainflow-counted cycling fatigue, after SDTA's Weibull β).
 func WearOutLifetimes() LifetimeModel {
 	var m LifetimeModel
 	m.Dist[EM] = Lognormal{Sigma: 0.5}
 	m.Dist[SM] = Weibull{Shape: 2.0}
 	m.Dist[TDDB] = Weibull{Shape: 1.8}
 	m.Dist[TC] = Weibull{Shape: 2.35}
+	m.Extra = map[string]Distribution{
+		MechNBTI:       Weibull{Shape: 2.0},
+		MechHCI:        Weibull{Shape: 2.0},
+		MechTCRainflow: Weibull{Shape: 2.0},
+	}
+	m.Fallback = Weibull{Shape: 2.0}
 	return m
 }
 
@@ -164,10 +194,31 @@ func (m LifetimeModel) Validate() error {
 		if d == nil {
 			return fmt.Errorf("core: no lifetime distribution for %v", Mechanism(i))
 		}
-		if v, ok := d.(interface{ Validate() error }); ok {
-			if err := v.Validate(); err != nil {
-				return fmt.Errorf("core: invalid %s distribution for %v: %w", d.Name(), Mechanism(i), err)
-			}
+		if err := validateDist(d, Mechanism(i).String()); err != nil {
+			return err
+		}
+	}
+	for name, d := range m.Extra {
+		if d == nil {
+			return fmt.Errorf("core: nil lifetime distribution for %s", name)
+		}
+		if err := validateDist(d, name); err != nil {
+			return err
+		}
+	}
+	if m.Fallback != nil {
+		if err := validateDist(m.Fallback, "fallback"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateDist applies a distribution's own Validate when it has one.
+func validateDist(d Distribution, owner string) error {
+	if v, ok := d.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("core: invalid %s distribution for %s: %w", d.Name(), owner, err)
 		}
 	}
 	return nil

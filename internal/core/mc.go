@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"github.com/ramp-sim/ramp/internal/microarch"
 	"github.com/ramp-sim/ramp/internal/phys"
@@ -91,9 +92,10 @@ func (r *ReplicaRand) Seed(root int64, cell, replica uint64) {
 func (r *ReplicaRand) Rand() *rand.Rand { return r.rng }
 
 // samplerCell is one positive-rate (structure, mechanism) entry of a
-// breakdown, with its per-cell mean lifetime in hours.
+// breakdown: its resolved lifetime distribution and per-cell mean
+// lifetime in hours.
 type samplerCell struct {
-	mech      Mechanism
+	dist      Distribution
 	meanHours float64
 }
 
@@ -108,7 +110,10 @@ type LifetimeSampler struct {
 }
 
 // NewLifetimeSampler validates the model and collects the positive-rate
-// cells of b in deterministic (structure, mechanism) order.
+// cells of b in deterministic order: the fixed-slot (structure, mechanism)
+// cells first — preserving the historical draw sequence for the default
+// mechanism set exactly — then any name-keyed Extra cells in sorted
+// mechanism-name, structure order.
 func NewLifetimeSampler(b Breakdown, model LifetimeModel) (*LifetimeSampler, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
@@ -120,7 +125,26 @@ func NewLifetimeSampler(b Breakdown, model LifetimeModel) (*LifetimeSampler, err
 			if fit <= 0 {
 				continue
 			}
-			cells = append(cells, samplerCell{Mechanism(m), phys.MTTFHoursFromFIT(fit)})
+			cells = append(cells, samplerCell{model.Dist[m], phys.MTTFHoursFromFIT(fit)})
+		}
+	}
+	extraNames := make([]string, 0, len(b.Extra))
+	for name := range b.Extra {
+		extraNames = append(extraNames, name)
+	}
+	sort.Strings(extraNames)
+	for _, name := range extraNames {
+		d := model.DistFor(name)
+		if d == nil {
+			return nil, fmt.Errorf("core: no lifetime distribution for mechanism %s (model has no fallback)", name)
+		}
+		arr := b.Extra[name]
+		for s := 0; s < microarch.NumStructures; s++ {
+			fit := arr[s]
+			if fit <= 0 {
+				continue
+			}
+			cells = append(cells, samplerCell{d, phys.MTTFHoursFromFIT(fit)})
 		}
 	}
 	if len(cells) == 0 {
@@ -137,7 +161,7 @@ func (ls *LifetimeSampler) Cells() int { return len(ls.cells) }
 func (ls *LifetimeSampler) Sample(rng *rand.Rand) float64 {
 	minLife := math.Inf(1)
 	for _, c := range ls.cells {
-		l := ls.model.Dist[c.mech].Sample(rng, c.meanHours)
+		l := c.dist.Sample(rng, c.meanHours)
 		if l < minLife {
 			minLife = l
 		}

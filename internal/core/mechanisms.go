@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/ramp-sim/ramp/internal/cycles"
 	"github.com/ramp-sim/ramp/internal/phys"
 	"github.com/ramp-sim/ramp/internal/scaling"
 )
@@ -118,12 +119,122 @@ type TCParams struct {
 	AmbientK float64
 }
 
-// Params bundles all mechanism constants.
+// NBTIParams holds the negative-bias temperature instability constants:
+// the RAMP-style four-constant temperature term with a time-slope
+// exponent, plus an oxide-field acceleration and an activity-recovery
+// weight. NBTI postdates the paper (§2 models only EM/SM/TDDB/TC); the
+// model is selectable through the mechanism registry.
+type NBTIParams struct {
+	// A, B, C, D are the fitting constants of the RAMP NBTI temperature
+	// term MTTF ∝ [(ln(A/(1+2e^{B/kT})) − ln(A/(1+2e^{B/kT}) − C)) ·
+	// T/e^{D/kT}]^{1/β}.
+	A, B, C, D float64
+	// Beta is the time-slope exponent β of the degradation power law.
+	Beta float64
+	// FieldExponent is the oxide-field acceleration exponent: rate scales
+	// by ((V/tox)/(V_base/tox_base))^FieldExponent across technologies —
+	// thinner oxides at comparable voltage stress the PMOS gate harder.
+	FieldExponent float64
+	// RecoveryWeight weights dynamic-recovery relief: the stress duty
+	// factor is 1 − RecoveryWeight·AF (NBTI stresses a PMOS while its
+	// gate is low; switching activity interleaves recovery phases).
+	RecoveryWeight float64
+}
+
+// DefaultNBTIParams returns the RAMP-project NBTI fitting constants with
+// a γ=6 field acceleration.
+func DefaultNBTIParams() NBTIParams {
+	return NBTIParams{
+		A: 1.6328, B: 0.07377, C: 0.01, D: -0.06852,
+		Beta:           0.3,
+		FieldExponent:  6,
+		RecoveryWeight: 0.5,
+	}
+}
+
+// HCIParams holds the hot-carrier injection constants.
+type HCIParams struct {
+	// ActivationEnergyEV is the apparent activation energy; classic HCI
+	// is worse at low temperature (impact ionisation), so the default is
+	// negative.
+	ActivationEnergyEV float64
+	// FieldExponent is the lateral-field acceleration exponent: rate
+	// scales by ((V/L)/(V_base/L_base))^FieldExponent across technologies
+	// — channel length shrinks faster than supply voltage, so hot-carrier
+	// stress grows with scaling.
+	FieldExponent float64
+}
+
+// DefaultHCIParams returns the hot-carrier defaults.
+func DefaultHCIParams() HCIParams {
+	return HCIParams{ActivationEnergyEV: -0.15, FieldExponent: 3}
+}
+
+// TCRainflowParams holds the rainflow-counted thermal-cycling constants:
+// Coffin-Manson with an Arrhenius term per counted cycle, after the SDTA
+// Lifetime model — Ntc = Atc·(ΔT)^(−q)·e^{Eatc/(k·Tmax)} cycles to
+// failure (Atc is absorbed by the qualification calibration).
+type TCRainflowParams struct {
+	// Q is the Coffin-Manson exponent; 6–9 for brittle fracture (the
+	// paper's package TC model uses 2.35 for ductile solder).
+	Q float64
+	// ActivationEnergyEV is the Arrhenius activation energy Eatc
+	// (typically 0.3–1.5 eV).
+	ActivationEnergyEV float64
+	// MinRangeK is the peak-detection threshold: cycles with a smaller
+	// swing are ignored. The default is 0 — count everything — because
+	// the §4.4 qualification rescales the mechanism to the FIT budget, so
+	// sub-Kelvin die-average swings (all a steady workload produces) must
+	// still register damage; raise it (SDTA uses 2K) to ablate
+	// elastic-only cycles away.
+	MinRangeK float64
+}
+
+// DefaultTCRainflowParams returns the SDTA-flavoured exponents with no
+// cycle-range floor (see MinRangeK).
+func DefaultTCRainflowParams() TCRainflowParams {
+	return TCRainflowParams{Q: 6, ActivationEnergyEV: 0.7}
+}
+
+// Params bundles all mechanism constants. The paper's four are value
+// fields; constants of registry mechanisms outside the default set are
+// optional pointers with omitempty so a configuration that never names
+// them marshals — and therefore content-addresses — byte-identically to
+// releases that predate them. Use the *OrDefault accessors to read them.
 type Params struct {
 	EM   EMParams
 	SM   SMParams
 	TDDB TDDBParams
 	TC   TCParams
+
+	NBTI       *NBTIParams       `json:"NBTI,omitempty"`
+	HCI        *HCIParams        `json:"HCI,omitempty"`
+	TCRainflow *TCRainflowParams `json:"TCRainflow,omitempty"`
+}
+
+// NBTIOrDefault returns the NBTI constants, falling back to the defaults
+// when the optional override is absent.
+func (p Params) NBTIOrDefault() NBTIParams {
+	if p.NBTI != nil {
+		return *p.NBTI
+	}
+	return DefaultNBTIParams()
+}
+
+// HCIOrDefault returns the HCI constants or their defaults.
+func (p Params) HCIOrDefault() HCIParams {
+	if p.HCI != nil {
+		return *p.HCI
+	}
+	return DefaultHCIParams()
+}
+
+// TCRainflowOrDefault returns the rainflow-TC constants or their defaults.
+func (p Params) TCRainflowOrDefault() TCRainflowParams {
+	if p.TCRainflow != nil {
+		return *p.TCRainflow
+	}
+	return DefaultTCRainflowParams()
 }
 
 // DefaultParams returns the RAMP constants used throughout the paper.
@@ -173,6 +284,22 @@ func (p Params) Validate() error {
 	}
 	if p.TC.Q <= 0 || p.TC.AmbientK <= 0 {
 		return fmt.Errorf("core: invalid TC params %+v", p.TC)
+	}
+	if n := p.NBTI; n != nil {
+		if n.A <= 0 || n.Beta <= 0 || n.FieldExponent < 0 ||
+			n.RecoveryWeight < 0 || n.RecoveryWeight > 1 {
+			return fmt.Errorf("core: invalid NBTI params %+v", *n)
+		}
+	}
+	if h := p.HCI; h != nil {
+		if h.FieldExponent < 0 || math.IsNaN(h.ActivationEnergyEV) {
+			return fmt.Errorf("core: invalid HCI params %+v", *h)
+		}
+	}
+	if r := p.TCRainflow; r != nil {
+		if r.Q <= 0 || r.MinRangeK < 0 || math.IsNaN(r.ActivationEnergyEV) {
+			return fmt.Errorf("core: invalid TCRainflow params %+v", *r)
+		}
 	}
 	return nil
 }
@@ -247,4 +374,84 @@ func (p Params) TCRate(dieAvgK float64) float64 {
 		return 0
 	}
 	return math.Pow(dT, p.TC.Q)
+}
+
+// NBTIRate returns the negative-bias temperature instability failure rate
+// (up to calibration) of a structure at temperature tK and supply vddV on
+// technology tech: the inverse of the RAMP NBTI MTTF term, accelerated by
+// the oxide field relative to the 180nm base and relieved by dynamic
+// recovery in proportion to the activity factor.
+func (p Params) NBTIRate(af, tK, vddV float64, tech scaling.Technology) float64 {
+	if tK <= 0 || vddV <= 0 {
+		return 0
+	}
+	np := p.NBTIOrDefault()
+	kT := phys.BoltzmannEV * tK
+	inner := np.A / (1 + 2*math.Exp(np.B/kT))
+	if inner <= np.C {
+		return 0 // below the fit's validity range (sub-200K)
+	}
+	term := (math.Log(inner) - math.Log(inner-np.C)) * (tK / math.Exp(np.D/kT))
+	if term <= 0 {
+		return 0
+	}
+	rate := math.Pow(term, -1/np.Beta)
+	base := scaling.Base()
+	field := (vddV / tech.ToxNm) / (base.VddV / base.ToxNm)
+	rate *= math.Pow(field, np.FieldExponent)
+	if af < 0 {
+		af = 0
+	} else if af > 1 {
+		af = 1
+	}
+	return rate * (1 - np.RecoveryWeight*af)
+}
+
+// HCIRate returns the hot-carrier injection failure rate (up to
+// calibration) of a structure with activity factor af at temperature tK
+// and supply vddV on technology tech: switching-driven (∝ af), with
+// lateral-field acceleration relative to the 180nm base and an Arrhenius
+// term whose default activation energy is negative (HCI is classically
+// worse at low temperature).
+func (p Params) HCIRate(af, tK, vddV float64, tech scaling.Technology) float64 {
+	if tK <= 0 || vddV <= 0 || af <= 0 {
+		return 0
+	}
+	hp := p.HCIOrDefault()
+	base := scaling.Base()
+	field := (vddV / float64(tech.FeatureNm)) / (base.VddV / float64(base.FeatureNm))
+	return af * math.Pow(field, hp.FieldExponent) *
+		math.Exp(-hp.ActivationEnergyEV/(phys.BoltzmannEV*tK))
+}
+
+// TCRainflowRate returns the rainflow-counted thermal-cycling failure
+// rate (up to calibration) over a whole thermal series: rainflow cycle
+// counting (ASTM E1049, internal/cycles) over the die-average temperature
+// trace, each counted cycle contributing Coffin-Manson-with-Arrhenius
+// damage 1/Ntc, Ntc = Atc·(ΔT)^{−q}·e^{Eatc/(k·Tmax)} — per second of
+// simulated time. The rate is constant over the run by construction, so
+// its time average is exact.
+func (p Params) TCRainflowRate(dieAvgTempK, durUS []float64) float64 {
+	rp := p.TCRainflowOrDefault()
+	var durS float64
+	for _, d := range durUS {
+		durS += d
+	}
+	durS *= 1e-6
+	if durS <= 0 {
+		return 0
+	}
+	var damage float64
+	for _, c := range cycles.Rainflow(dieAvgTempK) {
+		if c.RangeK < rp.MinRangeK {
+			continue
+		}
+		tmax := c.MeanK + c.RangeK/2
+		if tmax <= 0 {
+			continue
+		}
+		damage += c.Count * math.Pow(c.RangeK, rp.Q) *
+			math.Exp(-rp.ActivationEnergyEV/(phys.BoltzmannEV*tmax))
+	}
+	return damage / durS
 }

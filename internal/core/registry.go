@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+)
+
+// This file is the pluggable mechanism registry: the paper's four failure
+// models and any post-2004 additions live behind one interface, registered
+// by canonical name and resolved into a MechanismSet per study request.
+// The fixed [NumMechanisms] arrays remain the storage for the paper's
+// four (so every existing artifact, cache key, and golden number is
+// preserved bit-for-bit); mechanisms outside that set land in the
+// name-keyed Extra maps of Breakdown and Constants.
+
+// MechanismScope says how a mechanism's rate maps onto structures.
+type MechanismScope int
+
+const (
+	// ScopeStructure mechanisms have a per-structure rate driven by that
+	// structure's activity and temperature (EM, SM, TDDB, NBTI, HCI).
+	ScopeStructure MechanismScope = iota
+	// ScopePackage mechanisms have a single die-level rate (driven by the
+	// area-weighted average die temperature) that is distributed across
+	// structures by area fraction so both views sum to the same SOFR
+	// total (TC, tc-rainflow).
+	ScopePackage
+)
+
+// String names the scope for discovery endpoints.
+func (s MechanismScope) String() string {
+	if s == ScopePackage {
+		return "package"
+	}
+	return "structure"
+}
+
+// Sample is one per-µs operating-point observation, the input of an
+// instantaneous mechanism rate. Structure-scope mechanisms read AF and
+// TempK (their structure's values); package-scope mechanisms read
+// DieAvgTempK; either may read VddV.
+type Sample struct {
+	// AF is the structure's activity factor in [0, 1].
+	AF float64
+	// TempK is the structure temperature.
+	TempK float64
+	// VddV is the instantaneous supply voltage.
+	VddV float64
+	// DieAvgTempK is the area-weighted average die temperature.
+	DieAvgTempK float64
+}
+
+// MechanismModel is one pluggable failure mechanism: a raw (uncalibrated)
+// instantaneous failure rate as a function of the per-µs sample, with the
+// technology point supplying the scaling hooks (§3) and Params the
+// tunable constants. Rates are relative — the reliability-qualification
+// calibration (§4.4) anchors each registered mechanism to absolute FITs,
+// exactly as it does the paper's four.
+//
+// Implementations must be stateless and safe for concurrent use: one
+// model instance serves every evaluator in the process.
+type MechanismModel interface {
+	// Name returns the canonical (lower-case) registry name.
+	Name() string
+	// Description is a one-line summary for discovery endpoints.
+	Description() string
+	// ParamsDescription documents the tunable constants and their
+	// defaults for discovery endpoints.
+	ParamsDescription() string
+	// Scope says whether Rate is per structure or per package.
+	Scope() MechanismScope
+	// Rate returns the raw instantaneous failure rate at one sample.
+	// Mechanisms defined only over a whole series (SeriesMechanism)
+	// return 0 here and are excluded from instantaneous analyses such as
+	// the §5.2 worst case.
+	Rate(s Sample, p Params, tech scaling.Technology) float64
+}
+
+// SeriesMechanism is implemented by mechanisms whose rate is defined over
+// the whole thermal series rather than one sample — e.g. rainflow-counted
+// thermal cycling, which needs every peak and valley of the run.
+// SeriesRate returns the raw failure rate, constant over the run, from
+// the interval die-average temperatures and durations; the time average
+// of a constant is exact, so the reliability stage folds it straight into
+// the run's averaged breakdown.
+type SeriesMechanism interface {
+	MechanismModel
+	SeriesRate(dieAvgTempK, durUS []float64, p Params) float64
+}
+
+// MechanismInfo describes one registered mechanism for the discovery API.
+type MechanismInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Params      string `json:"params"`
+	Scope       string `json:"scope"`
+	// Series is true for mechanisms evaluated over the whole thermal
+	// series (excluded from instantaneous worst-case analysis).
+	Series bool `json:"series"`
+	// Default is true for the paper's four, evaluated when a request
+	// names no mechanism set.
+	Default bool `json:"default"`
+}
+
+// registry is the process-wide name → model table. Reads (per-request set
+// resolution) vastly outnumber writes (init-time registration), so an
+// RWMutex keeps concurrent resolution contention-free.
+var registry = struct {
+	sync.RWMutex
+	models map[string]MechanismModel
+}{models: make(map[string]MechanismModel)}
+
+// RegisterMechanism adds a model under its canonical name. Registering a
+// name twice is an error: silently replacing a model would change
+// numbers behind the content-addressed keys.
+func RegisterMechanism(m MechanismModel) error {
+	name := m.Name()
+	if name != strings.ToLower(name) || name == "" {
+		return fmt.Errorf("core: mechanism name %q must be non-empty lower-case", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.models[name]; ok {
+		return fmt.Errorf("core: mechanism %q already registered", name)
+	}
+	registry.models[name] = m
+	return nil
+}
+
+// mustRegister is RegisterMechanism for the built-ins.
+func mustRegister(m MechanismModel) {
+	if err := RegisterMechanism(m); err != nil {
+		panic(err)
+	}
+}
+
+// MechanismByName resolves one canonical or aliased name.
+func MechanismByName(name string) (MechanismModel, error) {
+	canon, err := canonicalName(name)
+	if err != nil {
+		return nil, err
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	return registry.models[canon], nil
+}
+
+// RegisteredMechanisms returns discovery metadata for every registered
+// mechanism, sorted by name.
+func RegisteredMechanisms() []MechanismInfo {
+	registry.RLock()
+	names := make([]string, 0, len(registry.models))
+	for n := range registry.models {
+		names = append(names, n)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	out := make([]MechanismInfo, 0, len(names))
+	for _, n := range names {
+		registry.RLock()
+		m := registry.models[n]
+		registry.RUnlock()
+		_, series := m.(SeriesMechanism)
+		_, def := legacySlots[n]
+		out = append(out, MechanismInfo{
+			Name:        n,
+			Description: m.Description(),
+			Params:      m.ParamsDescription(),
+			Scope:       m.Scope().String(),
+			Series:      series,
+			Default:     def,
+		})
+	}
+	return out
+}
+
+// Canonical names of the built-in mechanisms. The paper's four keep their
+// fixed Breakdown slots; the post-2004 additions live in the Extra maps.
+const (
+	MechEM         = "em"
+	MechSM         = "sm"
+	MechTDDB       = "tddb"
+	MechTC         = "tc"
+	MechNBTI       = "nbti"
+	MechHCI        = "hci"
+	MechTCRainflow = "tc-rainflow"
+)
+
+// legacySlots maps canonical names of the paper's four onto their fixed
+// Breakdown array indices.
+var legacySlots = map[string]Mechanism{
+	MechEM:   EM,
+	MechSM:   SM,
+	MechTDDB: TDDB,
+	MechTC:   TC,
+}
+
+// LegacySlot returns the fixed Breakdown array index of one of the
+// paper's four mechanisms, or false for name-keyed (Extra) mechanisms.
+func LegacySlot(name string) (Mechanism, bool) {
+	m, ok := legacySlots[name]
+	return m, ok
+}
+
+// aliases maps accepted spellings onto canonical names (after
+// lower-casing).
+var aliases = map[string]string{
+	"rainflow":    MechTCRainflow,
+	"tc_rainflow": MechTCRainflow,
+	"tcrainflow":  MechTCRainflow,
+}
+
+// canonicalName lower-cases and de-aliases one mechanism name.
+func canonicalName(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if a, ok := aliases[n]; ok {
+		n = a
+	}
+	if n == "" {
+		return "", fmt.Errorf("core: empty mechanism name")
+	}
+	return n, nil
+}
+
+// DefaultMechanismNames returns the canonical names of the paper's four
+// mechanisms in sorted order — the set evaluated when a request names
+// none.
+func DefaultMechanismNames() []string {
+	return []string{MechEM, MechSM, MechTC, MechTDDB}
+}
+
+// CanonicalMechanismNames resolves aliases, lower-cases, sorts, and
+// de-duplicates a mechanism-name list, returning nil when the result is
+// the default set (or the input is empty). The nil-for-default rule is
+// what keeps content-addressed keys of unspecified requests byte-identical
+// to releases that predate mechanism selection, and the sort makes
+// differently-ordered spellings of one set hash identically. Unknown
+// names are rejected here so a typo fails before any simulation work.
+func CanonicalMechanismNames(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	seen := make(map[string]bool, len(names))
+	out := make([]string, 0, len(names))
+	registry.RLock()
+	defer registry.RUnlock()
+	for _, raw := range names {
+		n, err := canonicalName(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := registry.models[n]; !ok {
+			return nil, fmt.Errorf("core: unknown mechanism %q", raw)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	if isDefaultNames(out) {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// isDefaultNames reports whether a sorted, de-duplicated name list equals
+// the default set.
+func isDefaultNames(sorted []string) bool {
+	def := DefaultMechanismNames()
+	if len(sorted) != len(def) {
+		return false
+	}
+	for i := range def {
+		if sorted[i] != def[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// setEntry is one resolved member of a MechanismSet: the model plus its
+// fixed Breakdown slot (−1 for name-keyed Extra mechanisms).
+type setEntry struct {
+	model MechanismModel
+	slot  int
+}
+
+// MechanismSet is an ordered, resolved selection of failure mechanisms —
+// the unit the evaluator, qualification, and lifetime models operate
+// over. Resolve it once per study from the canonical name list; the zero
+// value is invalid (use DefaultMechanismSet).
+type MechanismSet struct {
+	entries []setEntry
+	names   []string
+	series  []SeriesMechanism
+}
+
+// ResolveMechanismSet resolves a name list against the registry. A nil or
+// empty list resolves to the paper's four. The evaluation order is the
+// canonical (sorted) name order; per-mechanism rates are independent, so
+// order never affects numbers, only deterministic iteration.
+func ResolveMechanismSet(names []string) (MechanismSet, error) {
+	canon, err := CanonicalMechanismNames(names)
+	if err != nil {
+		return MechanismSet{}, err
+	}
+	if canon == nil {
+		canon = DefaultMechanismNames()
+	}
+	set := MechanismSet{
+		entries: make([]setEntry, 0, len(canon)),
+		names:   canon,
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	for _, n := range canon {
+		m, ok := registry.models[n]
+		if !ok {
+			return MechanismSet{}, fmt.Errorf("core: unknown mechanism %q", n)
+		}
+		slot := -1
+		if s, ok := legacySlots[n]; ok {
+			slot = int(s)
+		}
+		set.entries = append(set.entries, setEntry{model: m, slot: slot})
+		if sm, ok := m.(SeriesMechanism); ok {
+			set.series = append(set.series, sm)
+		}
+	}
+	return set, nil
+}
+
+// DefaultMechanismSet returns the paper's four mechanisms resolved.
+func DefaultMechanismSet() MechanismSet {
+	set, err := ResolveMechanismSet(nil)
+	if err != nil {
+		panic(err) // built-ins are always registered
+	}
+	return set
+}
+
+// Names returns the canonical names in evaluation order. The returned
+// slice is shared; callers must not mutate it.
+func (s MechanismSet) Names() []string { return s.names }
+
+// IsDefault reports whether the set is exactly the paper's four.
+func (s MechanismSet) IsDefault() bool { return isDefaultNames(s.names) }
+
+// Series returns the members that need whole-series evaluation.
+func (s MechanismSet) Series() []SeriesMechanism { return s.series }
+
+// Contains reports membership by canonical name.
+func (s MechanismSet) Contains(name string) bool {
+	for _, n := range s.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/microarch"
 	"github.com/ramp-sim/ramp/internal/scaling"
 	"github.com/ramp-sim/ramp/internal/sim"
@@ -30,6 +31,10 @@ type Spec struct {
 	Techs []string `json:"techs,omitempty"`
 	// Instructions is the per-application trace length (default 2M).
 	Instructions int64 `json:"instructions,omitempty"`
+	// Mechanisms selects the failure mechanisms by registry name; empty
+	// means the paper's four (em, sm, tc, tddb). Names are canonicalised
+	// on resolve, so aliases and ordering do not affect cache keys.
+	Mechanisms []string `json:"mechanisms,omitempty"`
 	// Overrides tweak the model (ablation knobs).
 	Overrides *Overrides `json:"overrides,omitempty"`
 }
@@ -99,6 +104,9 @@ func (s Spec) Validate() error {
 	if s.Instructions < 0 {
 		return fmt.Errorf("scenario %q: negative instruction count", s.Name)
 	}
+	if _, err := core.CanonicalMechanismNames(s.Mechanisms); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
 	if o := s.Overrides; o != nil {
 		check := func(name string, v *float64, min, max float64) error {
 			if v != nil && (*v < min || *v > max) {
@@ -137,6 +145,13 @@ func (s Spec) Resolve(base sim.Config) (sim.Config, []workload.Profile, []scalin
 	cfg := base
 	if s.Instructions > 0 {
 		cfg.Instructions = s.Instructions
+	}
+	if len(s.Mechanisms) > 0 {
+		canon, err := core.CanonicalMechanismNames(s.Mechanisms)
+		if err != nil {
+			return sim.Config{}, nil, nil, err
+		}
+		cfg.Mechanisms = canon
 	}
 	if o := s.Overrides; o != nil {
 		if o.EMGeomExponent != nil {

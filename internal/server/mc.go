@@ -89,7 +89,7 @@ const mcEventBuffer = 1024
 
 // parseMCStudyRequest accepts POST application/json bodies and GET query
 // parameters (?apps=a,b&techs=x&samples=n&model=m&percentiles=5,50,95&
-// ci=0.95&seed=n&batch=n&instructions=n&fidelity=m).
+// ci=0.95&seed=n&batch=n&instructions=n&fidelity=m&mechanisms=em,nbti).
 func parseMCStudyRequest(r *http.Request) (MCStudyRequest, error) {
 	var req MCStudyRequest
 	switch r.Method {
@@ -104,6 +104,7 @@ func parseMCStudyRequest(r *http.Request) (MCStudyRequest, error) {
 		req.Apps = splitList(q.Get("apps"))
 		req.Techs = splitList(q.Get("techs"))
 		req.Fidelity = strings.TrimSpace(q.Get("fidelity"))
+		req.Mechanisms = splitList(q.Get("mechanisms"))
 		if v := q.Get("instructions"); v != "" {
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {

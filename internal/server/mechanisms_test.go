@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/scaling"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+// TestMechanismsDiscoveryEndpoint: GET /v1/mechanisms lists every
+// registered mechanism with its documentation and flags the paper's four
+// as the default — the wire contract clients use to build selection UIs.
+func TestMechanismsDiscoveryEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/mechanisms", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/mechanisms = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	var resp MechanismsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", resp.SchemaVersion, SchemaVersion)
+	}
+	if !slices.Equal(resp.Default, []string{"em", "sm", "tc", "tddb"}) {
+		t.Errorf("default = %v, want the paper's four", resp.Default)
+	}
+	if len(resp.Mechanisms) < 7 {
+		t.Fatalf("listed %d mechanisms, want >= 7", len(resp.Mechanisms))
+	}
+	defaults := 0
+	for _, m := range resp.Mechanisms {
+		if m.Name == "" || m.Description == "" || m.Params == "" || m.Scope == "" {
+			t.Errorf("mechanism %+v missing documentation fields", m)
+		}
+		if m.Default {
+			defaults++
+		}
+	}
+	if defaults != 4 {
+		t.Errorf("%d mechanisms flagged default, want 4", defaults)
+	}
+}
+
+// TestMechanismsEndpointMethodNotAllowed: the discovery endpoint is
+// read-only and rejects writes with the standard error envelope.
+func TestMechanismsEndpointMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/mechanisms", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/mechanisms = %d, want 405", rec.Code)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeMethodNotAllowed {
+		t.Errorf("error code = %q, want %q", env.Error.Code, CodeMethodNotAllowed)
+	}
+}
+
+// TestStudyRequestMechanismSelection: the mechanisms query parameter flows
+// canonicalised into the study configuration — and any spelling of the
+// default four resolves to the nil wire form, so those requests share the
+// pre-registry cache entries.
+func TestStudyRequestMechanismSelection(t *testing.T) {
+	s := newTestServer(t, nil)
+	var captured []string
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		captured = cfg.Mechanisms
+		return stubResult(cfg, techs), nil
+	}
+	// Distinct apps per case: a re-spelled default set shares the cache key
+	// with its unspelled twin (tested separately below), which would
+	// short-circuit the stub here.
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"/v1/study?apps=gzip&techs=180nm", nil},
+		{"/v1/study?apps=ammp&techs=180nm&mechanisms=TDDB,tc,SM,em", nil},
+		{"/v1/study?apps=crafty&techs=180nm&mechanisms=EM,nbti", []string{"em", "nbti"}},
+		{"/v1/study?apps=mesa&techs=180nm&mechanisms=hci,rainflow,em,sm,tc,tddb",
+			[]string{"em", "hci", "sm", "tc", "tc-rainflow", "tddb"}},
+	}
+	for _, c := range cases {
+		captured = []string{"sentinel"}
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, c.query, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", c.query, rec.Code, rec.Body.String())
+		}
+		if !slices.Equal(captured, c.want) {
+			t.Errorf("%s: cfg.Mechanisms = %v, want %v", c.query, captured, c.want)
+		}
+	}
+}
+
+// TestStudyRequestUnknownMechanismRejected: unregistered names fail fast
+// with bad_request before any simulation is scheduled.
+func TestStudyRequestUnknownMechanismRejected(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		t.Error("simulation ran despite an invalid mechanism name")
+		return stubResult(cfg, techs), nil
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/v1/study?apps=gzip&mechanisms=em,gamma-ray", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeBadRequest {
+		t.Errorf("error code = %q, want %q", env.Error.Code, CodeBadRequest)
+	}
+}
+
+// TestStudyCacheKeyedByMechanismSet: requests that differ only in the
+// mechanism selection must not cross-serve each other's cached results,
+// while a re-spelled default set must hit the default entry.
+func TestStudyCacheKeyedByMechanismSet(t *testing.T) {
+	s := newTestServer(t, nil)
+	var calls int
+	s.runStudy = func(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
+		techs []scaling.Technology, opts sim.StudyOptions) (*sim.StudyResult, error) {
+		calls++
+		return stubResult(cfg, techs), nil
+	}
+	hit := func(target string) StudyMeta {
+		t.Helper()
+		rec, body := get(t, s, target)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", target, rec.Code, rec.Body.String())
+		}
+		return meta(t, body)
+	}
+	hit("/v1/study?apps=gzip&techs=180nm")
+	if m := hit("/v1/study?apps=gzip&techs=180nm&mechanisms=em,sm,tc,tddb"); m.Cache != "hit" {
+		t.Error("explicit default spelling missed the default-set cache entry")
+	}
+	if m := hit("/v1/study?apps=gzip&techs=180nm&mechanisms=em,sm,tc,tddb,nbti"); m.Cache == "hit" {
+		t.Error("extended set served from the default set's cache entry")
+	}
+	if calls != 2 {
+		t.Errorf("%d simulations ran, want 2 (default once, nbti-extended once)", calls)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/jobs"
 	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/report"
@@ -337,6 +338,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/study/trace", s.instrument("/v1/study/trace", s.handleStudyTrace))
 	s.mux.Handle("/v1/mttf", s.instrument("/v1/mttf", s.handleMTTF))
 	s.mux.Handle("/v1/profiles", s.instrument("/v1/profiles", s.handleProfiles))
+	s.mux.Handle("/v1/mechanisms", s.instrument("/v1/mechanisms", s.handleMechanisms))
 	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	s.mux.Handle("/v1/batch/", s.instrument("/v1/batch/", s.handleBatchSub))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
@@ -457,6 +459,13 @@ type StudyRequest struct {
 	// request's cache key and every stage key below it, so responses at
 	// different fidelities never cross-serve.
 	Fidelity string `json:"fidelity,omitempty"`
+	// Mechanisms lists the failure mechanisms to evaluate, by registry
+	// name (GET /v1/mechanisms enumerates them); empty means the paper's
+	// four (em/sm/tc/tddb). The canonicalised list participates in the
+	// request's cache key and the reliability-stage key below it — but not
+	// the timing/thermal keys, so different selections share thermal
+	// artifacts.
+	Mechanisms []string `json:"mechanisms,omitempty"`
 }
 
 // StudyMeta describes how a response was produced.
@@ -546,6 +555,33 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// MechanismsResponse is the /v1/mechanisms payload: discovery metadata
+// for every registered failure mechanism, sorted by name. (Additive
+// endpoint, same schema version.)
+type MechanismsResponse struct {
+	SchemaVersion int                  `json:"schema_version"`
+	Mechanisms    []core.MechanismInfo `json:"mechanisms"`
+	// Default lists the canonical names evaluated when a request names no
+	// mechanisms — the paper's four.
+	Default []string `json:"default"`
+}
+
+// handleMechanisms lists the registered failure mechanisms: names,
+// descriptions, tunable parameters, evaluation scope, and default-set
+// membership — everything a client needs to build a StudyRequest
+// mechanism selection.
+func (s *Server) handleMechanisms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, MechanismsResponse{
+		SchemaVersion: SchemaVersion,
+		Mechanisms:    core.RegisteredMechanisms(),
+		Default:       core.DefaultMechanismNames(),
+	})
 }
 
 // healthStatus is the /healthz and /readyz payload.
@@ -657,6 +693,7 @@ func parseStudyRequest(r *http.Request) (StudyRequest, error) {
 		req.Apps = splitList(q.Get("apps"))
 		req.Techs = splitList(q.Get("techs"))
 		req.Fidelity = strings.TrimSpace(q.Get("fidelity"))
+		req.Mechanisms = splitList(q.Get("mechanisms"))
 		if v := q.Get("instructions"); v != "" {
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
@@ -710,6 +747,17 @@ func (s *Server) resolve(req StudyRequest) (sim.Config, []workload.Profile, []sc
 			return cfg, nil, nil, err
 		}
 		cfg.Fidelity = fd
+	}
+
+	// Canonicalise the mechanism selection up front: unknown names fail
+	// here with 400 before any simulation work, and the canonical list
+	// (nil for the default set) is what every key derivation hashes.
+	if len(req.Mechanisms) > 0 {
+		canon, err := core.CanonicalMechanismNames(req.Mechanisms)
+		if err != nil {
+			return cfg, nil, nil, err
+		}
+		cfg.Mechanisms = canon
 	}
 
 	profiles, err := s.registry.Resolve(req.Apps)

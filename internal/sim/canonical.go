@@ -57,9 +57,28 @@ type studyRequest struct {
 // technology nodes). Identical inputs always map to the same key across
 // processes and releases that keep the field set unchanged; any change to
 // an input — an instruction budget, a profile parameter, a technology
-// point — changes the key.
+// point — changes the key. The mechanism list is canonicalised first, so
+// every spelling of one set (any order, any alias, the default four
+// written out or omitted) hashes identically.
 func StudyKey(cfg Config, profiles []workload.Profile, techs []scaling.Technology) (string, error) {
+	cfg, err := canonicalizeConfigMechanisms(cfg)
+	if err != nil {
+		return "", err
+	}
 	return hashKey(studyRequest{Config: cfg, Profiles: profiles, Techs: techs})
+}
+
+// canonicalizeConfigMechanisms normalises Config.Mechanisms for hashing:
+// canonical names, sorted and de-duplicated, nil for the default set.
+// Every key derivation that hashes a Config (or its mechanism list) goes
+// through this, which is what makes keys order- and alias-insensitive.
+func canonicalizeConfigMechanisms(cfg Config) (Config, error) {
+	canon, err := core.CanonicalMechanismNames(cfg.Mechanisms)
+	if err != nil {
+		return Config{}, fmt.Errorf("sim: %w", err)
+	}
+	cfg.Mechanisms = canon
+	return cfg, nil
 }
 
 // hashKey is the shared canonical-JSON → hex SHA-256 key derivation.
@@ -145,14 +164,36 @@ func ThermalKey(cfg Config, prof workload.Profile, tech scaling.Technology) (str
 }
 
 // fitStageInputs are the fields the reliability stage reads on top of the
-// thermal artifact: the RAMP failure-model constants and the
-// thermal-trace recording policy (it changes the assembled AppRun).
-// QualFITPerMechanism does not appear — qualification scales raw FIT at
-// study assembly and never reaches the per-cell artifacts.
+// thermal artifact: the RAMP failure-model constants, the mechanism
+// selection, and the thermal-trace recording policy (it changes the
+// assembled AppRun). QualFITPerMechanism does not appear — qualification
+// scales raw FIT at study assembly and never reaches the per-cell
+// artifacts. Mechanisms is the canonicalised list, omitted for the
+// default set so pre-registry FIT keys stay valid; it appears here and
+// not in the timing/thermal inputs because only the reliability stage
+// reads it — thermal artifacts are shared across mechanism selections,
+// which is what makes mechanism ablations nearly free on a warm cache.
 type fitStageInputs struct {
 	ThermalKey  string      `json:"thermal_key"`
 	RAMP        core.Params `json:"ramp"`
 	RecordTrace bool        `json:"record_thermal_trace"`
+	Mechanisms  []string    `json:"mechanisms,omitempty"`
+}
+
+// fitInputsFor assembles the reliability-stage key inputs for a config,
+// canonicalising the mechanism list. Shared by FITKey and cellKeys so the
+// two derivations cannot drift.
+func fitInputsFor(cfg Config, thermalKey string) (fitStageInputs, error) {
+	canon, err := core.CanonicalMechanismNames(cfg.Mechanisms)
+	if err != nil {
+		return fitStageInputs{}, fmt.Errorf("sim: %w", err)
+	}
+	return fitStageInputs{
+		ThermalKey:  thermalKey,
+		RAMP:        cfg.RAMP,
+		RecordTrace: cfg.RecordThermalTrace,
+		Mechanisms:  canon,
+	}, nil
 }
 
 // FITKey returns the content-addressed key of the reliability stage for
@@ -162,9 +203,9 @@ func FITKey(cfg Config, prof workload.Profile, tech scaling.Technology) (string,
 	if err != nil {
 		return "", err
 	}
-	return hashKey(fitStageInputs{
-		ThermalKey:  tk,
-		RAMP:        cfg.RAMP,
-		RecordTrace: cfg.RecordThermalTrace,
-	})
+	in, err := fitInputsFor(cfg, tk)
+	if err != nil {
+		return "", err
+	}
+	return hashKey(in)
 }

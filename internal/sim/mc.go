@@ -222,9 +222,14 @@ type mcStudyRequest struct {
 
 // MCStudyKey returns a stable content-addressed key for a Monte Carlo
 // study request: the hex SHA-256 over the canonical JSON of the study
-// identity and the normalized MC config. Alias model names and permuted
-// percentile lists hash identically.
+// identity and the normalized MC config. Alias model names, permuted
+// percentile lists, and permuted or aliased mechanism lists hash
+// identically.
 func MCStudyKey(cfg Config, mcfg MCConfig, profiles []workload.Profile, techs []scaling.Technology) (string, error) {
+	cfg, err := canonicalizeConfigMechanisms(cfg)
+	if err != nil {
+		return "", err
+	}
 	return hashKey(mcStudyRequest{
 		Study: studyRequest{Config: cfg, Profiles: profiles, Techs: techs},
 		MC:    mcfg.Normalized(),

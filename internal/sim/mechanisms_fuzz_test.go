@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"github.com/ramp-sim/ramp/internal/core"
+)
+
+// FuzzMechanismsCanonical drives arbitrary pairs of comma-separated
+// mechanism spellings through canonicalization and the reliability-stage
+// key derivation, and checks the two invariants the cache rests on:
+//
+//  1. Spellings of the SAME set — any order, case, aliasing, duplication —
+//     hash to the SAME stage key (no cold cache for a cosmetic change).
+//  2. Spellings of DIFFERENT sets NEVER share a stage key (no cross-served
+//     results between physics selections).
+//
+// Canonicalization must also be idempotent and must map the default four
+// (in any spelling) to nil, the pre-registry wire form.
+func FuzzMechanismsCanonical(f *testing.F) {
+	f.Add("em,sm,tc,tddb", "TDDB,sm,em,tc")
+	f.Add("", "em,sm,tc,tddb")
+	f.Add("em,sm,tc,tddb,nbti", "nbti,em,sm,tc,tddb")
+	f.Add("em,nbti,hci", "em,hci")
+	f.Add("tc-rainflow", "tc_rainflow")
+	f.Add("rainflow,EM", "em,tc-rainflow")
+	f.Add("em,em,em", "em")
+	f.Add("hci", "nbti")
+	f.Add("em,unknown", "em")
+	f.Add("em,\x00sm", "sm,,em")
+
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		return strings.Split(s, ",")
+	}
+	stageKey := func(t *testing.T, names []string) string {
+		t.Helper()
+		key, err := hashKey(fitStageInputs{ThermalKey: "fuzz-thermal", Mechanisms: names})
+		if err != nil {
+			t.Fatalf("hashKey(%v): %v", names, err)
+		}
+		return key
+	}
+
+	f.Fuzz(func(t *testing.T, a, b string) {
+		ca, errA := core.CanonicalMechanismNames(split(a))
+		cb, errB := core.CanonicalMechanismNames(split(b))
+		if errA != nil || errB != nil {
+			// Unknown names are rejected before any key is derived; that is
+			// the contract, nothing further to check.
+			return
+		}
+		// Idempotence: canonical output canonicalises to itself.
+		if again, err := core.CanonicalMechanismNames(ca); err != nil || !slices.Equal(again, ca) {
+			t.Fatalf("canonicalization not idempotent: %v -> %v (%v)", ca, again, err)
+		}
+		// The default four in any spelling collapse to nil — the exact wire
+		// form of configurations that predate the registry.
+		if slices.Equal(ca, core.DefaultMechanismNames()) {
+			t.Fatalf("default set %q canonicalised to explicit names %v; want nil", a, ca)
+		}
+
+		ka, kb := stageKey(t, ca), stageKey(t, cb)
+		if slices.Equal(ca, cb) != (ka == kb) {
+			t.Fatalf("key/set mismatch: %q -> %v (%s) vs %q -> %v (%s)",
+				a, ca, ka, b, cb, kb)
+		}
+	})
+}

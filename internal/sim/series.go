@@ -435,7 +435,11 @@ func AccumulateFITContext(ctx context.Context, cfg Config, ts *ThermalSeries,
 	if err != nil {
 		return AppRun{}, err
 	}
-	eval, err := core.NewEvaluator(cfg.RAMP, core.UnitConstants(), tech, fp.Areas())
+	set, err := cfg.MechanismSet()
+	if err != nil {
+		return AppRun{}, err
+	}
+	eval, err := core.NewEvaluatorForSet(cfg.RAMP, core.UnitConstants(), tech, fp.Areas(), set)
 	if err != nil {
 		return AppRun{}, err
 	}
@@ -473,6 +477,22 @@ func AccumulateFITContext(ctx context.Context, cfg Config, ts *ThermalSeries,
 				}
 			}
 			run.TempTraceK = append(run.TempTraceK, maxT)
+		}
+	}
+	// Series-defined mechanisms (rainflow-counted thermal cycling) need the
+	// whole die-average temperature trace rather than per-sample values:
+	// evaluate each once over the run and fold its constant rate into the
+	// average. The slices are built only when the selection includes one,
+	// so the default four pay nothing here.
+	if series := eval.Set().Series(); len(series) > 0 {
+		dieAvg := make([]float64, len(ts.Intervals))
+		durUS := make([]float64, len(ts.Intervals))
+		for i := range ts.Intervals {
+			dieAvg[i] = ts.Intervals[i].DieAvgTempK
+			durUS[i] = ts.Intervals[i].DurUS
+		}
+		for _, sm := range series {
+			eval.AddConstantRate(sm.Name(), sm.SeriesRate(dieAvg, durUS, cfg.RAMP))
 		}
 	}
 	run.RawFIT = eval.Average()

@@ -51,6 +51,15 @@ type Config struct {
 	// exact-mode configs, and hence every content-addressed key derived
 	// from them, byte-identical to configs that predate the field.
 	Fidelity *Fidelity `json:"Fidelity,omitempty"`
+	// Mechanisms names the failure mechanisms evaluated, resolved against
+	// the core registry (core.RegisteredMechanisms lists them). Nil or
+	// empty means the paper's four (em/sm/tc/tddb) — and, with omitempty,
+	// marshals byte-identically to configs that predate mechanism
+	// selection, so every content-addressed key of an unspecified request
+	// is preserved. Names are canonicalised (lower-cased, de-aliased,
+	// sorted, de-duplicated) before any key derivation, so differently
+	// ordered spellings of one set share cache entries.
+	Mechanisms []string `json:"Mechanisms,omitempty"`
 }
 
 // DefaultConfig returns the paper's experimental setup with a trace length
@@ -92,7 +101,20 @@ func (c Config) Validate() error {
 	if err := c.Fidelity.Validate(); err != nil {
 		return err
 	}
+	if _, err := core.CanonicalMechanismNames(c.Mechanisms); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
+}
+
+// MechanismSet resolves the configured mechanism selection against the
+// registry (the paper's four when Mechanisms is empty).
+func (c Config) MechanismSet() (core.MechanismSet, error) {
+	set, err := core.ResolveMechanismSet(c.Mechanisms)
+	if err != nil {
+		return core.MechanismSet{}, fmt.Errorf("sim: %w", err)
+	}
+	return set, nil
 }
 
 // ActivityTrace is the timing-simulation output for one application,

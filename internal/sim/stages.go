@@ -146,10 +146,10 @@ func cellKeys(cfg Config, prof workload.Profile, tech scaling.Technology) (therm
 	if err != nil {
 		return "", "", err
 	}
-	fitKey, err = hashKey(fitStageInputs{
-		ThermalKey:  thermalKey,
-		RAMP:        cfg.RAMP,
-		RecordTrace: cfg.RecordThermalTrace,
-	})
+	in, err := fitInputsFor(cfg, thermalKey)
+	if err != nil {
+		return "", "", err
+	}
+	fitKey, err = hashKey(in)
 	return thermalKey, fitKey, err
 }

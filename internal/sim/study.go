@@ -154,6 +154,14 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Canonicalise the mechanism selection up front so every spelling of
+	// one set — including any explicit spelling of the default four —
+	// produces byte-identical StudyResult documents, not just identical
+	// stage keys.
+	cfg, err := canonicalizeConfigMechanisms(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("sim: no profiles")
 	}
@@ -260,20 +268,29 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 
 	// Reliability qualification at the base point (§4.4) needs every base
 	// run, but nothing downstream waits on it: scaled evaluations proceed
-	// concurrently and the constants are only attached at assembly.
+	// concurrently and the constants are only attached at assembly. The
+	// solve runs over the configured mechanism set by name; for the
+	// default four the per-name accumulation and per-name division are the
+	// same operations in the same order as the historical fixed-array
+	// solve, so the constants are bit-identical.
 	g.MustAdd(sched.Task{
 		ID:    StageQualify,
 		Stage: StageQualify,
 		Deps:  baseIDs,
 		Run: func(ctx context.Context) error {
-			var rawAvg [core.NumMechanisms]float64
+			set, err := cfg.MechanismSet()
+			if err != nil {
+				return err
+			}
+			names := set.Names()
+			rawAvg := make(map[string]float64, len(names))
 			for i := range s.baseRuns {
-				mech := s.baseRuns[i].RawFIT.ByMechanism()
-				for m := range rawAvg {
-					rawAvg[m] += mech[m] / float64(n)
+				mech := s.baseRuns[i].RawFIT.FITByName()
+				for _, nm := range names {
+					rawAvg[nm] += mech[nm] / float64(n)
 				}
 			}
-			c, err := core.Calibrate(rawAvg, cfg.QualFITPerMechanism)
+			c, err := core.CalibrateSet(names, rawAvg, cfg.QualFITPerMechanism)
 			if err != nil {
 				return fmt.Errorf("sim: qualification: %w", err)
 			}
@@ -570,10 +587,16 @@ func worstCaseFor(cfg Config, runs []AppRun, tech scaling.Technology) (WorstCase
 	if err != nil {
 		return WorstCase{}, err
 	}
-	eval, err := core.NewEvaluator(cfg.RAMP, core.UnitConstants(), tech, fp.Areas())
+	set, err := cfg.MechanismSet()
 	if err != nil {
 		return WorstCase{}, err
 	}
+	eval, err := core.NewEvaluatorForSet(cfg.RAMP, core.UnitConstants(), tech, fp.Areas(), set)
+	if err != nil {
+		return WorstCase{}, err
+	}
+	// Series-only mechanisms (tc-rainflow) have no instantaneous rate and
+	// contribute 0 to the worst-case point by design.
 	wc.RawFIT = eval.Instant(wc.MaxAF, wc.MaxTempK, tech.VddV, wc.MaxDieAvgTempK)
 	return wc, nil
 }
@@ -596,8 +619,47 @@ func (r *StudyResult) SuiteAverageFIT(ti int, suite workload.Suite) float64 {
 	return sum / float64(n)
 }
 
+// MechanismNames returns the canonical names of the mechanisms the study
+// evaluated, in sorted order (the paper's four when none were configured).
+func (r *StudyResult) MechanismNames() []string {
+	canon, err := core.CanonicalMechanismNames(r.Config.Mechanisms)
+	if err != nil || canon == nil {
+		return core.DefaultMechanismNames()
+	}
+	return canon
+}
+
+// SuiteAverageMechByName returns the suite-average calibrated
+// per-mechanism FIT at one technology index, keyed by canonical mechanism
+// name — the primary decomposition view, covering registry-selected
+// mechanisms the fixed-array SuiteAverageMech cannot see.
+func (r *StudyResult) SuiteAverageMechByName(ti int, suite workload.Suite) map[string]float64 {
+	out := make(map[string]float64)
+	var n int
+	for _, a := range r.AppsAt(ti) {
+		if suite != 0 && a.Suite != suite {
+			continue
+		}
+		for name, fit := range r.FIT(a).FITByName() {
+			out[name] += fit
+		}
+		n++
+	}
+	if n == 0 {
+		return out
+	}
+	for name := range out {
+		out[name] /= float64(n)
+	}
+	return out
+}
+
 // SuiteAverageMech returns the suite-average calibrated per-mechanism FIT
 // at one technology index.
+//
+// Deprecated: SuiteAverageMech covers only the paper's four fixed-slot
+// mechanisms; registry-selected mechanisms are invisible to it. Use
+// SuiteAverageMechByName for the complete decomposition.
 func (r *StudyResult) SuiteAverageMech(ti int, suite workload.Suite) [core.NumMechanisms]float64 {
 	var out [core.NumMechanisms]float64
 	var n int

@@ -72,12 +72,12 @@ func TestBarrieredMatchesPipelined(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want.Apps {
-		if got.FIT(got.Apps[i]) != want.FIT(want.Apps[i]) {
+		if !got.FIT(got.Apps[i]).Equal(want.FIT(want.Apps[i])) {
 			t.Fatalf("app %d FIT differs between pipelined and barriered runs", i)
 		}
 	}
 	for ti := range want.Worst {
-		if got.WorstFIT(ti) != want.WorstFIT(ti) {
+		if !got.WorstFIT(ti).Equal(want.WorstFIT(ti)) {
 			t.Fatalf("tech %d worst-case FIT differs between pipelined and barriered runs", ti)
 		}
 	}

@@ -92,9 +92,21 @@ type (
 	// reliability qualification.
 	Constants = core.Constants
 	// Mechanism identifies one intrinsic failure mechanism.
+	//
+	// Deprecated: Mechanism indexes only the paper's four fixed-slot
+	// mechanisms. Registry-selected mechanisms are addressed by canonical
+	// name (MechanismInfo.Name); use the Mech* name constants instead.
 	Mechanism = core.Mechanism
 	// MechanismParams bundles the failure-model constants.
 	MechanismParams = core.Params
+	// MechanismModel is one pluggable failure mechanism behind the
+	// registry: a raw instantaneous rate with technology-scaling and
+	// qualification-calibration hooks.
+	MechanismModel = core.MechanismModel
+	// MechanismInfo describes one registered mechanism for discovery.
+	MechanismInfo = core.MechanismInfo
+	// MechanismSet is a resolved, ordered mechanism selection.
+	MechanismSet = core.MechanismSet
 	// MachineConfig describes the simulated processor (Table 2).
 	MachineConfig = microarch.Config
 	// StructureID names one of the 7 modeled microarchitectural
@@ -235,6 +247,44 @@ const (
 	// NumMechanisms is the number of modeled failure mechanisms.
 	NumMechanisms = core.NumMechanisms
 )
+
+// Canonical mechanism names accepted by Config.Mechanisms,
+// WithMechanisms, and the server's mechanism selection. The paper's four
+// (em/sm/tc/tddb) are the default set; nbti, hci, and tc-rainflow are
+// post-2004 registry additions.
+const (
+	MechEM         = core.MechEM
+	MechSM         = core.MechSM
+	MechTDDB       = core.MechTDDB
+	MechTC         = core.MechTC
+	MechNBTI       = core.MechNBTI
+	MechHCI        = core.MechHCI
+	MechTCRainflow = core.MechTCRainflow
+)
+
+// RegisteredMechanisms returns discovery metadata for every failure
+// mechanism in the registry, sorted by name: the paper's four plus any
+// additions, with parameter descriptions and default-set membership.
+func RegisteredMechanisms() []MechanismInfo { return core.RegisteredMechanisms() }
+
+// DefaultMechanismNames returns the canonical names of the paper's four
+// mechanisms — the set evaluated when a Config names none.
+func DefaultMechanismNames() []string { return core.DefaultMechanismNames() }
+
+// CanonicalMechanismNames canonicalises a mechanism-name list —
+// lower-cased, de-aliased, sorted, de-duplicated, nil for the default
+// set — rejecting unknown names. Use it to validate flag or API input
+// before building a Config.
+func CanonicalMechanismNames(names []string) ([]string, error) {
+	return core.CanonicalMechanismNames(names)
+}
+
+// RegisterMechanism adds a custom failure-mechanism model to the process
+// registry under its canonical name, making it selectable by every
+// Config.Mechanisms list. Registration is global and must happen before
+// studies run (typically from an init function); registering a name twice
+// is an error.
+func RegisterMechanism(m MechanismModel) error { return core.RegisterMechanism(m) }
 
 // Benchmark suites.
 const (

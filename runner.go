@@ -3,6 +3,7 @@ package ramp
 import (
 	"context"
 
+	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/jobs"
 	"github.com/ramp-sim/ramp/internal/obs"
 	"github.com/ramp-sim/ramp/internal/sched"
@@ -58,6 +59,7 @@ type Runner struct {
 	batchOpts   *BatchOptions
 	jobs        *jobs.Queue
 	fidelity    *Fidelity
+	mechanisms  []string
 }
 
 // Option configures a Runner. Options are applied in order; an option
@@ -160,12 +162,35 @@ func WithFidelity(f *Fidelity) Option {
 	}
 }
 
-// applyFidelity fills the Runner's default fidelity into a config that
-// does not set its own.
+// WithMechanisms sets the Runner's default failure-mechanism selection,
+// applied to every study whose Config leaves Mechanisms empty. An explicit
+// Config.Mechanisms always wins. Names resolve against the mechanism
+// registry (RegisteredMechanisms lists them) and are canonicalised here —
+// lower-cased, de-aliased, sorted, de-duplicated — so an unknown name
+// rejects the option immediately and every spelling of one set shares
+// cache entries. Passing the default four (in any order) is equivalent to
+// not setting the option at all: keys and results stay byte-identical to
+// an unconfigured Runner.
+func WithMechanisms(names ...string) Option {
+	return func(r *Runner) error {
+		canon, err := core.CanonicalMechanismNames(names)
+		if err != nil {
+			return err
+		}
+		r.mechanisms = canon
+		return nil
+	}
+}
+
+// applyFidelity fills the Runner's default fidelity and mechanism
+// selection into a config that does not set its own.
 func (r *Runner) applyFidelity(cfg Config) Config {
 	if cfg.Fidelity == nil && r.fidelity != nil {
 		f := *r.fidelity
 		cfg.Fidelity = &f
+	}
+	if len(cfg.Mechanisms) == 0 && len(r.mechanisms) > 0 {
+		cfg.Mechanisms = append([]string(nil), r.mechanisms...)
 	}
 	return cfg
 }
