@@ -1,0 +1,20 @@
+#!/bin/sh
+# bench/obsoverhead.sh — run-ledger overhead on the warm /v1/study path.
+#
+# Serves the same result-cached study request through two in-process rampd
+# servers (run ledger enabled vs disabled) in interleaved batches and
+# writes BENCH_obsoverhead.json in the repo root with per-mode latency
+# percentiles and the ledger-on p50 overhead in percent. The observability
+# plane must stay invisible on the serving path; pass extra flags (e.g.
+# -check -max-overhead-pct 2) to enforce the ceiling.
+#
+# Usage: ./bench/obsoverhead.sh [instructions] [extra obsoverhead flags...]
+#        (default 200000)
+set -eu
+
+N="${1:-200000}"
+[ "$#" -gt 0 ] && shift
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+go run ./bench/obsoverhead -n "$N" -out "$ROOT/BENCH_obsoverhead.json" "$@"

@@ -1,0 +1,224 @@
+// Command obsoverhead gates the cost of the observability plane: it
+// serves the same warm (result-cached) /v1/study request through two
+// in-process rampd servers — one with the run ledger enabled, one with it
+// disabled — and compares warm-path latency percentiles. The ledger is
+// designed to be invisible on the serving path (one record assembly and
+// a bounded ring append per run), and this benchmark is the proof: with
+// -check the process exits non-zero when the ledger-on p50 exceeds the
+// ledger-off p50 by more than -max-overhead-pct percent.
+//
+// Requests alternate between the two servers in interleaved batches, so
+// CPU-frequency drift and GC phase hit both modes equally — the
+// comparison is hardware-tolerant even though the absolute numbers are
+// not.
+//
+// Usage: obsoverhead [-n 200000] [-requests 4000] [-batch 100]
+//
+//	[-out BENCH_obsoverhead.json] [-check] [-max-overhead-pct 2]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/ramp-sim/ramp/internal/obs"
+	"github.com/ramp-sim/ramp/internal/server"
+	"github.com/ramp-sim/ramp/internal/sim"
+	"github.com/ramp-sim/ramp/internal/workload"
+)
+
+type modeStats struct {
+	Mode     string  `json:"mode"` // "ledger-off" or "ledger-on"
+	Requests int     `json:"requests"`
+	P50us    float64 `json:"p50_us"`
+	P90us    float64 `json:"p90_us"`
+	P99us    float64 `json:"p99_us"`
+}
+
+type result struct {
+	Instructions int64     `json:"instructions"`
+	Requests     int       `json:"requests_per_mode"`
+	Off          modeStats `json:"ledger_off"`
+	On           modeStats `json:"ledger_on"`
+	OverheadPct  float64   `json:"overhead_pct_p50"`
+	RunsRecorded uint64    `json:"runs_recorded"`
+}
+
+func main() {
+	n := flag.Int64("n", 200_000, "instructions per application")
+	requests := flag.Int("requests", 4000, "warm requests measured per mode")
+	batch := flag.Int("batch", 100, "requests per interleaved batch")
+	out := flag.String("out", "BENCH_obsoverhead.json", "output JSON path")
+	check := flag.Bool("check", false, "exit non-zero on threshold violation")
+	maxOverhead := flag.Float64("max-overhead-pct", 2, "with -check: ceiling on ledger-on p50 overhead in percent")
+	flag.Parse()
+	if err := run(*n, *requests, *batch, *out, *check, *maxOverhead); err != nil {
+		fmt.Fprintln(os.Stderr, "obsoverhead:", err)
+		os.Exit(1)
+	}
+}
+
+// newServer builds one in-process rampd; ledgerSize -1 disables the run
+// ledger. Logs go to io.Discard so both modes pay the same logger costs
+// they would pay in production (the ledger-on mode additionally formats
+// its wide per-run record — that cost is part of what is measured).
+func newServer(n int64, ledgerSize int) (*server.Server, error) {
+	logger, err := obs.NewLogger(io.Discard, slog.LevelInfo, "text")
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.DefaultConfig()
+	simCfg.Instructions = n
+	return server.New(server.Config{
+		Sim:                 simCfg,
+		DefaultInstructions: n,
+		MaxInstructions:     10 * n,
+		CacheSize:           64,
+		MaxQueue:            4,
+		Logger:              logger,
+		LedgerSize:          ledgerSize,
+	})
+}
+
+func run(n int64, requests, batch int, out string, check bool, maxOverhead float64) error {
+	app := workload.Profiles()[0].Name
+	path := fmt.Sprintf("/v1/study?apps=%s&instructions=%d", app, n)
+
+	off, err := newServer(n, -1)
+	if err != nil {
+		return err
+	}
+	defer off.Close()
+	on, err := newServer(n, 0)
+	if err != nil {
+		return err
+	}
+	defer on.Close()
+	offH, onH := off.Handler(), on.Handler()
+
+	// One cold request per server fills its result cache; everything
+	// measured after this is the warm path the gate is about.
+	for _, h := range []http.Handler{offH, onH} {
+		if code := do(h, path); code != http.StatusOK {
+			return fmt.Errorf("warmup request failed with status %d", code)
+		}
+	}
+
+	// Interleave batches, discarding the first per mode (allocator and
+	// branch-predictor warmup), until each mode has `requests` samples.
+	var offLat, onLat []float64
+	keep := false
+	for len(offLat) < requests || len(onLat) < requests {
+		offLat = measureBatch(offLat, offH, path, batch, keep, requests)
+		onLat = measureBatch(onLat, onH, path, batch, keep, requests)
+		keep = true
+	}
+
+	offStats := summarize("ledger-off", offLat)
+	onStats := summarize("ledger-on", onLat)
+	overhead := 100 * (onStats.P50us - offStats.P50us) / offStats.P50us
+
+	var recorded uint64
+	if lr := do(onH, "/v1/ops/runs?limit=1"); lr != http.StatusOK {
+		return fmt.Errorf("/v1/ops/runs returned %d on the ledger-on server", lr)
+	}
+	recorded = opsAppended(onH)
+
+	res := result{
+		Instructions: n,
+		Requests:     requests,
+		Off:          offStats,
+		On:           onStats,
+		OverheadPct:  overhead,
+		RunsRecorded: recorded,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("obsoverhead: p50 off %.1fµs on %.1fµs → overhead %.2f%% (%d runs recorded)\n",
+		offStats.P50us, onStats.P50us, overhead, recorded)
+
+	if check {
+		if recorded == 0 {
+			return fmt.Errorf("ledger-on server recorded no runs — the measurement is vacuous")
+		}
+		if overhead > maxOverhead {
+			return fmt.Errorf("ledger overhead %.2f%% exceeds the %.2f%% ceiling", overhead, maxOverhead)
+		}
+		fmt.Printf("obsoverhead: PASS (ceiling %.2f%%)\n", maxOverhead)
+	}
+	return nil
+}
+
+// do issues one in-process request and returns the status code.
+func do(h http.Handler, path string) int {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code
+}
+
+// measureBatch issues one batch of warm requests, appending per-request
+// latencies (µs) to lat. keep=false runs the batch but discards the
+// samples; target caps the total collected.
+func measureBatch(lat []float64, h http.Handler, path string, batch int, keep bool, target int) []float64 {
+	for i := 0; i < batch; i++ {
+		start := time.Now()
+		code := do(h, path)
+		dur := time.Since(start)
+		if code != http.StatusOK {
+			continue
+		}
+		if keep && len(lat) < target {
+			lat = append(lat, float64(dur)/float64(time.Microsecond))
+		}
+	}
+	return lat
+}
+
+// summarize computes percentile stats over latencies in microseconds.
+func summarize(mode string, lat []float64) modeStats {
+	sort.Float64s(lat)
+	return modeStats{
+		Mode:     mode,
+		Requests: len(lat),
+		P50us:    percentile(lat, 0.50),
+		P90us:    percentile(lat, 0.90),
+		P99us:    percentile(lat, 0.99),
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// opsAppended reads the ledger's appended counter off /v1/ops/runs,
+// proving the ledger-on server actually recorded the measured traffic.
+func opsAppended(h http.Handler) uint64 {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/ops/runs?limit=1", nil))
+	var body struct {
+		Ledger struct {
+			Appended uint64 `json:"appended"`
+		} `json:"ledger"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		return 0
+	}
+	return body.Ledger.Appended
+}

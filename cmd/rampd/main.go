@@ -14,7 +14,7 @@
 //	      [-job-retries 3] [-job-backoff 250ms] [-job-ttl 15m]
 //	      [-tenant-qps 0] [-tenant-burst 0] [-tenant-inflight 0]
 //	      [-ready-high-water N] [-pprof-addr localhost:6060] [-trace-retain 8]
-//	      [-log-level info] [-log-format text]
+//	      [-ledger-size 512] [-log-level info] [-log-format text]
 //
 // Endpoints:
 //
@@ -32,6 +32,13 @@
 //	GET      /v1/batch/{id}    per-job state/percent; DELETE cancels the batch
 //	GET      /v1/batch/{id}/stream      NDJSON job transitions + heartbeats
 //	GET      /v1/batch/{id}/jobs/{job}  finished job's result document
+//	GET      /v1/ops/runs      recent run records from the cost ledger — one
+//	                           per study/MC/batch-job execution with wall,
+//	                           queue, and per-stage CPU cost (?tenant=&key=&
+//	                           outcome=&kind=&limit=)
+//	GET      /v1/ops/runs/{id} one run record by ledger ID
+//	GET      /v1/ops/tail      NDJSON live tail of run records (?replay=N);
+//	                           cmd/rampstat renders it in a terminal
 //	GET      /healthz          liveness; always 200 while the process serves
 //	GET      /readyz           readiness; 503 while draining or while the job
 //	                           queue is past -ready-high-water
@@ -113,6 +120,7 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 	readyHighWater := fs.Int("ready-high-water", 0, "queued batch jobs before /readyz reports 503 (0 = 90% of -batch-queue)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	traceRetain := fs.Int("trace-retain", 0, "completed study traces retained for /v1/study/trace (0 = default 8)")
+	ledgerSize := fs.Int("ledger-size", 0, "run records retained by the cost ledger (0 = default 512, negative = disable /v1/ops)")
 	logFlags := cli.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +164,7 @@ func runCtx(ctx context.Context, out io.Writer, args []string) error {
 		TenantBurst:         *tenantBurst,
 		TenantInflight:      *tenantInflight,
 		ReadyHighWater:      *readyHighWater,
+		LedgerSize:          *ledgerSize,
 	})
 	if err != nil {
 		return err

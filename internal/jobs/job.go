@@ -70,6 +70,18 @@ func validTransition(from, to State) bool {
 // ("study", "mc").
 type Kind string
 
+// Origin records where a job came from, so executor spans and logs stay
+// attributable to the submitting request end to end. The queue carries it
+// opaquely; when deduplication folds identical submissions into one job,
+// the first submitter's origin wins.
+type Origin struct {
+	// RequestID is the X-Request-ID of the submitting HTTP request.
+	RequestID string
+	// Traceparent is the W3C traceparent the submission carried (the
+	// server's child context, rendered), "" when none.
+	Traceparent string
+}
+
 // Job is one unit of queued work. All mutable state is guarded by mu;
 // readers use Snapshot. The queue is the only writer of state transitions.
 type Job struct {
@@ -82,6 +94,9 @@ type Job struct {
 	Kind Kind
 	// Tenant is the admission-quota bucket the job was charged to.
 	Tenant string
+	// Origin attributes the job to its submitting request, immutable
+	// after submission.
+	Origin Origin
 	// Payload is the executor's input, immutable after submission.
 	Payload any
 

@@ -55,10 +55,11 @@ type Config struct {
 type Executor func(ctx context.Context, j *Job) (any, error)
 
 // Spec is one job submission: the content-address key plus the executor
-// payload.
+// payload and the submitting request's origin.
 type Spec struct {
 	Key     string
 	Kind    Kind
+	Origin  Origin
 	Payload any
 }
 
@@ -238,8 +239,8 @@ func (q *Queue) Submit(tenant string, specs []Spec) (BatchStatus, error) {
 			q.stats.Deduped++
 			continue
 		}
-		j := &Job{Key: sp.Key, Kind: sp.Kind, Tenant: tenant, Payload: sp.Payload,
-			state: StateQueued, createdAt: now}
+		j := &Job{Key: sp.Key, Kind: sp.Kind, Tenant: tenant, Origin: sp.Origin,
+			Payload: sp.Payload, state: StateQueued, createdAt: now}
 		batchNew[sp.Key] = j
 		resolved[i] = j
 		created = append(created, j)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DurationBuckets are the default latency-histogram upper bounds in
@@ -116,17 +117,38 @@ func (f *atomicFloat) Add(v float64) {
 
 func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// Exemplar is one traced observation attached to a histogram bucket —
+// typically a trace_id label pointing at the distributed trace of a
+// request that landed in that bucket, rendered OpenMetrics-style in the
+// exposition so a dashboard can jump from a latency spike to the exact
+// trace that caused it.
+type Exemplar struct {
+	// Labels identify the traced observation (e.g. trace_id).
+	Labels []Label
+	// Value is the observed sample.
+	Value float64
+	// Ts is when the observation happened.
+	Ts time.Time
+}
+
 // Histogram is a fixed-bucket histogram: per-bucket counters plus a total
 // sum and count, rendered as the Prometheus _bucket/_sum/_count triple.
+// Buckets may additionally carry the most recent traced observation as an
+// OpenMetrics exemplar (see ObserveExemplar).
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
-	sum    atomicFloat
-	count  atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomicFloat
+	count     atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one sample.
@@ -135,6 +157,30 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one sample and, when labels are given, replaces
+// the containing bucket's exemplar with this observation (last write
+// wins — recency is the useful property for "what just got slow").
+func (h *Histogram) ObserveExemplar(v float64, labels ...Label) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if len(labels) > 0 {
+		h.exemplars[i].Store(&Exemplar{Labels: labels, Value: v, Ts: time.Now()})
+	}
+}
+
+// Exemplars returns the current per-bucket exemplars, aligned with
+// Bounds() plus the +Inf bucket; entries are nil where no traced
+// observation has landed.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -404,15 +450,27 @@ func (f *family) write(b *strings.Builder) {
 		case s.hist != nil:
 			cum, sum, count := s.hist.Snapshot()
 			for i, bound := range s.hist.bounds {
-				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
-					braced(joinLabels(ls, fmt.Sprintf(`le="%s"`, formatFloat(bound)))), cum[i])
+				fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name,
+					braced(joinLabels(ls, fmt.Sprintf(`le="%s"`, formatFloat(bound)))), cum[i],
+					renderExemplar(s.hist.exemplars[i].Load()))
 			}
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
-				braced(joinLabels(ls, `le="+Inf"`)), cum[len(cum)-1])
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name,
+				braced(joinLabels(ls, `le="+Inf"`)), cum[len(cum)-1],
+				renderExemplar(s.hist.exemplars[len(cum)-1].Load()))
 			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, braced(ls), formatFloat(sum))
 			fmt.Fprintf(b, "%s_count%s %d\n", f.name, braced(ls), count)
 		}
 	}
+}
+
+// renderExemplar renders an OpenMetrics exemplar suffix for a bucket
+// line — ` # {trace_id="..."} value timestamp` — or "" when e is nil.
+func renderExemplar(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {%s} %s %.3f", renderLabels(e.Labels), formatFloat(e.Value),
+		float64(e.Ts.UnixMilli())/1000)
 }
 
 // renderLabels renders label pairs as `a="x",b="y"` (no braces).

@@ -198,3 +198,118 @@ func TestFormatFloat(t *testing.T) {
 		t.Errorf("formatFloat(NaN) = %q", got)
 	}
 }
+
+// TestHistogramExemplarRendering pins the OpenMetrics exemplar suffix:
+// ObserveExemplar attaches the traced observation to the containing
+// bucket (last write wins), including the +Inf overflow bucket, and the
+// exposition renders it as ` # {labels} value timestamp` without breaking
+// any other line.
+func TestHistogramExemplarRendering(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ramp_req_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05) // untraced: no exemplar on this bucket
+	h.ObserveExemplar(0.5, Label{"trace_id", "aaaa"})
+	h.ObserveExemplar(0.6, Label{"trace_id", "bbbb"}) // replaces aaaa
+	h.ObserveExemplar(5, Label{"trace_id", "cccc"})   // +Inf bucket
+
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("exemplar slots = %d, want bounds+1 = 3", len(ex))
+	}
+	if ex[0] != nil {
+		t.Errorf("untraced bucket grew an exemplar: %+v", ex[0])
+	}
+	if ex[1] == nil || ex[1].Labels[0].Value != "bbbb" || ex[1].Value != 0.6 {
+		t.Errorf("bucket exemplar = %+v, want last-write bbbb @ 0.6", ex[1])
+	}
+	if ex[2] == nil || ex[2].Labels[0].Value != "cccc" {
+		t.Errorf("+Inf exemplar = %+v, want cccc", ex[2])
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		switch {
+		case strings.HasPrefix(line, `ramp_req_seconds_bucket{le="0.1"}`):
+			if strings.Contains(line, " # ") {
+				t.Errorf("untraced bucket rendered an exemplar: %q", line)
+			}
+		case strings.HasPrefix(line, `ramp_req_seconds_bucket{le="1"}`):
+			if !strings.Contains(line, `# {trace_id="bbbb"} 0.6 `) {
+				t.Errorf("bucket line lacks the exemplar: %q", line)
+			}
+		case strings.HasPrefix(line, `ramp_req_seconds_bucket{le="+Inf"}`):
+			if !strings.Contains(line, `# {trace_id="cccc"} 5 `) {
+				t.Errorf("+Inf line lacks the exemplar: %q", line)
+			}
+		}
+	}
+	// _sum and _count never carry exemplars.
+	if strings.Contains(out, "_sum{") || strings.Contains(strings.Split(out, "_sum ")[1][:20], " # ") {
+		t.Errorf("sum line corrupted:\n%s", out)
+	}
+}
+
+// TestPrometheusEscaping is the table-driven audit of the text-format
+// escaping rules: label values escape backslash, double-quote, and
+// newline; HELP text escapes backslash and newline but NOT quotes (per
+// the exposition-format spec, quotes are legal in HELP).
+func TestPrometheusEscaping(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"plain", "plain", "plain"},
+		{"backslash", `a\b`, `a\\b`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "two\nlines", `two\nlines`},
+		{"all three", "\\\"\n", `\\\"\n`},
+		{"windows path", `C:\temp\new`, `C:\\temp\\new`},
+	} {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Errorf("escapeLabel(%s): %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"plain", "latency seconds", "latency seconds"},
+		{"backslash", `back\slash`, `back\\slash`},
+		{"newline", "help\ntext", `help\ntext`},
+		{"quote untouched", `a "quoted" help`, `a "quoted" help`},
+	} {
+		if got := escapeHelp(tc.in); got != tc.want {
+			t.Errorf("escapeHelp(%s): %q, want %q", tc.name, got, tc.want)
+		}
+	}
+
+	// End to end: a hostile label value and HELP survive a full exposition
+	// as parseable single lines.
+	reg := NewRegistry()
+	reg.CounterVec("ramp_hostile_total", "help with \\ and\nnewline", "v").
+		With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`# HELP ramp_hostile_total help with \\ and\nnewline` + "\n",
+		`ramp_hostile_total{v="a\"b\\c\nd"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.ContainsRune(line, '\r') {
+			t.Errorf("raw control byte leaked into line %q", line)
+		}
+	}
+}

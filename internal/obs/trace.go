@@ -88,6 +88,15 @@ func NewTracer(sink SpanSink, opts ...TracerOption) *Tracer {
 	return t
 }
 
+// Sink returns the tracer's sink (nil for a nil or sink-less tracer), so
+// callers can compose it into a MultiSink with additional per-run sinks.
+func (t *Tracer) Sink() SpanSink {
+	if t == nil {
+		return nil
+	}
+	return t.sink
+}
+
 // Span is one timed operation. Spans are created by StartSpan, annotated
 // with SetAttr by the single goroutine that owns them, and completed with
 // Finish, after which they are immutable. A nil *Span is valid and turns

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// W3C Trace Context propagation (the traceparent header). rampd parses
+// the inbound header into a TraceContext, carries it alongside the
+// request ID through study contexts and batch jobs, echoes it on
+// responses, and stamps its trace ID on span attributes, run-ledger
+// records, and histogram exemplars — so one identifier correlates a
+// client's distributed trace with everything the server recorded about
+// the run. The groundwork for cross-peer traces when studies fan out
+// across a rampd cluster.
+
+// TraceContext is one parsed W3C traceparent: a 16-byte trace ID and an
+// 8-byte span (parent) ID, both lowercase hex, plus the trace flags. The
+// zero value is invalid; test with Valid.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex digits identifying the whole trace.
+	TraceID string
+	// SpanID is 16 lowercase hex digits identifying the parent span.
+	SpanID string
+	// Flags is the trace-flags byte; bit 0 (0x01) is "sampled".
+	Flags byte
+}
+
+// traceparentVersion is the only version this implementation emits. Per
+// the spec, higher inbound versions are parsed leniently as version 00.
+const traceparentVersion = "00"
+
+// Valid reports whether the context carries a usable trace: well-formed,
+// non-zero trace and span IDs.
+func (tc TraceContext) Valid() bool {
+	return isHex(tc.TraceID, 32) && !allZero(tc.TraceID) &&
+		isHex(tc.SpanID, 16) && !allZero(tc.SpanID)
+}
+
+// String renders the context as a traceparent header value
+// (00-<trace-id>-<span-id>-<flags>), or "" when invalid.
+func (tc TraceContext) String() string {
+	if !tc.Valid() {
+		return ""
+	}
+	var flags [1]byte
+	flags[0] = tc.Flags
+	return traceparentVersion + "-" + tc.TraceID + "-" + tc.SpanID + "-" + hex.EncodeToString(flags[:])
+}
+
+// Child returns the context with a fresh span ID: the same trace, one
+// hop deeper. Servers respond with (and propagate into jobs) a child, so
+// the inbound parent ID is never re-used for work the server did.
+func (tc TraceContext) Child() TraceContext {
+	tc.SpanID = randHex(8)
+	return tc
+}
+
+// NewTraceContext starts a fresh sampled trace with random IDs, for
+// requests that arrive without a traceparent.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: randHex(8), Flags: 0x01}
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts the
+// version 00 wire form — version "-" trace-id "-" parent-id "-" flags,
+// all lowercase hex — and, per the W3C forward-compatibility rule,
+// any higher version whose value starts with the same four fields.
+// ok is false for anything malformed, for version "ff", and for all-zero
+// trace or parent IDs.
+func ParseTraceparent(h string) (tc TraceContext, ok bool) {
+	// Fixed layout: 2+1+32+1+16+1+2 = 55 bytes minimum.
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := h[0:2], h[3:35], h[36:52], h[53:55]
+	if !isHex(version, 2) || version == "ff" {
+		return TraceContext{}, false
+	}
+	// Version 00 is exactly 55 bytes; future versions may append
+	// "-extra" but never change the leading fields.
+	if version == "00" && len(h) != 55 {
+		return TraceContext{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return TraceContext{}, false
+	}
+	if !isHex(traceID, 32) || allZero(traceID) || !isHex(spanID, 16) || allZero(spanID) || !isHex(flags, 2) {
+		return TraceContext{}, false
+	}
+	b, _ := hex.DecodeString(flags)
+	return TraceContext{TraceID: traceID, SpanID: spanID, Flags: b[0]}, true
+}
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// allZero reports whether s is all '0' — the invalid ID per the spec.
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// randHex returns 2n lowercase hex digits of cryptographic randomness,
+// falling back to the deterministic counter NewRequestID also uses if
+// crypto/rand ever fails.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		for i := range b {
+			b[i] = byte(idFallback.Add(1))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// traceContextKey carries the TraceContext through a request's context,
+// the same way requestIDKey carries the request ID.
+type traceContextKey struct{}
+
+// WithTraceContext returns ctx carrying tc (unchanged when tc is invalid).
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceContextKey{}, tc)
+}
+
+// TraceContextFrom returns the trace context carried by ctx, or the
+// invalid zero value.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceContextKey{}).(TraceContext)
+	return tc
+}

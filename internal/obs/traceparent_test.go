@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const (
+	sampleTrace = "0af7651916cd43dd8448eb211c80319c"
+	sampleSpan  = "b7ad6b7169203331"
+)
+
+// TestParseTraceparent is the table audit of the W3C grammar: the fixed
+// version-00 layout, the forward-compatibility rule for higher versions,
+// and every malformed shape that must be rejected.
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-" + sampleTrace + "-" + sampleSpan + "-01"
+	for _, tc := range []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"canonical", valid, true},
+		{"not sampled", "00-" + sampleTrace + "-" + sampleSpan + "-00", true},
+		{"future version", "cc-" + sampleTrace + "-" + sampleSpan + "-01", true},
+		{"future version with suffix", "cc-" + sampleTrace + "-" + sampleSpan + "-01-extra", true},
+		{"empty", "", false},
+		{"truncated", valid[:54], false},
+		{"version ff reserved", "ff-" + sampleTrace + "-" + sampleSpan + "-01", false},
+		{"uppercase hex", "00-" + strings.ToUpper(sampleTrace) + "-" + sampleSpan + "-01", false},
+		{"non-hex version", "zz-" + sampleTrace + "-" + sampleSpan + "-01", false},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + sampleSpan + "-01", false},
+		{"all-zero span id", "00-" + sampleTrace + "-" + strings.Repeat("0", 16) + "-01", false},
+		{"bad separator", strings.Replace(valid, "-", "_", 1), false},
+		{"version 00 with trailing data", valid + "-extra", false},
+		{"future version bad suffix separator", "cc-" + sampleTrace + "-" + sampleSpan + "-01x", false},
+		{"non-hex flags", "00-" + sampleTrace + "-" + sampleSpan + "-0g", false},
+	} {
+		tcx, ok := ParseTraceparent(tc.in)
+		if ok != tc.ok {
+			t.Errorf("%s: ParseTraceparent(%q) ok = %v, want %v", tc.name, tc.in, ok, tc.ok)
+			continue
+		}
+		if ok && (tcx.TraceID != sampleTrace || tcx.SpanID != sampleSpan) {
+			t.Errorf("%s: parsed %+v, want trace %s span %s", tc.name, tcx, sampleTrace, sampleSpan)
+		}
+	}
+}
+
+func TestTraceContextStringRoundTrip(t *testing.T) {
+	in := "00-" + sampleTrace + "-" + sampleSpan + "-01"
+	tc, ok := ParseTraceparent(in)
+	if !ok {
+		t.Fatal("canonical header did not parse")
+	}
+	if tc.Flags != 0x01 {
+		t.Fatalf("flags = %#02x, want 0x01", tc.Flags)
+	}
+	if got := tc.String(); got != in {
+		t.Fatalf("String() = %q, want %q", got, in)
+	}
+	if got := (TraceContext{}).String(); got != "" {
+		t.Fatalf("zero value String() = %q, want empty", got)
+	}
+}
+
+// TestTraceContextChild: a child shares the trace but never the parent's
+// span ID — the server must not re-use the caller's span for its own work.
+func TestTraceContextChild(t *testing.T) {
+	parent := TraceContext{TraceID: sampleTrace, SpanID: sampleSpan, Flags: 0x01}
+	child := parent.Child()
+	if !child.Valid() {
+		t.Fatal("child is invalid")
+	}
+	if child.TraceID != parent.TraceID || child.Flags != parent.Flags {
+		t.Errorf("child changed trace identity: %+v", child)
+	}
+	if child.SpanID == parent.SpanID {
+		t.Error("child re-used the parent span ID")
+	}
+}
+
+func TestNewTraceContext(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("fresh context invalid: %+v", tc)
+	}
+	if tc.Flags&0x01 == 0 {
+		t.Error("fresh context not sampled")
+	}
+	if other := NewTraceContext(); other.TraceID == tc.TraceID {
+		t.Error("two fresh contexts share a trace ID")
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceContextFrom(ctx); got.Valid() {
+		t.Fatalf("empty context carries a trace: %+v", got)
+	}
+	tc := NewTraceContext()
+	ctx = WithTraceContext(ctx, tc)
+	if got := TraceContextFrom(ctx); got != tc {
+		t.Fatalf("round trip = %+v, want %+v", got, tc)
+	}
+	// Invalid contexts are not stored — they would poison the chain.
+	ctx2 := WithTraceContext(context.Background(), TraceContext{})
+	if got := TraceContextFrom(ctx2); got.Valid() {
+		t.Fatalf("invalid context was stored: %+v", got)
+	}
+}

@@ -212,10 +212,25 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 		// reported as abandoned once the workers drain.
 		enqueued, started atomic.Int64
 	)
+	// Task latencies are only timed when the Recorder opts in via
+	// StageObserver, so plain Counters users pay no clock reads; the same
+	// holds for ready-time stamps and QueueObserver.
+	stageObs, _ := opts.Metrics.(StageObserver)
+	queueObs, _ := opts.Metrics.(QueueObserver)
+	var readyAt []time.Time
+	if queueObs != nil {
+		readyAt = make([]time.Time, n)
+	}
+
 	enqueue := func(i int) {
 		if opts.Metrics != nil {
 			enqueued.Add(1)
 			opts.Metrics.TaskQueued()
+		}
+		if readyAt != nil {
+			// The channel send below happens-before the worker's receive,
+			// so the worker reads the stamp race-free.
+			readyAt[i] = time.Now()
 		}
 		ready <- i
 	}
@@ -224,10 +239,6 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 			enqueue(i)
 		}
 	}
-
-	// Task latencies are only timed when the Recorder opts in via
-	// StageObserver, so plain Counters users pay no clock reads.
-	stageObs, _ := opts.Metrics.(StageObserver)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -249,6 +260,9 @@ func (g *Graph) Run(ctx context.Context, opts Options) error {
 					if opts.Metrics != nil {
 						started.Add(1)
 						opts.Metrics.TaskStarted()
+					}
+					if queueObs != nil {
+						queueObs.TaskQueueWait(t.Stage, time.Since(readyAt[i]))
 					}
 					var startedAt time.Time
 					if stageObs != nil {

@@ -35,6 +35,19 @@ type StageObserver interface {
 	TaskLatency(stage string, d time.Duration, err error)
 }
 
+// QueueObserver is an optional Recorder extension: a Recorder that also
+// implements it additionally receives each task's queue wait — the time
+// between becoming ready and being picked up by a worker — labelled by
+// the task's stage. Like StageObserver, the scheduler only pays for the
+// ready-time stamps when the installed Recorder implements the
+// interface.
+type QueueObserver interface {
+	// TaskQueueWait fires when a worker picks a task up, with the stage
+	// label and how long the task sat ready. It is called from worker
+	// goroutines and must be safe for concurrent use.
+	TaskQueueWait(stage string, d time.Duration)
+}
+
 // Stats is the read side of the scheduler's observability counters: the
 // current queue depth and in-flight gauge plus cumulative completion
 // counters. Both rampd's /metrics endpoint and the CLIs' progress wiring

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestCountersLifecycle checks that a successful run settles the gauges to
@@ -92,5 +93,46 @@ func TestCountersSharedAcrossRuns(t *testing.T) {
 	}
 	if got := c.QueueDepth() + c.InFlight(); got != 0 {
 		t.Errorf("gauges after all runs = %d, want 0", got)
+	}
+}
+
+// queueWaitRecorder is a Counters that also implements QueueObserver,
+// the shape rampd installs.
+type queueWaitRecorder struct {
+	*Counters
+	mu    sync.Mutex
+	waits map[string][]time.Duration
+}
+
+func (q *queueWaitRecorder) TaskQueueWait(stage string, d time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.waits == nil {
+		q.waits = make(map[string][]time.Duration)
+	}
+	q.waits[stage] = append(q.waits[stage], d)
+}
+
+// TestQueueWaitObserved: a Recorder implementing QueueObserver receives
+// one non-negative queue wait per executed task, labelled by stage; plain
+// Counters (which deliberately does not implement it) still works, which
+// TestCountersLifecycle already covers.
+func TestQueueWaitObserved(t *testing.T) {
+	rec := &queueWaitRecorder{Counters: NewCounters()}
+	const tasks = 12
+	err := Map(context.Background(), tasks, Options{Parallelism: 3, Metrics: rec}, "fit",
+		func(context.Context, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if got := len(rec.waits["fit"]); got != tasks {
+		t.Fatalf("queue waits for stage fit = %d, want %d (map %v)", got, tasks, rec.waits)
+	}
+	for _, d := range rec.waits["fit"] {
+		if d < 0 {
+			t.Fatalf("negative queue wait %v", d)
+		}
 	}
 }

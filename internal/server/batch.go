@@ -192,6 +192,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
+	// Stamp each job with the submitting request's identity; the executor
+	// restores it so job spans and run records chain back to this request.
+	origin := jobs.Origin{RequestID: obs.RequestIDFrom(r.Context())}
+	if tc := obs.TraceContextFrom(r.Context()); tc.Valid() {
+		origin.Traceparent = tc.String()
+	}
 	specs := make([]jobs.Spec, len(items))
 	for i, item := range items {
 		studyKey := plan.Keys[i]
@@ -204,6 +210,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		specs[i] = jobs.Spec{
 			Key:     plan.Keys[i],
 			Kind:    jobs.Kind(item.Kind),
+			Origin:  origin,
 			Payload: batchPayload{item: item, studyKey: studyKey},
 		}
 	}
@@ -418,54 +425,99 @@ func (s *Server) executeJob(ctx context.Context, j *jobs.Job) (any, error) {
 		return nil, &badRequestError{fmt.Errorf("job %s carries no batch payload", j.ID)}
 	}
 	start := s.now()
-	ctx, span := obs.StartSpan(obs.WithTracer(ctx, obs.NewTracer(s.obs.jobSink)), spanJobRun)
+	// Restore the submitting request's identity so executor spans, logs,
+	// and the run record stay attributable end to end across the queue.
+	if j.Origin.RequestID != "" {
+		ctx = obs.WithRequestID(ctx, j.Origin.RequestID)
+	}
+	if tc, ok := obs.ParseTraceparent(j.Origin.Traceparent); ok {
+		ctx = obs.WithTraceContext(ctx, tc)
+	}
+	sinks := []obs.SpanSink{s.obs.jobSink}
+	var stats *obs.RunStats
+	if s.ledger != nil {
+		stats = obs.NewRunStats()
+		sinks = append(sinks, stats)
+	}
+	ctx, span := obs.StartSpan(obs.WithTracer(ctx, obs.NewTracer(obs.MultiSink(sinks...))), spanJobRun)
 	span.SetAttr("job", j.ID)
 	span.SetAttr("kind", string(j.Kind))
 	span.SetAttr("key", j.Key)
+	traceID := obs.TraceContextFrom(ctx).TraceID
+	if j.Origin.RequestID != "" {
+		span.SetAttr("request_id", j.Origin.RequestID)
+	}
+	if traceID != "" {
+		span.SetAttr("trace_id", traceID)
+	}
 	defer span.Finish()
-	s.logger.Info("job start", "job_id", j.ID, "kind", j.Kind, "key", j.Key, "tenant", j.Tenant)
+	s.logger.Info("job start", "job_id", j.ID, "kind", j.Kind, "key", j.Key, "tenant", j.Tenant,
+		"request_id", j.Origin.RequestID, "trace_id", traceID)
 
-	res, err := s.runBatchItem(ctx, payload)
+	res, resultCache, flightStats, err := s.runBatchItem(ctx, payload)
 	outcome := "ok"
 	if err != nil {
 		outcome = "error"
-		s.logger.Warn("job failed", "job_id", j.ID, "key", j.Key, "error", err.Error())
+		s.logger.Warn("job failed", "job_id", j.ID, "key", j.Key,
+			"request_id", j.Origin.RequestID, "error", err.Error())
 	} else {
 		s.logger.Info("job done", "job_id", j.ID, "key", j.Key,
+			"request_id", j.Origin.RequestID,
 			"compute_ms", float64(s.now().Sub(start))/float64(time.Millisecond))
 	}
 	s.obs.jobRuns.With(string(j.Kind), outcome).Inc()
+	if s.ledger != nil {
+		snap := j.Snapshot(s.now())
+		rec := s.newRunRecord(ctx, "job."+string(j.Kind), j.Key, payload.item.Config,
+			len(payload.item.Profiles), start, resultCache, err)
+		rec.Tenant = j.Tenant
+		rec.JobID = j.ID
+		rec.Attempt = snap.Attempts
+		rec.QueueMS = snap.QueuedMS
+		if flightStats != nil {
+			flightStats.Fill(&rec)
+		}
+		stats.Fill(&rec)
+		s.appendRun(rec)
+	}
 	return res, err
 }
 
 // runBatchItem executes one planned item against the caches and the
-// simulator.
-func (s *Server) runBatchItem(ctx context.Context, p batchPayload) (any, error) {
+// simulator. Alongside the result it reports ledger provenance: how the
+// result cache answered (hit / miss / coalesced) and the deterministic
+// study flight's stage stats (nil on cache hits and when the ledger is
+// off).
+func (s *Server) runBatchItem(ctx context.Context, p batchPayload) (any, string, *obs.RunStats, error) {
 	item := p.item
 	switch item.Kind {
 	case sim.JobStudy:
 		key := p.studyKey
 		if v, ok := s.cache.Get(key); ok {
-			return v.(*sim.StudyResult), nil
+			return v.(*sim.StudyResult), obs.ResultHit, nil, nil
 		}
 		job := jobs.JobFrom(ctx)
-		res, _, err := s.studyFlight(ctx, item.Config, item.Profiles, item.Techs, key, false,
+		res, coalesced, fstats, err := s.studyFlight(ctx, item.Config, item.Profiles, item.Techs, key, false,
 			func(ev sim.AppEvent) {
 				if job != nil && ev.CellsTotal > 0 {
 					job.SetPercent(100 * float64(ev.CellsDone) / float64(ev.CellsTotal))
 				}
 			})
-		return res, err
+		rc := obs.ResultMiss
+		if coalesced {
+			rc = obs.ResultCoalesced
+		}
+		return res, rc, fstats, err
 	case sim.JobMC:
 		mcKey, err := sim.MCStudyKey(item.Config, item.MC, item.Profiles, item.Techs)
 		if err != nil {
-			return nil, err
+			return nil, "", nil, err
 		}
 		if v, ok := s.cache.Get(mcKey); ok {
-			return v.(*sim.MCResult), nil
+			return v.(*sim.MCResult), obs.ResultHit, nil, nil
 		}
 		job := jobs.JobFrom(ctx)
-		base, _, err := s.studyFlight(ctx, item.Config, item.Profiles, item.Techs, p.studyKey, false,
+		base, _, fstats, err := s.studyFlight(ctx, item.Config, item.Profiles, item.Techs, p.studyKey, false,
 			func(ev sim.AppEvent) {
 				// The deterministic study is the first half of an MC job.
 				if job != nil && ev.CellsTotal > 0 {
@@ -473,7 +525,7 @@ func (s *Server) runBatchItem(ctx context.Context, p batchPayload) (any, error) 
 				}
 			})
 		if err != nil {
-			return nil, err
+			return nil, obs.ResultMiss, fstats, err
 		}
 		res, err := sim.MonteCarloStudy(ctx, base, item.MC, sim.MCOptions{
 			Parallelism: s.cfg.Parallelism,
@@ -485,14 +537,14 @@ func (s *Server) runBatchItem(ctx context.Context, p batchPayload) (any, error) 
 			},
 		})
 		if err != nil {
-			return nil, err
+			return nil, obs.ResultMiss, fstats, err
 		}
 		s.cache.Put(mcKey, res)
 		s.metrics.MCReplicas.Add(int64(res.TotalReplicas))
 		s.obs.mcReplicas.Add(uint64(res.TotalReplicas))
-		return res, nil
+		return res, obs.ResultMiss, fstats, nil
 	default:
-		return nil, &badRequestError{fmt.Errorf("unknown job kind %q", item.Kind)}
+		return nil, "", nil, &badRequestError{fmt.Errorf("unknown job kind %q", item.Kind)}
 	}
 }
 

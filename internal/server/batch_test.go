@@ -547,6 +547,24 @@ func TestJobMetricNamesPinned(t *testing.T) {
 			t.Errorf("JSON /metrics jobs block lacks %q", key)
 		}
 	}
+	var runtimeStats map[string]json.RawMessage
+	if err := json.Unmarshal(body["runtime"], &runtimeStats); err != nil {
+		t.Fatalf("JSON /metrics runtime block: %v (body %s)", err, body["runtime"])
+	}
+	for _, key := range []string{"goroutines", "heap_bytes", "gc_pause_total_seconds", "num_gc"} {
+		if _, ok := runtimeStats[key]; !ok {
+			t.Errorf("JSON /metrics runtime block lacks %q", key)
+		}
+	}
+	var ledgerStats map[string]json.RawMessage
+	if err := json.Unmarshal(body["ledger"], &ledgerStats); err != nil {
+		t.Fatalf("JSON /metrics ledger block: %v (body %s)", err, body["ledger"])
+	}
+	for _, key := range []string{"appended", "retained", "capacity", "dropped"} {
+		if _, ok := ledgerStats[key]; !ok {
+			t.Errorf("JSON /metrics ledger block lacks %q", key)
+		}
+	}
 
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prometheus", nil))
@@ -559,6 +577,12 @@ func TestJobMetricNamesPinned(t *testing.T) {
 		"ramp_jobs_failed",
 		"ramp_batches_submitted_total",
 		"ramp_job_runs_total",
+		"ramp_go_goroutines",
+		"ramp_go_heap_bytes",
+		"ramp_go_gc_pause_seconds_total",
+		"ramp_runs_recorded_total",
+		"ramp_ledger_retained_runs",
+		"ramp_ledger_dropped_events_total",
 	} {
 		if !strings.Contains(text, name) {
 			t.Errorf("prometheus exposition lacks %s", name)

@@ -214,6 +214,7 @@ func (s *Server) handleStudyMC(w http.ResponseWriter, r *http.Request) {
 	}
 	cellsTotal := len(profiles) * len(techs)
 	reqID := obs.RequestIDFrom(r.Context())
+	served := s.now()
 
 	// Whole-result cache hit: replay the cell summaries instantly, no
 	// admission slot.
@@ -221,6 +222,12 @@ func (s *Server) handleStudyMC(w http.ResponseWriter, r *http.Request) {
 		s.metrics.MCStudies.Add(1)
 		s.obs.mcStudies.Inc()
 		res := v.(*sim.MCResult)
+		if s.ledger != nil {
+			rec := s.newRunRecord(r.Context(), "mc", mcKey, cfg, len(profiles),
+				served, obs.ResultHit, nil)
+			rec.Replicas = res.TotalReplicas
+			s.appendRun(rec)
+		}
 		sw := s.newStreamWriter(w, flusher)
 		sw.send(mcMetaEvent{SchemaVersion: SchemaVersion, Event: "meta", RequestID: reqID,
 			Key: mcKey, StudyKey: studyKey, CellsTotal: cellsTotal,
@@ -259,7 +266,16 @@ func (s *Server) handleStudyMC(w http.ResponseWriter, r *http.Request) {
 		defer tcancel()
 	}
 	collector := obs.NewCollector(s.cfg.TraceSpanLimit)
-	ctx = obs.WithTracer(ctx, obs.NewTracer(obs.MultiSink(s.obs.sink, collector)))
+	// The sampler's spans (MC batches, cache traffic) feed the handler's
+	// RunStats; the deterministic study underneath reports its own stats
+	// from the flight, merged below.
+	sinks := []obs.SpanSink{s.obs.sink, collector}
+	var stats *obs.RunStats
+	if s.ledger != nil {
+		stats = obs.NewRunStats()
+		sinks = append(sinks, stats)
+	}
+	ctx = obs.WithTracer(ctx, obs.NewTracer(obs.MultiSink(sinks...)))
 
 	sw := s.newStreamWriter(w, flusher)
 	sw.send(mcMetaEvent{SchemaVersion: SchemaVersion, Event: "meta", RequestID: reqID,
@@ -271,13 +287,15 @@ func (s *Server) handleStudyMC(w http.ResponseWriter, r *http.Request) {
 	events := make(chan sim.MCEvent, cellsTotal+mcEventBuffer)
 	done := make(chan struct{})
 	var res *sim.MCResult
+	var flightStats *obs.RunStats
 	var runErr error
 	start := s.now()
 	go func() {
 		defer close(done)
 		// The deterministic study coalesces with any identical in-flight
 		// request; admit=false because this stream already holds a slot.
-		base, _, err := s.studyFlight(ctx, cfg, profiles, techs, studyKey, false, nil)
+		base, _, fstats, err := s.studyFlight(ctx, cfg, profiles, techs, studyKey, false, nil)
+		flightStats = fstats
 		if err != nil {
 			runErr = err
 			return
@@ -312,6 +330,18 @@ func (s *Server) handleStudyMC(w http.ResponseWriter, r *http.Request) {
 				default:
 					drained = true
 				}
+			}
+			if s.ledger != nil {
+				rec := s.newRunRecord(ctx, "mc", mcKey, cfg, len(profiles),
+					start, obs.ResultMiss, runErr)
+				if flightStats != nil {
+					flightStats.Fill(&rec)
+				}
+				stats.Fill(&rec)
+				if res != nil {
+					rec.Replicas = res.TotalReplicas
+				}
+				s.appendRun(rec)
 			}
 			if runErr != nil {
 				s.logger.Warn("mc failed", "request_id", reqID, "key", mcKey,

@@ -3,6 +3,7 @@ package server
 import (
 	"expvar"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -150,6 +151,17 @@ func (s *Server) metricsSnapshot() map[string]any {
 	out["admission_queue_depth"] = len(s.admission)
 	out["admission_capacity"] = cap(s.admission)
 	out["jobs"] = s.jobs.Stats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out["runtime"] = map[string]any{
+		"goroutines":             runtime.NumGoroutine(),
+		"heap_bytes":             ms.HeapAlloc,
+		"gc_pause_total_seconds": float64(ms.PauseTotalNs) / 1e9,
+		"num_gc":                 ms.NumGC,
+	}
+	if s.ledger != nil {
+		out["ledger"] = s.ledger.Stats()
+	}
 	return out
 }
 

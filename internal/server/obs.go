@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"time"
 
 	"github.com/ramp-sim/ramp/internal/obs"
@@ -42,6 +43,8 @@ type serverObs struct {
 	stageLatency *obs.HistogramVec // ramp_stage_duration_seconds{stage}
 	// Scheduler-task latency, fed by the sched.StageObserver hook.
 	schedLatency *obs.HistogramVec // ramp_sched_task_duration_seconds{stage}
+	// Scheduler ready-queue wait, fed by the sched.QueueObserver hook.
+	queueWait *obs.HistogramVec // ramp_sched_queue_wait_seconds{stage}
 	// Stage-cache operations, fed by the store observer.
 	cacheOps *obs.CounterVec // ramp_stage_cache_ops_total{stage,op,outcome}
 
@@ -103,6 +106,8 @@ func newServerObs() *serverObs {
 			"Simulation pipeline stage latency in seconds, by stage (timing|thermal|fit).", nil, "stage"),
 		schedLatency: reg.HistogramVec("ramp_sched_task_duration_seconds",
 			"Scheduler task latency in seconds, by task stage.", nil, "stage"),
+		queueWait: reg.HistogramVec("ramp_sched_queue_wait_seconds",
+			"Time scheduler tasks spent ready but waiting for a worker, by task stage.", nil, "stage"),
 		cacheOps: reg.CounterVec("ramp_stage_cache_ops_total",
 			"Stage-cache operations, by stage, operation, and outcome.", "stage", "op", "outcome"),
 	}
@@ -158,6 +163,32 @@ func (o *serverObs) bindServer(s *Server) {
 	reg.GaugeFunc("ramp_study_traces_retained", "Study traces retained for /v1/study/trace.", nil,
 		func() float64 { return float64(s.traces.Len()) })
 
+	// Go runtime health: cheap enough to read at scrape time, invaluable
+	// when a leak or GC stall is the thing being diagnosed.
+	reg.GaugeFunc("ramp_go_goroutines", "Goroutines currently live in the process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("ramp_go_heap_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", nil,
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("ramp_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", nil,
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+
+	if s.ledger != nil {
+		reg.CounterFunc("ramp_runs_recorded_total", "Run records appended to the cost ledger.", nil,
+			func() float64 { return float64(s.ledger.Stats().Appended) })
+		reg.GaugeFunc("ramp_ledger_retained_runs", "Run records currently retained in the ledger ring.", nil,
+			func() float64 { return float64(s.ledger.Stats().Retained) })
+		reg.CounterFunc("ramp_ledger_dropped_events_total", "Ledger tail events dropped on slow subscribers.", nil,
+			func() float64 { return float64(s.ledger.Stats().Dropped) })
+	}
+
 	reg.GaugeFunc("ramp_admission_queue_depth", "Interactive admission slots currently held.", nil,
 		func() float64 { return float64(len(s.admission)) })
 	reg.GaugeFunc("ramp_jobs_queued", "Batch jobs admitted and waiting for a worker.", nil,
@@ -175,7 +206,8 @@ func (o *serverObs) bindServer(s *Server) {
 // sched.StageObserver extension.
 type schedRecorder struct {
 	*sched.Counters
-	latency *obs.HistogramVec
+	latency   *obs.HistogramVec
+	queueWait *obs.HistogramVec
 }
 
 // TaskLatency implements sched.StageObserver.
@@ -183,4 +215,12 @@ func (r *schedRecorder) TaskLatency(stage string, d time.Duration, err error) {
 	r.latency.With(stage).Observe(d.Seconds())
 }
 
-var _ sched.StageObserver = (*schedRecorder)(nil)
+// TaskQueueWait implements sched.QueueObserver.
+func (r *schedRecorder) TaskQueueWait(stage string, d time.Duration) {
+	r.queueWait.With(stage).Observe(d.Seconds())
+}
+
+var (
+	_ sched.StageObserver = (*schedRecorder)(nil)
+	_ sched.QueueObserver = (*schedRecorder)(nil)
+)

@@ -110,8 +110,10 @@ func (l lockedBuf) Write(p []byte) (int, error) {
 	return l.buf.Write(p)
 }
 
-// promLine matches a Prometheus text-format sample line.
-var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+// promLine matches a Prometheus text-format sample line, optionally
+// carrying an OpenMetrics exemplar suffix on histogram bucket lines
+// (` # {trace_id="…"} <value> <unix-seconds>`).
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)( # \{[^{}]*\} -?[0-9.eE+-]+ [0-9]+\.[0-9]+)?$`)
 
 // scrapeProm fetches /metrics?format=prometheus and returns the body.
 func scrapeProm(t *testing.T, s *Server) string {
@@ -214,6 +216,9 @@ func TestPrometheusStageMetricsFromRealStudy(t *testing.T) {
 	for _, schedStage := range []string{sim.StageTiming, sim.StageBase, sim.StageWorst} {
 		if !strings.Contains(body, `ramp_sched_task_duration_seconds_count{stage="`+schedStage+`"}`) {
 			t.Errorf("no sched task latency series for stage %s", schedStage)
+		}
+		if !strings.Contains(body, `ramp_sched_queue_wait_seconds_count{stage="`+schedStage+`"}`) {
+			t.Errorf("no sched queue-wait series for stage %s", schedStage)
 		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/ramp-sim/ramp/internal/core"
@@ -182,6 +183,11 @@ type Config struct {
 	// reports 503 so load balancers route new work elsewhere; 0 defaults
 	// to 90% of BatchCapacity.
 	ReadyHighWater int
+	// LedgerSize bounds the run ledger behind /v1/ops — one record per
+	// served study, MC run, or batch-job execution, oldest evicted first.
+	// 0 means obs.DefaultLedgerCapacity; negative disables the ledger
+	// (and the /v1/ops endpoints answer 404).
+	LedgerSize int
 	// Now overrides the clock for tests; nil uses time.Now.
 	Now func() time.Time
 }
@@ -201,6 +207,7 @@ type Server struct {
 	schedStats *sched.Counters
 	schedRec   *schedRecorder
 	jobs       *jobs.Queue
+	ledger     *obs.Ledger // nil when disabled by Config.LedgerSize < 0
 	admission  chan struct{}
 	mux        *http.ServeMux
 	now        func() time.Time
@@ -300,7 +307,7 @@ func New(cfg Config) (*Server, error) {
 		logger:     logger,
 		traces:     obs.NewTraceRing(cfg.TraceRetain),
 		schedStats: schedStats,
-		schedRec:   &schedRecorder{Counters: schedStats, latency: so.schedLatency},
+		schedRec:   &schedRecorder{Counters: schedStats, latency: so.schedLatency, queueWait: so.queueWait},
 		admission:  make(chan struct{}, cfg.MaxQueue),
 		mux:        http.NewServeMux(),
 		now:        now,
@@ -308,6 +315,9 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		runStudy:   sim.RunStudyContext,
+	}
+	if cfg.LedgerSize >= 0 {
+		s.ledger = obs.NewLedger(cfg.LedgerSize)
 	}
 	s.jobs, err = jobs.New(jobs.Config{
 		Capacity:     cfg.BatchCapacity,
@@ -341,6 +351,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/mechanisms", s.instrument("/v1/mechanisms", s.handleMechanisms))
 	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	s.mux.Handle("/v1/batch/", s.instrument("/v1/batch/", s.handleBatchSub))
+	s.mux.Handle("/v1/ops/runs", s.instrument("/v1/ops/runs", s.handleOpsRuns))
+	s.mux.Handle("/v1/ops/runs/", s.instrument("/v1/ops/runs/", s.handleOpsRun))
+	s.mux.Handle("/v1/ops/tail", s.instrument("/v1/ops/tail", s.handleOpsTail))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
@@ -400,14 +413,21 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps a handler with request-ID assignment, request counting,
-// in-flight gauging, status accounting, the latency histograms, and the
-// structured access log.
+// instrument wraps a handler with request-ID assignment, W3C trace
+// propagation, request counting, in-flight gauging, status accounting,
+// the latency histograms, and the structured access log.
 //
 // Every request gets an ID: a sane inbound X-Request-ID is honoured
 // (sanitised against log/header injection), anything else gets a fresh
 // one. The ID is echoed on the response header, carried in the request
 // context for handlers and error envelopes, and stamped on every log line.
+//
+// Trace propagation mirrors that: a valid inbound traceparent is
+// continued (the response and the request context carry a child of it,
+// so the server's work is a new span of the caller's trace), anything
+// else starts a fresh sampled trace. The trace ID rides the latency
+// histogram as an OpenMetrics exemplar, so a scrape links slow buckets
+// to concrete traces.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
@@ -415,8 +435,22 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		if reqID == "" {
 			reqID = obs.NewRequestID()
 		}
+		tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if ok {
+			tc = tc.Child()
+		} else {
+			tc = obs.NewTraceContext()
+		}
 		w.Header().Set("X-Request-ID", reqID)
-		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		w.Header().Set("Traceparent", tc.String())
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx = obs.WithTraceContext(ctx, tc)
+		// Tenant parsing is lenient here — a malformed X-Tenant only fails
+		// the endpoints that charge quota to it (handleBatch revalidates).
+		if tenant, terr := tenantFrom(r); terr == nil {
+			ctx = withTenant(ctx, tenant)
+		}
+		r = r.WithContext(ctx)
 
 		s.metrics.Requests.Add(endpoint, 1)
 		s.obs.httpRequests.With(endpoint).Inc()
@@ -432,15 +466,33 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		s.metrics.Status.Add(strconv.Itoa(sw.status), 1)
 		s.obs.httpResponses.With(strconv.Itoa(sw.status)).Inc()
 		s.metrics.ObserveLatency(dur)
-		s.obs.httpLatency.Observe(dur.Seconds())
+		s.obs.httpLatency.ObserveExemplar(dur.Seconds(), obs.Label{Name: "trace_id", Value: tc.TraceID})
 		s.logger.Info("request",
 			"request_id", reqID,
+			"trace_id", tc.TraceID,
 			"endpoint", endpoint,
 			"method", r.Method,
 			"status", sw.status,
 			"duration_ms", float64(dur)/float64(time.Millisecond),
 		)
 	})
+}
+
+// tenantKey carries the request's tenant (the X-Tenant header, leniently
+// defaulted) so run records can attribute work without re-reading
+// headers deep in the serving stack.
+type tenantKey struct{}
+
+func withTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+func tenantFromCtx(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	if t == "" {
+		return "default"
+	}
+	return t
 }
 
 // StudyRequest is the wire form of a study query. Zero values mean "the
@@ -800,12 +852,27 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 		return nil, StudyMeta{}, err
 	}
 	meta := StudyMeta{Key: key, Cache: "hit"}
+	served := s.now()
 	if v, ok := s.cache.Get(key); ok {
+		if s.ledger != nil {
+			s.appendRun(s.newRunRecord(ctx, "study", key, cfg, len(profiles), served, obs.ResultHit, nil))
+		}
 		return v.(*sim.StudyResult), meta, nil
 	}
 
 	start := s.now()
-	res, coalesced, err := s.studyFlight(ctx, cfg, profiles, techs, key, true, nil)
+	res, coalesced, stats, err := s.studyFlight(ctx, cfg, profiles, techs, key, true, nil)
+	if s.ledger != nil {
+		rc := obs.ResultMiss
+		if coalesced {
+			rc = obs.ResultCoalesced
+		}
+		rec := s.newRunRecord(ctx, "study", key, cfg, len(profiles), served, rc, err)
+		if stats != nil {
+			stats.Fill(&rec)
+		}
+		s.appendRun(rec)
+	}
 	if err != nil {
 		return nil, StudyMeta{}, err
 	}
@@ -823,13 +890,27 @@ func (s *Server) study(ctx context.Context, req StudyRequest) (*sim.StudyResult,
 // worker pool — pass false to avoid a self-deadlock on the queue. onApp,
 // when non-nil, receives per-cell completion events if this call leads
 // the flight (followers joined mid-run and see none).
+//
+// When the run ledger is enabled and this call led the flight, the
+// returned RunStats aggregates the computation's spans for the caller's
+// run record; it is nil for followers and cache hits, whose records
+// carry no stage costs because they did no stage work.
 func (s *Server) studyFlight(ctx context.Context, cfg sim.Config, profiles []workload.Profile,
 	techs []scaling.Technology, key string, admit bool,
-	onApp func(sim.AppEvent)) (*sim.StudyResult, bool, error) {
+	onApp func(sim.AppEvent)) (*sim.StudyResult, bool, *obs.RunStats, error) {
 	// The flight runs detached from the request context, so the leader's
-	// request ID is captured here for the trace entry and the study log.
+	// request identity is captured here for the trace entry, the study
+	// log, and re-installed on the flight context so the study span keeps
+	// its trace attribution.
 	reqID := obs.RequestIDFrom(ctx)
+	tc := obs.TraceContextFrom(ctx)
 	start := s.now()
+	// The leader closure runs on the detached flight goroutine and may
+	// still be executing when Do returns early (this caller's ctx
+	// cancelled), so the stats handoff must be atomic. RunStats is
+	// internally synchronized; a partially-filled read under early
+	// return yields whatever costs accrued before the caller gave up.
+	var stats atomic.Pointer[obs.RunStats]
 	v, err, coalesced := s.flights.Do(ctx, s.baseCtx, key, func(fctx context.Context) (any, error) {
 		// Double-check the cache: a flight that completed between our
 		// lookup and this leadership election already has the answer.
@@ -853,7 +934,15 @@ func (s *Server) studyFlight(ctx context.Context, cfg sim.Config, profiles []wor
 		s.obs.studies.Inc()
 		s.logger.Info("study start", "request_id", reqID, "key", key)
 		collector := obs.NewCollector(s.cfg.TraceSpanLimit)
-		fctx = obs.WithTracer(fctx, obs.NewTracer(obs.MultiSink(s.obs.sink, collector)))
+		sinks := []obs.SpanSink{s.obs.sink, collector}
+		if s.ledger != nil {
+			st := obs.NewRunStats()
+			stats.Store(st)
+			sinks = append(sinks, st)
+		}
+		fctx = obs.WithRequestID(fctx, reqID)
+		fctx = obs.WithTraceContext(fctx, tc)
+		fctx = obs.WithTracer(fctx, obs.NewTracer(obs.MultiSink(sinks...)))
 		res, err := s.runStudy(fctx, cfg, profiles, techs, sim.StudyOptions{
 			Parallelism: s.cfg.Parallelism,
 			Metrics:     s.schedRec,
@@ -875,9 +964,9 @@ func (s *Server) studyFlight(ctx context.Context, cfg sim.Config, profiles []wor
 		return res, nil
 	})
 	if err != nil {
-		return nil, coalesced, err
+		return nil, coalesced, stats.Load(), err
 	}
-	return v.(*sim.StudyResult), coalesced, nil
+	return v.(*sim.StudyResult), coalesced, stats.Load(), nil
 }
 
 // badRequestError marks client-side input errors for status mapping.

@@ -101,12 +101,17 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 	cellsTotal := len(profiles) * len(techs)
 
 	reqID := obs.RequestIDFrom(r.Context())
+	served := s.now()
 
 	// Whole-study cache hit: replay the grid instantly, no admission slot.
 	if v, ok := s.cache.Get(key); ok {
 		s.metrics.Streams.Add(1)
 		s.obs.streams.Inc()
 		res := v.(*sim.StudyResult)
+		if s.ledger != nil {
+			s.appendRun(s.newRunRecord(r.Context(), "study.stream", key, cfg,
+				len(profiles), served, obs.ResultHit, nil))
+		}
 		sw := s.newStreamWriter(w, flusher)
 		sw.send(streamMetaEvent{SchemaVersion: SchemaVersion, Event: "meta",
 			RequestID: reqID, Key: key, CellsTotal: cellsTotal, Cache: "hit"})
@@ -147,7 +152,15 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 		defer tcancel()
 	}
 	collector := obs.NewCollector(s.cfg.TraceSpanLimit)
-	ctx = obs.WithTracer(ctx, obs.NewTracer(obs.MultiSink(s.obs.sink, collector)))
+	// Streaming runs the study directly (no flight), so its spans feed the
+	// handler's RunStats straight off this context's tracer.
+	sinks := []obs.SpanSink{s.obs.sink, collector}
+	var stats *obs.RunStats
+	if s.ledger != nil {
+		stats = obs.NewRunStats()
+		sinks = append(sinks, stats)
+	}
+	ctx = obs.WithTracer(ctx, obs.NewTracer(obs.MultiSink(sinks...)))
 
 	sw := s.newStreamWriter(w, flusher)
 	sw.send(streamMetaEvent{SchemaVersion: SchemaVersion, Event: "meta",
@@ -193,6 +206,12 @@ func (s *Server) handleStudyStream(w http.ResponseWriter, r *http.Request) {
 				default:
 					drained = true
 				}
+			}
+			if s.ledger != nil {
+				rec := s.newRunRecord(ctx, "study.stream", key, cfg,
+					len(profiles), start, obs.ResultMiss, runErr)
+				stats.Fill(&rec)
+				s.appendRun(rec)
 			}
 			if runErr != nil {
 				s.logger.Warn("stream failed", "request_id", reqID, "key", key,
@@ -270,6 +289,10 @@ func streamEventName(v any) string {
 		return "mc_cell"
 	case mcResultEvent:
 		return "mc"
+	case opsMetaEvent:
+		return "meta"
+	case opsRunEvent:
+		return "run"
 	case streamErrorEvent:
 		return "error"
 	default:

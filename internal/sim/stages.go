@@ -130,12 +130,16 @@ func cacheGet[T any](ctx context.Context, st *store.Store[T], stage, key string)
 	return v, ok
 }
 
-// cachePut wraps one stage-store insert in a store.put span.
+// cachePut wraps one stage-store insert in a store.put span carrying the
+// stage and whether the artifact was spilled to disk.
 func cachePut[T any](ctx context.Context, st *store.Store[T], stage, key string, v T) {
 	_, sp := obs.StartSpan(ctx, obs.SpanCachePut)
-	st.Put(key, v)
+	info := st.Put(key, v)
 	if sp != nil {
 		sp.SetAttr("stage", stage)
+		if info.Spilled {
+			sp.SetAttr("spilled", "true")
+		}
 		sp.Finish()
 	}
 }

@@ -180,6 +180,9 @@ func RunStudyContext(ctx context.Context, cfg Config, profiles []workload.Profil
 	if studySpan != nil {
 		studySpan.SetAttr("profiles", strconv.Itoa(len(profiles)))
 		studySpan.SetAttr("techs", strconv.Itoa(len(techs)))
+		if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+			studySpan.SetAttr("trace_id", tc.TraceID)
+		}
 		defer studySpan.Finish()
 	}
 

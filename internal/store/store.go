@@ -233,12 +233,23 @@ func (s *Store[T]) Contains(key string) bool {
 	return err == nil
 }
 
+// PutInfo reports what one Put did beyond the memory-tier insert, so
+// callers can annotate their own telemetry (the stage cache marks its
+// store.put spans "spilled").
+type PutInfo struct {
+	// Spilled is true when the encoded artifact was written to the disk
+	// tier.
+	Spilled bool
+	// Evicted is the number of memory-tier entries displaced.
+	Evicted int
+}
+
 // Put stores the artifact under key in the memory tier and, when spill is
 // configured, writes the encoded form to disk (atomically, via a temp file
 // rename). Re-putting an existing key refreshes its LRU position.
-func (s *Store[T]) Put(key string, v T) {
+func (s *Store[T]) Put(key string, v T) PutInfo {
 	if !validKey(key) {
-		return
+		return PutInfo{}
 	}
 	s.mu.Lock()
 	s.stats.Puts++
@@ -246,25 +257,26 @@ func (s *Store[T]) Put(key string, v T) {
 	dir := s.dir
 	s.mu.Unlock()
 	s.event(OpPut, OutcomeOK)
+	info := PutInfo{Evicted: evicted}
 	for ; evicted > 0; evicted-- {
 		s.event(OpEvict, OutcomeOK)
 	}
 
 	if dir == "" {
-		return
+		return info
 	}
 	b, err := s.codec.Encode(v)
 	if err != nil {
 		s.noteDiskFailure()
 		s.event(OpSpill, OutcomeError)
-		return
+		return info
 	}
 	path := s.path(key)
 	tmp, err := os.CreateTemp(dir, ".tmp-"+key[:8]+"-*")
 	if err != nil {
 		s.noteDiskFailure()
 		s.event(OpSpill, OutcomeError)
-		return
+		return info
 	}
 	_, werr := tmp.Write(b)
 	cerr := tmp.Close()
@@ -272,15 +284,17 @@ func (s *Store[T]) Put(key string, v T) {
 		os.Remove(tmp.Name())
 		s.noteDiskFailure()
 		s.event(OpSpill, OutcomeError)
-		return
+		return info
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		s.noteDiskFailure()
 		s.event(OpSpill, OutcomeError)
-		return
+		return info
 	}
 	s.event(OpSpill, OutcomeOK)
+	info.Spilled = true
+	return info
 }
 
 // admitLocked inserts or refreshes a memory-tier entry, returning the

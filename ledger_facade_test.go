@@ -1,0 +1,104 @@
+package ramp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	ramp "github.com/ramp-sim/ramp"
+)
+
+// TestRunnerLedger: WithLedger makes every Study/MCStudy/StreamStudy
+// append one queryable RunRecord with outcome, per-stage costs, and cell
+// counts — the programmatic face of the rampd ops plane.
+func TestRunnerLedger(t *testing.T) {
+	cfg, profiles, techs := runnerTestInputs(t)
+	runner, err := ramp.New(ramp.WithParallelism(2), ramp.WithLedger(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := runner.Study(context.Background(), cfg, profiles, techs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.MCStudy(context.Background(), cfg, profiles, techs,
+		ramp.MCConfig{Samples: 200, Seed: 7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	events, err := runner.StreamStudy(context.Background(), cfg, profiles, techs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range events {
+	}
+
+	stats, ok := runner.LedgerStats()
+	if !ok || stats.Appended != 3 {
+		t.Fatalf("ledger stats = %+v ok=%v, want 3 appended", stats, ok)
+	}
+	runs := runner.Runs(ramp.RunFilter{})
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	// Newest first: stream, mc, study.
+	for i, kind := range []string{"study.stream", "mc", "study"} {
+		if runs[i].Kind != kind {
+			t.Errorf("runs[%d].Kind = %q, want %q", i, runs[i].Kind, kind)
+		}
+		if runs[i].Outcome != ramp.RunOK || runs[i].Key == "" || runs[i].WallMS < 0 {
+			t.Errorf("runs[%d] incomplete: %+v", i, runs[i])
+		}
+	}
+	study := runs[2]
+	if study.Instructions != cfg.Instructions*int64(len(profiles)) {
+		t.Errorf("instructions = %d, want %d", study.Instructions,
+			cfg.Instructions*int64(len(profiles)))
+	}
+	if study.Cells != len(profiles)*len(techs) {
+		t.Errorf("cells = %d, want %d", study.Cells, len(profiles)*len(techs))
+	}
+	if study.Stages["timing"].Count == 0 || study.CPUMS <= 0 {
+		t.Errorf("study record lacks stage costs: %+v", study.Stages)
+	}
+	mc := runs[1]
+	if mc.Replicas != 200*len(profiles)*len(techs) {
+		t.Errorf("mc replicas = %d, want %d", mc.Replicas, 200*len(profiles)*len(techs))
+	}
+
+	// Kind filtering and the study/mc key spaces.
+	if got := runner.Runs(ramp.RunFilter{Kind: "mc"}); len(got) != 1 {
+		t.Errorf("kind=mc runs = %d, want 1", len(got))
+	}
+	if study.Key == mc.Key {
+		t.Error("study and mc share a content key")
+	}
+
+	// A failed run is recorded with its outcome.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := runner.Study(cancelled, cfg, profiles, techs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled study err = %v", err)
+	}
+	if got := runner.Runs(ramp.RunFilter{Outcome: ramp.RunCancelled}); len(got) != 1 {
+		t.Errorf("cancelled runs = %d, want 1", len(got))
+	}
+}
+
+// TestRunnerWithoutLedger: the ledger is strictly opt-in — no option, no
+// records, nil Runs, ok=false stats.
+func TestRunnerWithoutLedger(t *testing.T) {
+	cfg, profiles, techs := runnerTestInputs(t)
+	runner, err := ramp.New(ramp.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Study(context.Background(), cfg, profiles, techs); err != nil {
+		t.Fatal(err)
+	}
+	if runs := runner.Runs(ramp.RunFilter{}); runs != nil {
+		t.Errorf("Runs without a ledger = %v, want nil", runs)
+	}
+	if _, ok := runner.LedgerStats(); ok {
+		t.Error("LedgerStats without a ledger reported ok")
+	}
+}

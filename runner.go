@@ -2,6 +2,7 @@ package ramp
 
 import (
 	"context"
+	"time"
 
 	"github.com/ramp-sim/ramp/internal/core"
 	"github.com/ramp-sim/ramp/internal/jobs"
@@ -27,6 +28,31 @@ type (
 	// MetricsCounters is the standard atomic MetricsRecorder; share one
 	// across Runners to aggregate.
 	MetricsCounters = sched.Counters
+	// RunRecord is one completed run as the cost ledger records it:
+	// identity, configuration, and wall/CPU/stage/cache cost breakdowns.
+	RunRecord = obs.RunRecord
+	// RunFilter selects runs from the ledger (tenant, key, outcome, kind,
+	// limit); the zero filter matches everything.
+	RunFilter = obs.RunFilter
+	// StageCost is one pipeline stage's aggregated cost within a run.
+	StageCost = obs.StageCost
+	// CacheCost is one stage cache's aggregated traffic within a run.
+	CacheCost = obs.CacheCost
+	// LedgerStats summarises a cost ledger's ring (appended, retained,
+	// capacity, dropped tail events).
+	LedgerStats = obs.LedgerStats
+)
+
+// Run-record outcome labels carried by RunRecord.Outcome.
+const (
+	// RunOK: the run completed successfully.
+	RunOK = obs.RunOK
+	// RunError: the run failed with a non-cancellation error.
+	RunError = obs.RunError
+	// RunCancelled: the run was cancelled before completing.
+	RunCancelled = obs.RunCancelled
+	// RunDeadline: the run exceeded its deadline.
+	RunDeadline = obs.RunDeadline
 )
 
 // Cell provenance labels carried by AppEvent.Source and StudyEvent.Source.
@@ -60,6 +86,7 @@ type Runner struct {
 	jobs        *jobs.Queue
 	fidelity    *Fidelity
 	mechanisms  []string
+	ledger      *obs.Ledger
 }
 
 // Option configures a Runner. Options are applied in order; an option
@@ -182,6 +209,39 @@ func WithMechanisms(names ...string) Option {
 	}
 }
 
+// WithLedger attaches a bounded, concurrency-safe cost ledger: every
+// Study, MCStudy, and StreamStudy appends one RunRecord — outcome, wall
+// time, per-stage wall/CPU cost, stage-cache traffic — queryable through
+// Runs. capacity bounds the ring (oldest records evict first); values
+// < 1 select the default capacity.
+func WithLedger(capacity int) Option {
+	return func(r *Runner) error {
+		if capacity < 1 {
+			capacity = 0
+		}
+		r.ledger = obs.NewLedger(capacity)
+		return nil
+	}
+}
+
+// Runs returns recorded runs matching f, newest first. It returns nil
+// when the Runner has no ledger attached (see WithLedger).
+func (r *Runner) Runs(f RunFilter) []RunRecord {
+	if r.ledger == nil {
+		return nil
+	}
+	return r.ledger.Runs(f)
+}
+
+// LedgerStats snapshots the Runner's ledger; ok is false when no ledger
+// is attached.
+func (r *Runner) LedgerStats() (stats LedgerStats, ok bool) {
+	if r.ledger == nil {
+		return LedgerStats{}, false
+	}
+	return r.ledger.Stats(), true
+}
+
 // applyFidelity fills the Runner's default fidelity and mechanism
 // selection into a config that does not set its own.
 func (r *Runner) applyFidelity(cfg Config) Config {
@@ -203,6 +263,50 @@ func (r *Runner) traceCtx(ctx context.Context) context.Context {
 	return ctx
 }
 
+// studyCtx prepares one run's context: the Runner's tracer, if any, plus
+// — when a ledger is attached — a per-run stats sink that aggregates the
+// run's spans into its eventual RunRecord.
+func (r *Runner) studyCtx(ctx context.Context) (context.Context, *obs.RunStats) {
+	if r.ledger == nil {
+		return r.traceCtx(ctx), nil
+	}
+	stats := obs.NewRunStats()
+	var sink obs.SpanSink = stats
+	if r.tracer != nil {
+		sink = obs.MultiSink(r.tracer.Sink(), stats)
+	}
+	return obs.WithTracer(ctx, obs.NewTracer(sink)), stats
+}
+
+// record appends one run to the Runner's ledger. No-op without a ledger.
+func (r *Runner) record(kind, key string, cfg Config, nProfiles int,
+	start time.Time, stats *obs.RunStats, err error) {
+	if r.ledger == nil {
+		return
+	}
+	fidelity := string(sim.FidelityExact)
+	if cfg.Fidelity != nil && cfg.Fidelity.Mode != "" {
+		fidelity = string(cfg.Fidelity.Mode)
+	}
+	rec := RunRecord{
+		Kind:         kind,
+		Key:          key,
+		Fidelity:     fidelity,
+		Mechanisms:   cfg.Mechanisms,
+		Outcome:      obs.OutcomeFor(err),
+		Start:        start.UTC(),
+		WallMS:       float64(time.Since(start)) / float64(time.Millisecond),
+		Instructions: cfg.Instructions * int64(nProfiles),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if stats != nil {
+		stats.Fill(&rec)
+	}
+	r.ledger.Append(rec)
+}
+
 // options assembles the StudyOptions for one study run.
 func (r *Runner) options(onApp func(AppEvent)) StudyOptions {
 	return StudyOptions{
@@ -220,8 +324,13 @@ func (r *Runner) options(onApp func(AppEvent)) StudyOptions {
 // execution policy. techs must start with the base (180nm) technology.
 func (r *Runner) Study(ctx context.Context, cfg Config, profiles []Profile,
 	techs []Technology) (*StudyResult, error) {
-	return sim.RunStudyContext(r.traceCtx(ctx), r.applyFidelity(cfg), profiles, techs,
-		r.options(nil))
+	cfg = r.applyFidelity(cfg)
+	ctx, stats := r.studyCtx(ctx)
+	start := time.Now()
+	res, err := sim.RunStudyContext(ctx, cfg, profiles, techs, r.options(nil))
+	key, _ := sim.StudyKey(cfg, profiles, techs)
+	r.record("study", key, cfg, len(profiles), start, stats, err)
+	return res, err
 }
 
 // MCStudy executes the scaling study (through the Runner's stage cache,
@@ -238,8 +347,13 @@ func (r *Runner) Study(ctx context.Context, cfg Config, profiles []Profile,
 // defaults.
 func (r *Runner) MCStudy(ctx context.Context, cfg Config, profiles []Profile,
 	techs []Technology, mcfg MCConfig, onEvent func(MCEvent)) (*MCResult, error) {
-	return sim.RunMCStudyContext(r.traceCtx(ctx), r.applyFidelity(cfg), mcfg, profiles,
-		techs, r.options(nil), onEvent)
+	cfg = r.applyFidelity(cfg)
+	ctx, stats := r.studyCtx(ctx)
+	start := time.Now()
+	res, err := sim.RunMCStudyContext(ctx, cfg, mcfg, profiles, techs, r.options(nil), onEvent)
+	key, _ := sim.MCStudyKey(cfg, mcfg.Normalized(), profiles, techs)
+	r.record("mc", key, cfg, len(profiles), start, stats, err)
+	return res, err
 }
 
 // Timing executes only the timing stage for one profile, through the
@@ -296,7 +410,7 @@ func (r *Runner) StreamStudy(ctx context.Context, cfg Config, profiles []Profile
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ctx = r.traceCtx(ctx)
+	ctx, stats := r.studyCtx(ctx)
 	events := make(chan StudyEvent)
 	onApp := func(ev AppEvent) {
 		run := ev.Run
@@ -312,7 +426,10 @@ func (r *Runner) StreamStudy(ctx context.Context, cfg Config, profiles []Profile
 	}
 	go func() {
 		defer close(events)
+		start := time.Now()
 		res, err := sim.RunStudyContext(ctx, cfg, profiles, techs, r.options(onApp))
+		key, _ := sim.StudyKey(cfg, profiles, techs)
+		r.record("study.stream", key, cfg, len(profiles), start, stats, err)
 		term := StudyEvent{Result: res, Err: err}
 		select {
 		case events <- term:
